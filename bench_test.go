@@ -1,0 +1,256 @@
+// Package cloudia's root benchmark file exposes one testing.B target per
+// paper figure (BenchmarkFigNN...) plus the ablations and a handful of
+// micro-benchmarks for the hot components. Figure benchmarks run the
+// experiment once per b.N iteration at Quick scale so `go test -bench=.`
+// stays tractable; run `cmd/cloudia-bench -all` for the full-scale figures
+// recorded in EXPERIMENTS.md.
+package cloudia_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cloudia/internal/bench"
+	"cloudia/internal/cloud"
+	"cloudia/internal/cluster"
+	"cloudia/internal/core"
+	"cloudia/internal/measure"
+	"cloudia/internal/netsim"
+	"cloudia/internal/solver"
+	"cloudia/internal/solver/cp"
+	"cloudia/internal/solver/greedy"
+	"cloudia/internal/solver/mip"
+	"cloudia/internal/solver/random"
+	"cloudia/internal/topology"
+	"cloudia/internal/workload"
+)
+
+// benchFigure runs one registered experiment per iteration.
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.Run(id, bench.Options{Seed: 42, Quick: true})
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(fig.Series) == 0 {
+			b.Fatalf("%s: empty figure", id)
+		}
+	}
+}
+
+func BenchmarkFig01LatencyCDF(b *testing.B)             { benchFigure(b, "fig01") }
+func BenchmarkFig02LatencyStability(b *testing.B)       { benchFigure(b, "fig02") }
+func BenchmarkFig04MeasurementError(b *testing.B)       { benchFigure(b, "fig04") }
+func BenchmarkFig05MeasurementConvergence(b *testing.B) { benchFigure(b, "fig05") }
+func BenchmarkFig06CPClusters(b *testing.B)             { benchFigure(b, "fig06") }
+func BenchmarkFig07CPvsMIP(b *testing.B)                { benchFigure(b, "fig07") }
+func BenchmarkFig08CPScalability(b *testing.B)          { benchFigure(b, "fig08") }
+func BenchmarkFig09LPNDPClusters(b *testing.B)          { benchFigure(b, "fig09") }
+func BenchmarkFig10MetricCorrelation(b *testing.B)      { benchFigure(b, "fig10") }
+func BenchmarkFig11MetricImprovement(b *testing.B)      { benchFigure(b, "fig11") }
+func BenchmarkFig12OverallEffectiveness(b *testing.B)   { benchFigure(b, "fig12") }
+func BenchmarkFig13OverAllocation(b *testing.B)         { benchFigure(b, "fig13") }
+func BenchmarkFig14LightweightLL(b *testing.B)          { benchFigure(b, "fig14") }
+func BenchmarkFig15LightweightLP(b *testing.B)          { benchFigure(b, "fig15") }
+func BenchmarkFig16IPDistance(b *testing.B)             { benchFigure(b, "fig16") }
+func BenchmarkFig17HopCount(b *testing.B)               { benchFigure(b, "fig17") }
+func BenchmarkFig18GCEHeterogeneity(b *testing.B)       { benchFigure(b, "fig18") }
+func BenchmarkFig19GCEStability(b *testing.B)           { benchFigure(b, "fig19") }
+func BenchmarkFig20RackspaceHeterogeneity(b *testing.B) { benchFigure(b, "fig20") }
+func BenchmarkFig21RackspaceStability(b *testing.B)     { benchFigure(b, "fig21") }
+
+func BenchmarkAblationDegreeFilter(b *testing.B) { benchFigure(b, "ablation-degreefilter") }
+func BenchmarkAblationContention(b *testing.B)   { benchFigure(b, "ablation-contention") }
+func BenchmarkAblationSA(b *testing.B)           { benchFigure(b, "ablation-sa") }
+func BenchmarkAblationClusterK(b *testing.B)     { benchFigure(b, "ablation-clusterk") }
+
+func BenchmarkExtensionRedeploy(b *testing.B)  { benchFigure(b, "extension-redeploy") }
+func BenchmarkExtensionOverlap(b *testing.B)   { benchFigure(b, "extension-overlap") }
+func BenchmarkExtensionWeighted(b *testing.B)  { benchFigure(b, "extension-weighted") }
+func BenchmarkExtensionCostModel(b *testing.B) { benchFigure(b, "extension-costmodel") }
+func BenchmarkExtensionBandwidth(b *testing.B) { benchFigure(b, "extension-bandwidth") }
+
+// --- Component micro-benchmarks ---
+
+func benchProblem(b *testing.B, nodes, instances int) *solver.Problem {
+	b.Helper()
+	dc, err := topology.New(topology.EC2Profile(), 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prov, err := cloud.NewProvider(dc, 0.6, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	insts, err := prov.RunInstances(instances)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := 1
+	for r := 1; r*r <= nodes; r++ {
+		if nodes/r >= r {
+			rows = r
+		}
+	}
+	g, err := core.Mesh2D(rows, nodes/rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := solver.NewProblem(g, cloud.MeanRTTMatrix(dc, insts), solver.LongestLink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func BenchmarkLongestLinkEval(b *testing.B) {
+	p := benchProblem(b, 90, 100)
+	d := core.Identity(90)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Cost(d)
+	}
+}
+
+func BenchmarkLongestPathEval(b *testing.B) {
+	g, err := core.AggregationTree(3, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	m := core.NewCostMatrix(45)
+	for i := 0; i < 45; i++ {
+		for j := 0; j < 45; j++ {
+			if i != j {
+				m.Set(i, j, 0.2+rng.Float64())
+			}
+		}
+	}
+	p, err := solver.NewProblem(g, m, solver.LongestPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := core.Identity(g.NumNodes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Cost(d)
+	}
+}
+
+func BenchmarkGreedyG2(b *testing.B) {
+	p := benchProblem(b, 45, 50)
+	s := greedy.New(greedy.G2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(p, solver.Budget{Nodes: 1 << 30}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkR1Thousand(b *testing.B) {
+	p := benchProblem(b, 45, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := random.NewR1(1000, int64(i)).Solve(p, solver.Budget{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCPPerNodeBudget(b *testing.B) {
+	p := benchProblem(b, 45, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cp.New(20, int64(i)).Solve(p, solver.Budget{Nodes: 20_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMIPPerNodeBudget(b *testing.B) {
+	p := benchProblem(b, 45, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mip.New(20, int64(i)).Solve(p, solver.Budget{Nodes: 20_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKMeans1D(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.KMeans1D(xs, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNetsimMessages(b *testing.B) {
+	lat := func(src, dst int, now netsim.Time, rng *rand.Rand) float64 { return 0.2 }
+	sim, err := netsim.New(64, lat, 1, netsim.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Send(i%64, (i+7)%64, 1024, nil)
+		if i%4096 == 4095 {
+			sim.Run()
+		}
+	}
+	sim.Run()
+}
+
+func BenchmarkStagedMeasurement(b *testing.B) {
+	dc, err := topology.New(topology.EC2Profile(), 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prov, err := cloud.NewProvider(dc, 0.6, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	insts, err := prov.RunInstances(20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := measure.Run(dc, insts, measure.Options{
+			Scheme: measure.Staged, DurationMS: 200, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBehavioralSimTick(b *testing.B) {
+	dc, err := topology.New(topology.EC2Profile(), 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prov, err := cloud.NewProvider(dc, 0.6, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	insts, err := prov.RunInstances(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := &workload.BehavioralSim{Rows: 4, Cols: 4, Ticks: 10}
+	d := core.Identity(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Run(dc, insts, d, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Command cloudia-bench regenerates the paper's evaluation figures on the
+// simulated substrate and prints their data series.
+//
+// Usage:
+//
+//	cloudia-bench -fig fig12          # one figure
+//	cloudia-bench -all                # every figure, ablation, and extension
+//	cloudia-bench -all -quick         # smoke-test scale
+//	cloudia-bench -fig fig01 -csv     # CSV output for plotting
+//	cloudia-bench -list               # available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cloudia/internal/bench"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "experiment id to run (e.g. fig12)")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "reduced scale for smoke testing")
+		seed  = flag.Int64("seed", 42, "random seed")
+		list  = flag.Bool("list", false, "list experiment ids")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	opts := bench.Options{Seed: *seed, Quick: *quick}
+	var ids []string
+	switch {
+	case *all:
+		ids = bench.IDs()
+	case *fig != "":
+		ids = []string{*fig}
+	default:
+		fmt.Fprintln(os.Stderr, "cloudia-bench: pass -fig <id>, -all, or -list")
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		start := time.Now()
+		figure, err := bench.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cloudia-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(figure.CSV())
+			continue
+		}
+		fmt.Print(figure.String())
+		fmt.Printf("  (%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

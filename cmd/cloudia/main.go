@@ -1,0 +1,230 @@
+// Command cloudia is the deployment advisor CLI. It simulates a public
+// cloud (EC2-, GCE-, or Rackspace-like), allocates instances for the given
+// communication graph with over-allocation, measures pairwise latencies,
+// searches for an optimized deployment plan, terminates the extra
+// instances, and prints the plan.
+//
+// Usage examples:
+//
+//	cloudia -template mesh2d -rows 10 -cols 10 -objective longest-link
+//	cloudia -template tree -mids 5 -leaves 45 -objective longest-path -solver mip
+//	cloudia -graph app.json -objective longest-link -overalloc 0.2 -json
+//
+// The JSON graph format is {"nodes": N, "edges": [[from,to], ...]}.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cloudia/internal/advisor"
+	"cloudia/internal/cloud"
+	"cloudia/internal/core"
+	"cloudia/internal/graphio"
+	"cloudia/internal/measure"
+	"cloudia/internal/solver"
+	"cloudia/internal/topology"
+)
+
+func main() {
+	var (
+		template  = flag.String("template", "", "graph template: mesh2d, mesh3d, tree, bipartite, ring")
+		rows      = flag.Int("rows", 4, "mesh rows (mesh2d)")
+		cols      = flag.Int("cols", 4, "mesh cols (mesh2d)")
+		dimX      = flag.Int("x", 3, "mesh x (mesh3d)")
+		dimY      = flag.Int("y", 3, "mesh y (mesh3d)")
+		dimZ      = flag.Int("z", 3, "mesh z (mesh3d)")
+		mids      = flag.Int("mids", 3, "aggregators (tree)")
+		leaves    = flag.Int("leaves", 9, "leaves (tree)")
+		frontends = flag.Int("frontends", 4, "front-ends (bipartite)")
+		storage   = flag.Int("storage", 12, "storage nodes (bipartite)")
+		ringN     = flag.Int("ring", 8, "ring size (ring)")
+		graphPath = flag.String("graph", "", "JSON communication graph file (overrides -template)")
+		objective = flag.String("objective", "longest-link", "objective: longest-link or longest-path")
+		overalloc = flag.Float64("overalloc", 0.1, "over-allocation ratio")
+		metric    = flag.String("metric", "mean", "latency metric: mean, mean+sd, p99")
+		scheme    = flag.String("scheme", "staged", "measurement scheme: token, uncoordinated, staged")
+		solverFlg = flag.String("solver", "", "solver: cp, mip, g1, g2, r1, r2, sa (default: cp for LL, mip for LP)")
+		clusterK  = flag.Int("clusterk", 0, "cost clusters for cp/mip (0 = paper default)")
+		budgetMS  = flag.Int("budget-ms", 2000, "solver wall-clock budget in milliseconds")
+		profile   = flag.String("profile", "ec2", "simulated cloud profile: ec2, gce, rackspace")
+		occupancy = flag.Float64("occupancy", 0.6, "pre-existing datacenter occupancy [0,1)")
+		seed      = flag.Int64("seed", 42, "random seed")
+		asJSON    = flag.Bool("json", false, "emit the full report as JSON")
+	)
+	flag.Parse()
+
+	if err := run(runConfig{
+		template: *template, rows: *rows, cols: *cols,
+		dimX: *dimX, dimY: *dimY, dimZ: *dimZ,
+		mids: *mids, leaves: *leaves, frontends: *frontends, storage: *storage,
+		ringN: *ringN, graphPath: *graphPath,
+		objective: *objective, overalloc: *overalloc, metric: *metric,
+		scheme: *scheme, solver: *solverFlg, clusterK: *clusterK,
+		budgetMS: *budgetMS, profile: *profile, occupancy: *occupancy,
+		seed: *seed, asJSON: *asJSON,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudia:", err)
+		os.Exit(1)
+	}
+}
+
+type runConfig struct {
+	template                          string
+	rows, cols, dimX, dimY, dimZ      int
+	mids, leaves, frontends, storage  int
+	ringN                             int
+	graphPath                         string
+	objective, metric, scheme, solver string
+	profile                           string
+	overalloc, occupancy              float64
+	clusterK, budgetMS                int
+	seed                              int64
+	asJSON                            bool
+}
+
+func run(cfg runConfig) error {
+	g, err := buildGraph(cfg)
+	if err != nil {
+		return err
+	}
+
+	var prof topology.Profile
+	switch cfg.profile {
+	case "ec2":
+		prof = topology.EC2Profile()
+	case "gce":
+		prof = topology.GCEProfile()
+	case "rackspace":
+		prof = topology.RackspaceProfile()
+	default:
+		return fmt.Errorf("unknown profile %q", cfg.profile)
+	}
+	dc, err := topology.New(prof, cfg.seed)
+	if err != nil {
+		return err
+	}
+	prov, err := cloud.NewProvider(dc, cfg.occupancy, cfg.seed+1)
+	if err != nil {
+		return err
+	}
+
+	var obj solver.Objective
+	switch cfg.objective {
+	case "longest-link":
+		obj = solver.LongestLink
+	case "longest-path":
+		obj = solver.LongestPath
+	default:
+		return fmt.Errorf("unknown objective %q", cfg.objective)
+	}
+
+	rep, err := advisor.Advise(prov, advisor.Config{
+		Graph:          g,
+		Objective:      obj,
+		OverAllocation: cfg.overalloc,
+		Metric:         advisor.Metric(cfg.metric),
+		Scheme:         measure.Scheme(cfg.scheme),
+		SolverName:     cfg.solver,
+		ClusterK:       cfg.clusterK,
+		SolverBudget:   solver.Budget{Time: time.Duration(cfg.budgetMS) * time.Millisecond},
+		Seed:           cfg.seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	if cfg.asJSON {
+		return printJSON(rep, g)
+	}
+	printText(rep, g)
+	return nil
+}
+
+func buildGraph(cfg runConfig) (*core.Graph, error) {
+	if cfg.graphPath != "" {
+		f, err := os.Open(cfg.graphPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		g, err := graphio.ReadGraph(f)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", cfg.graphPath, err)
+		}
+		return g, nil
+	}
+	switch cfg.template {
+	case "mesh2d", "":
+		return core.Mesh2D(cfg.rows, cfg.cols)
+	case "mesh3d":
+		return core.Mesh3D(cfg.dimX, cfg.dimY, cfg.dimZ)
+	case "tree":
+		return core.TwoLevelAggregation(cfg.mids, cfg.leaves)
+	case "bipartite":
+		return core.Bipartite(cfg.frontends, cfg.storage)
+	case "ring":
+		return core.Ring(cfg.ringN)
+	}
+	return nil, fmt.Errorf("unknown template %q", cfg.template)
+}
+
+type jsonReport struct {
+	Nodes         int          `json:"nodes"`
+	Instances     int          `json:"instances_allocated"`
+	Terminated    []string     `json:"terminated"`
+	DefaultCost   float64      `json:"default_cost_ms"`
+	TunedCost     float64      `json:"tuned_cost_ms"`
+	Improvement   float64      `json:"improvement_fraction"`
+	Solver        string       `json:"solver"`
+	SearchOptimal bool         `json:"search_proved_optimal"`
+	Assignments   []jsonAssign `json:"assignments"`
+}
+
+type jsonAssign struct {
+	Node     int    `json:"node"`
+	Instance string `json:"instance"`
+	IP       string `json:"ip"`
+}
+
+func printJSON(rep *advisor.Report, g *core.Graph) error {
+	out := jsonReport{
+		Nodes:         g.NumNodes(),
+		Instances:     len(rep.AllInstances),
+		Terminated:    rep.TerminatedIDs,
+		DefaultCost:   rep.DefaultCost,
+		TunedCost:     rep.TunedCost,
+		Improvement:   rep.Improvement(),
+		Solver:        rep.SolverName,
+		SearchOptimal: rep.Search.Optimal,
+	}
+	for node, inst := range rep.Assignments {
+		out.Assignments = append(out.Assignments, jsonAssign{
+			Node:     node,
+			Instance: inst.ID,
+			IP:       fmt.Sprintf("%d.%d.%d.%d", inst.IP[0], inst.IP[1], inst.IP[2], inst.IP[3]),
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func printText(rep *advisor.Report, g *core.Graph) {
+	fmt.Printf("ClouDiA deployment plan\n")
+	fmt.Printf("  application nodes:     %d\n", g.NumNodes())
+	fmt.Printf("  instances allocated:   %d\n", len(rep.AllInstances))
+	fmt.Printf("  instances terminated:  %d\n", len(rep.TerminatedIDs))
+	fmt.Printf("  solver:                %s (optimal proven: %v)\n", rep.SolverName, rep.Search.Optimal)
+	fmt.Printf("  default deployment:    %.4f ms\n", rep.DefaultCost)
+	fmt.Printf("  tuned deployment:      %.4f ms\n", rep.TunedCost)
+	fmt.Printf("  predicted improvement: %.1f%%\n", 100*rep.Improvement())
+	fmt.Printf("  node -> instance:\n")
+	for node, inst := range rep.Assignments {
+		fmt.Printf("    %4d -> %s (%d.%d.%d.%d)\n", node, inst.ID,
+			inst.IP[0], inst.IP[1], inst.IP[2], inst.IP[3])
+	}
+}

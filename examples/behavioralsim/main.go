@@ -1,0 +1,85 @@
+// Behavioral simulation example (Sect. 6.1.1): a fish-school style BSP
+// simulation on a 6x6 processor mesh. The example allocates instances with
+// 20% over-allocation, runs the simulation under the default deployment and
+// under the ClouDiA deployment, and reports the time-to-solution reduction —
+// the paper's Fig. 12 protocol for one workload.
+//
+// Run with: go run ./examples/behavioralsim
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cloudia/internal/cloud"
+	"cloudia/internal/core"
+	"cloudia/internal/measure"
+	"cloudia/internal/solver"
+	"cloudia/internal/solver/cp"
+	"cloudia/internal/topology"
+	"cloudia/internal/workload"
+)
+
+func main() {
+	const seed = 7
+
+	sim := &workload.BehavioralSim{Rows: 6, Cols: 6, Ticks: 100}
+	graph, err := sim.Graph()
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodes := graph.NumNodes()
+
+	// Allocate nodes + 20% extra on a fragmented EC2-like cloud.
+	dc, err := topology.New(topology.EC2Profile(), seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	provider, err := cloud.NewProvider(dc, 0.6, seed+1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	instances, err := provider.RunInstances(nodes + nodes/5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("allocated %d instances across %d racks for %d nodes\n",
+		len(instances), cloud.DistinctRacks(dc, instances), nodes)
+
+	// Measure pairwise latencies with the staged scheme.
+	meas, err := measure.Run(dc, instances, measure.Options{
+		Scheme:     measure.Staged,
+		DurationMS: 20 * float64(len(instances)),
+		Seed:       seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured %d RTT samples (min %d per link)\n",
+		meas.TotalSamples, meas.MinSamples())
+
+	// Search: worst-link objective, CP solver with k=20 cost clusters.
+	problem, err := solver.NewProblem(graph, meas.MeanMatrix(), solver.LongestLink)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := cp.New(20, seed).Solve(problem, solver.Budget{Nodes: 2_000_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CP: worst link %.3f ms (default %.3f ms)\n",
+		result.Cost, problem.Cost(core.Identity(nodes)))
+
+	// Run the actual simulation under both deployments.
+	defaultTTS, err := sim.Run(dc, instances, core.Identity(nodes), seed+2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tunedTTS, err := sim.Run(dc, instances, result.Deployment, seed+2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("time-to-solution default: %.2f ms (virtual)\n", defaultTTS)
+	fmt.Printf("time-to-solution tuned:   %.2f ms (virtual)\n", tunedTTS)
+	fmt.Printf("reduction:                %.1f%%\n", 100*(defaultTTS-tunedTTS)/defaultTTS)
+}

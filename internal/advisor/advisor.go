@@ -1,0 +1,255 @@
+// Package advisor implements ClouDiA's end-to-end tuning methodology
+// (Sect. 2.2, Fig. 3): allocate instances (over-allocating by a configurable
+// ratio), measure pairwise latencies, search for a deployment plan
+// minimizing the tenant's objective, and terminate the extra instances. The
+// tenant provides only a communication graph and an objective; everything
+// else — measurement scheme, latency metric, search technique — has paper
+// defaults and can be overridden.
+package advisor
+
+import (
+	"fmt"
+	"math"
+
+	"cloudia/internal/cloud"
+	"cloudia/internal/core"
+	"cloudia/internal/measure"
+	"cloudia/internal/solver"
+	"cloudia/internal/solver/anneal"
+	"cloudia/internal/solver/cp"
+	"cloudia/internal/solver/greedy"
+	"cloudia/internal/solver/mip"
+	"cloudia/internal/solver/random"
+)
+
+// Metric selects how per-link latency samples are summarized into the
+// communication cost (Sect. 3.2).
+type Metric string
+
+// The three latency metrics the paper evaluates (Fig. 10, Fig. 11).
+const (
+	MetricMean        Metric = "mean"
+	MetricMeanPlusStd Metric = "mean+sd"
+	MetricP99         Metric = "p99"
+)
+
+// Config drives one advising run.
+type Config struct {
+	// Graph is the application's communication graph; required.
+	Graph *core.Graph
+	// Objective selects longest link or longest path; required.
+	Objective solver.Objective
+	// OverAllocation is the fraction of extra instances to allocate beyond
+	// the node count (the paper's default experiments use 0.1).
+	OverAllocation float64
+	// Metric summarizes latency samples; empty selects MetricMean, which
+	// the paper finds robust (Sect. 6.4.2).
+	Metric Metric
+	// Scheme is the measurement scheme; empty selects measure.Staged.
+	Scheme measure.Scheme
+	// MeasureDurationMS is the virtual measurement budget; zero scales the
+	// paper's rule of 5 minutes per 100 instances down to simulator scale:
+	// 20 ms of staged measurement per instance.
+	MeasureDurationMS float64
+	// SolverName picks the search technique: cp, mip, g1, g2, r1, r2, sa.
+	// Empty selects cp for longest link and mip for longest path, the
+	// paper's choices (Sect. 6.3).
+	SolverName string
+	// ClusterK rounds costs into k clusters for cp/mip; zero selects the
+	// paper's k=20 for CP and no clustering for MIP (Sect. 6.3).
+	ClusterK int
+	// SolverBudget bounds the search; zero selects 2M search nodes.
+	SolverBudget solver.Budget
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Report is the outcome of an advising run.
+type Report struct {
+	// AllInstances is the full (over-)allocation in provider order.
+	AllInstances []cloud.Instance
+	// Deployment maps node -> index into AllInstances.
+	Deployment core.Deployment
+	// Assignments maps node -> the instance it should run on.
+	Assignments []cloud.Instance
+	// TerminatedIDs are the over-allocated instances ClouDiA shut down.
+	TerminatedIDs []string
+	// DefaultCost and TunedCost are deployment costs under the measured
+	// cost matrix for the provider-order default deployment and the tuned
+	// one.
+	DefaultCost float64
+	TunedCost   float64
+	// Measurement carries the raw measurement result.
+	Measurement *measure.Result
+	// Search carries the solver result (trace, optimality, budget use).
+	Search *solver.Result
+	// SolverName records which technique ran.
+	SolverName string
+}
+
+// Improvement reports the predicted relative cost reduction of the tuned
+// deployment versus the default, in [0, 1].
+func (r *Report) Improvement() float64 {
+	if r.DefaultCost == 0 {
+		return 0
+	}
+	return (r.DefaultCost - r.TunedCost) / r.DefaultCost
+}
+
+// NewSolver builds a solver by name. clusterK applies to cp and mip only.
+func NewSolver(name string, clusterK int, seed int64) (solver.Solver, error) {
+	switch name {
+	case "cp":
+		return cp.New(clusterK, seed), nil
+	case "mip":
+		return mip.New(clusterK, seed), nil
+	case "g1":
+		return greedy.New(greedy.G1), nil
+	case "g2":
+		return greedy.New(greedy.G2), nil
+	case "r1":
+		return random.NewR1(1000, seed), nil
+	case "r2":
+		return random.NewR2(seed), nil
+	case "sa":
+		return anneal.New(seed), nil
+	}
+	return nil, fmt.Errorf("advisor: unknown solver %q", name)
+}
+
+// Advise runs the full ClouDiA pipeline against the provider: allocate,
+// measure, search, terminate extras. If any step after allocation fails,
+// every allocated instance is terminated before returning — a failed tuning
+// run must not leave the tenant paying for idle instances.
+func Advise(prov *cloud.Provider, cfg Config) (rep *Report, err error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("advisor: nil communication graph")
+	}
+	n := cfg.Graph.NumNodes()
+	if n < 2 {
+		return nil, fmt.Errorf("advisor: need >= 2 application nodes, got %d", n)
+	}
+	if cfg.OverAllocation < 0 {
+		return nil, fmt.Errorf("advisor: negative over-allocation %g", cfg.OverAllocation)
+	}
+
+	// Step 1: allocate instances (Fig. 3, "Allocate Instances").
+	total := int(math.Ceil(float64(n) * (1 + cfg.OverAllocation)))
+	if total < n {
+		total = n
+	}
+	instances, err := prov.RunInstances(total)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if err != nil {
+			err = terminateAll(prov, instances, err)
+		}
+	}()
+
+	// Step 2: get measurements (Fig. 3, "Get Measurements").
+	scheme := cfg.Scheme
+	if scheme == "" {
+		scheme = measure.Staged
+	}
+	dur := cfg.MeasureDurationMS
+	if dur == 0 {
+		dur = 20 * float64(total)
+	}
+	meas, err := measure.Run(prov.Datacenter(), instances, measure.Options{
+		Scheme:     scheme,
+		DurationMS: dur,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var costs *core.CostMatrix
+	switch cfg.Metric {
+	case "", MetricMean:
+		costs = meas.MeanMatrix()
+	case MetricMeanPlusStd:
+		costs = meas.MeanPlusStdMatrix()
+	case MetricP99:
+		costs = meas.P99Matrix()
+	default:
+		return nil, fmt.Errorf("advisor: unknown metric %q", cfg.Metric)
+	}
+
+	// Step 3: search deployment (Fig. 3, "Search Deployment").
+	prob, err := solver.NewProblem(cfg.Graph, costs, cfg.Objective)
+	if err != nil {
+		return nil, err
+	}
+	name := cfg.SolverName
+	if name == "" {
+		if cfg.Objective == solver.LongestPath {
+			name = "mip"
+		} else {
+			name = "cp"
+		}
+	}
+	clusterK := cfg.ClusterK
+	if clusterK == 0 && name == "cp" {
+		clusterK = 20 // the paper's sweet spot (Fig. 6)
+	}
+	sol, err := NewSolver(name, clusterK, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	budget := cfg.SolverBudget
+	if budget.Unlimited() {
+		budget = solver.Budget{Nodes: 2_000_000}
+	}
+	res, err := sol.Solve(prob, budget)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 4: terminate extra instances (Fig. 3, "Terminate Extra
+	// Instances").
+	used := make([]bool, total)
+	for _, inst := range res.Deployment {
+		used[inst] = true
+	}
+	var terminated []string
+	for i, inst := range instances {
+		if !used[i] {
+			terminated = append(terminated, inst.ID)
+		}
+	}
+	if err := prov.TerminateInstances(terminated); err != nil {
+		return nil, err
+	}
+
+	assignments := make([]cloud.Instance, n)
+	for node, inst := range res.Deployment {
+		assignments[node] = instances[inst]
+	}
+	rep = &Report{
+		AllInstances:  instances,
+		Deployment:    res.Deployment,
+		Assignments:   assignments,
+		TerminatedIDs: terminated,
+		DefaultCost:   prob.Cost(core.Identity(n)),
+		TunedCost:     res.Cost,
+		Measurement:   meas,
+		Search:        res,
+		SolverName:    sol.Name(),
+	}
+	return rep, nil
+}
+
+// terminateAll releases every instance after a failed run, preserving the
+// original error and noting any cleanup failure alongside it.
+func terminateAll(prov *cloud.Provider, instances []cloud.Instance, cause error) error {
+	ids := make([]string, len(instances))
+	for i, inst := range instances {
+		ids[i] = inst.ID
+	}
+	if terr := prov.TerminateInstances(ids); terr != nil {
+		return fmt.Errorf("%w (cleanup also failed: %v)", cause, terr)
+	}
+	return cause
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"math"
+
+	"cloudia/internal/cloud"
+	"cloudia/internal/core"
+	"cloudia/internal/solver"
+	"cloudia/internal/solver/cp"
+	"cloudia/internal/topology"
+)
+
+// ExtensionBandwidth exercises the bandwidth deployment criterion (future
+// work, Sect. 8): minimize the longest link of an inverse-bandwidth cost
+// matrix, which maximizes the bottleneck bandwidth over communication edges.
+
+func init() {
+	register("extension-bandwidth", ExtensionBandwidth)
+}
+
+// ExtensionBandwidth compares the bottleneck bandwidth of the default
+// deployment against a ClouDiA deployment optimized on inverse bandwidth,
+// and reports the latency cost of ignoring latency.
+func ExtensionBandwidth(opts Options) (*Figure, error) {
+	nInst, rows, cols := 44, 6, 6
+	budget := solver.Budget{Nodes: 800_000}
+	if opts.Quick {
+		nInst, rows, cols = 18, 4, 4
+		budget = solver.Budget{Nodes: 80_000}
+	}
+	dc, insts, err := allocate(topology.EC2Profile(), nInst, opts.Seed+402)
+	if err != nil {
+		return nil, err
+	}
+	g, err := core.Mesh2D(rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+
+	invBW := cloud.InverseBandwidthMatrix(dc, insts)
+	pBW, err := solver.NewProblem(g, invBW, solver.LongestLink)
+	if err != nil {
+		return nil, err
+	}
+	res, err := cp.New(20, opts.Seed+43).Solve(pBW, budget)
+	if err != nil {
+		return nil, err
+	}
+
+	// Bottleneck bandwidth of a deployment: min over edges.
+	bottleneck := func(d core.Deployment) float64 {
+		min := math.Inf(1)
+		for _, e := range g.Edges() {
+			bw := dc.BandwidthMBps(insts[d[e.From]].Host, insts[d[e.To]].Host)
+			if bw < min {
+				min = bw
+			}
+		}
+		return min
+	}
+	// Worst-link latency of the same deployments, to show the criteria are
+	// related but not identical.
+	lat := cloud.MeanRTTMatrix(dc, insts)
+	pLat, err := solver.NewProblem(g, lat, solver.LongestLink)
+	if err != nil {
+		return nil, err
+	}
+
+	def := core.Identity(n)
+	fig := &Figure{
+		ID: "extension-bandwidth", Title: "Bandwidth deployment criterion (future work, Sect. 8)",
+		XLabel: "config_idx", YLabel: "value",
+	}
+	fig.Series = append(fig.Series,
+		Series{Name: "bottleneck_MBps", X: []float64{1, 2}, Y: []float64{bottleneck(def), bottleneck(res.Deployment)}},
+		Series{Name: "worst_link_ms", X: []float64{1, 2}, Y: []float64{pLat.Cost(def), pLat.Cost(res.Deployment)}},
+	)
+	fig.note("bottleneck bandwidth: default %.0f MB/s vs bandwidth-optimized %.0f MB/s",
+		bottleneck(def), bottleneck(res.Deployment))
+	fig.note("worst-link latency of the same plans: %.3f ms vs %.3f ms (bandwidth optimization also helps latency: both avoid bad hosts)",
+		pLat.Cost(def), pLat.Cost(res.Deployment))
+	return fig, nil
+}

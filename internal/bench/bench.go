@@ -1,0 +1,131 @@
+// Package bench regenerates every figure of the paper's evaluation
+// (Sect. 6 and Appendices 2-3) on the simulated substrate. Each FigNN
+// function runs the corresponding experiment and returns the figure's data
+// series plus headline numbers, so `cmd/cloudia-bench` and the bench_test.go
+// targets print the same rows the paper plots. Absolute values differ from
+// the paper (the substrate is a simulator, not EC2); the shapes and
+// orderings are the reproduction targets, recorded in EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Series is one plotted line/group of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is one reproduced experiment.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Notes carry the headline comparisons the paper states in prose
+	// (e.g. "~10% of pairs above 0.7 ms").
+	Notes []string
+}
+
+// note appends a formatted headline to the figure.
+func (f *Figure) note(format string, args ...interface{}) {
+	f.Notes = append(f.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the figure as aligned text rows, one row per X value and
+// one column per series.
+func (f *Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	if len(f.Series) > 0 {
+		fmt.Fprintf(&b, "%-12s", f.XLabel)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, " %16s", s.Name)
+		}
+		b.WriteString("\n")
+		rows := 0
+		for _, s := range f.Series {
+			if len(s.X) > rows {
+				rows = len(s.X)
+			}
+		}
+		for r := 0; r < rows; r++ {
+			wrote := false
+			for si, s := range f.Series {
+				if r < len(s.X) {
+					if !wrote {
+						fmt.Fprintf(&b, "%-12.4g", s.X[r])
+						wrote = true
+					}
+					_ = si
+					fmt.Fprintf(&b, " %16.6g", s.Y[r])
+				} else if wrote {
+					fmt.Fprintf(&b, " %16s", "")
+				}
+			}
+			if wrote {
+				b.WriteString("\n")
+			}
+		}
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated rows: one header, then one row
+// per (series, point), ready for any plotting tool.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "figure,series,%s,%s\n", f.XLabel, f.YLabel)
+	for _, s := range f.Series {
+		for i := range s.X {
+			fmt.Fprintf(&b, "%s,%s,%g,%g\n", f.ID, s.Name, s.X[i], s.Y[i])
+		}
+	}
+	return b.String()
+}
+
+// Options tunes experiment scale. Zero values select defaults sized to run
+// each figure in seconds on a laptop; the paper-scale values are noted per
+// figure in EXPERIMENTS.md.
+type Options struct {
+	Seed int64
+	// Quick shrinks instance counts and budgets further for smoke tests.
+	Quick bool
+}
+
+// Runner executes a figure experiment.
+type Runner func(Options) (*Figure, error)
+
+// registry maps figure ids to runners; populated by init functions in the
+// figure files.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) { registry[id] = r }
+
+// Run executes the experiment with the given id ("fig01" ... "fig21",
+// "ablation-*").
+func Run(id string, opts Options) (*Figure, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown figure %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r(opts)
+}
+
+// IDs lists the registered experiment ids in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

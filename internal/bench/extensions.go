@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"cloudia/internal/advisor"
+	"cloudia/internal/cloud"
+	"cloudia/internal/core"
+	"cloudia/internal/measure"
+	"cloudia/internal/solver"
+	"cloudia/internal/solver/cp"
+	"cloudia/internal/stats"
+	"cloudia/internal/topology"
+)
+
+// Extension experiments for the paper's discussed-but-unevaluated modes:
+// iterative re-deployment under changing network conditions (Sect. 2.2.1),
+// overlapped measurement and application execution (Sect. 2.2.2), and the
+// weighted-communication-graph formulation (future work, Sect. 8).
+
+func init() {
+	register("extension-redeploy", ExtensionRedeploy)
+	register("extension-overlap", ExtensionOverlap)
+	register("extension-weighted", ExtensionWeighted)
+}
+
+// ExtensionRedeploy runs the Sect. 2.2.1 adaptive session on a
+// non-stationary network: the regime shifts every period, the static plan
+// decays, and the adaptive plan re-measures and re-deploys.
+func ExtensionRedeploy(opts Options) (*Figure, error) {
+	prof := topology.EC2Profile()
+	prof.RegimeHours = 8
+	rows, cols, periods := 5, 5, 5
+	budget := solver.Budget{Nodes: 600_000}
+	if opts.Quick {
+		rows, cols, periods = 3, 3, 3
+		budget = solver.Budget{Nodes: 80_000}
+	}
+	dc, err := topology.New(prof, opts.Seed+301)
+	if err != nil {
+		return nil, err
+	}
+	prov, err := cloud.NewProvider(dc, 0.6, opts.Seed+302)
+	if err != nil {
+		return nil, err
+	}
+	g, err := core.Mesh2D(rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := advisor.RunRedeploy(prov, advisor.RedeployConfig{
+		Graph:          g,
+		Objective:      solver.LongestLink,
+		OverAllocation: 0.25,
+		PeriodHours:    prof.RegimeHours,
+		Periods:        periods,
+		MinImprovement: 0.05,
+		Seed:           opts.Seed + 303,
+		SolverBudget:   budget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID: "extension-redeploy", Title: "Adaptive re-deployment under regime changes (Sect. 2.2.1)",
+		XLabel: "time_hours", YLabel: "longest_link_ms",
+	}
+	static := Series{Name: "static plan"}
+	adaptive := Series{Name: "adaptive plan"}
+	for _, p := range rep.Periods {
+		static.X = append(static.X, p.Hours)
+		static.Y = append(static.Y, p.StaticCost)
+		adaptive.X = append(adaptive.X, p.Hours)
+		adaptive.Y = append(adaptive.Y, p.AdaptiveCost)
+	}
+	fig.Series = append(fig.Series, static, adaptive)
+	fig.note("mean cost: static %.3f vs adaptive %.3f; %d re-deployments moving %d nodes total",
+		rep.MeanStaticCost(), rep.MeanAdaptiveCost(), rep.Redeployments, rep.TotalMoves)
+	return fig, nil
+}
+
+// ExtensionOverlap quantifies the Sect. 2.2.2 trade-off: measuring while the
+// application runs saves idle time but application traffic interferes with
+// probes. Compares staged-measurement accuracy with and without a running
+// mesh application.
+func ExtensionOverlap(opts Options) (*Figure, error) {
+	n := 30
+	durMS := 2500.0
+	if opts.Quick {
+		n = 12
+		durMS = 1000
+	}
+	dc, insts, err := allocate(topology.EC2Profile(), n, opts.Seed+304)
+	if err != nil {
+		return nil, err
+	}
+	truth := stats.NormalizeUnit(cloud.MeanRTTMatrix(dc, insts).OffDiagonal())
+
+	p90Of := func(bg *measure.BackgroundTraffic) (float64, error) {
+		res, err := measure.Run(dc, insts, measure.Options{
+			Scheme:     measure.Staged,
+			DurationMS: durMS,
+			Seed:       opts.Seed + 305,
+			Background: bg,
+		})
+		if err != nil {
+			return 0, err
+		}
+		est := stats.NormalizeUnit(res.MeanMatrix().OffDiagonal())
+		errs, err := stats.RelativeErrors(est, truth)
+		if err != nil {
+			return 0, err
+		}
+		return stats.Percentile(errs, 90)
+	}
+
+	dedicated, err := p90Of(nil)
+	if err != nil {
+		return nil, err
+	}
+	// Application traffic: a ring over all instances exchanging 4 KB every
+	// 0.5 ms — a busy service.
+	var pairs [][2]int
+	for i := 0; i < n; i++ {
+		pairs = append(pairs, [2]int{i, (i + 1) % n})
+	}
+	overlapped, err := p90Of(&measure.BackgroundTraffic{
+		Pairs: pairs, MsgBytes: 4096, IntervalMS: 0.5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID: "extension-overlap", Title: "Overlapped measurement accuracy (Sect. 2.2.2)",
+		XLabel: "config_idx", YLabel: "p90_relative_error",
+	}
+	fig.Series = append(fig.Series, Series{
+		Name: "p90 error",
+		X:    []float64{1, 2},
+		Y:    []float64{dedicated, overlapped},
+	})
+	fig.note("dedicated measurement p90 error %.4f; overlapped with app traffic %.4f", dedicated, overlapped)
+	fig.note("overlap degrades accuracy but remains usable for good/bad link discrimination")
+	return fig, nil
+}
+
+// ExtensionWeighted evaluates the weighted-graph formulation: a mesh whose
+// vertical links carry 4x the traffic of horizontal links. The weighted
+// solver places heavy links on cheap instance pairs; the unweighted solver
+// treats all links alike and pays more weighted cost.
+func ExtensionWeighted(opts Options) (*Figure, error) {
+	nInst, rows, cols := 44, 6, 6
+	budget := solver.Budget{Nodes: 800_000}
+	if opts.Quick {
+		nInst, rows, cols = 18, 4, 4
+		budget = solver.Budget{Nodes: 80_000}
+	}
+	dc, insts, err := allocate(topology.EC2Profile(), nInst, opts.Seed+306)
+	if err != nil {
+		return nil, err
+	}
+	m := cloud.MeanRTTMatrix(dc, insts)
+
+	weighted, err := core.Mesh2D(rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	// Vertical mesh edges (stride cols apart) carry weight 4.
+	for _, e := range weighted.Edges() {
+		if e.From-e.To == cols || e.To-e.From == cols {
+			if err := weighted.SetWeight(e.From, e.To, 4); err != nil {
+				return nil, err
+			}
+		}
+	}
+	unweighted, err := core.Mesh2D(rows, cols)
+	if err != nil {
+		return nil, err
+	}
+
+	pWeighted, err := solver.NewProblem(weighted, m, solver.LongestLink)
+	if err != nil {
+		return nil, err
+	}
+	pUnweighted, err := solver.NewProblem(unweighted, m, solver.LongestLink)
+	if err != nil {
+		return nil, err
+	}
+	wRes, err := cp.New(20, opts.Seed+31).Solve(pWeighted, budget)
+	if err != nil {
+		return nil, err
+	}
+	uRes, err := cp.New(20, opts.Seed+31).Solve(pUnweighted, budget)
+	if err != nil {
+		return nil, err
+	}
+	// Evaluate both deployments under the weighted objective.
+	uCostWeighted := pWeighted.Cost(uRes.Deployment)
+	fig := &Figure{
+		ID: "extension-weighted", Title: "Weighted communication graphs (future work, Sect. 8)",
+		XLabel: "config_idx", YLabel: "weighted_longest_link_ms",
+	}
+	fig.Series = append(fig.Series, Series{
+		Name: "weighted cost",
+		X:    []float64{1, 2},
+		Y:    []float64{wRes.Cost, uCostWeighted},
+	})
+	fig.note("weight-aware solve %.3f vs weight-blind solve %.3f (evaluated under weighted objective)",
+		wRes.Cost, uCostWeighted)
+	return fig, nil
+}

@@ -1,0 +1,416 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cloudia/internal/cloud"
+	"cloudia/internal/core"
+	"cloudia/internal/solver"
+	"cloudia/internal/solver/cp"
+	"cloudia/internal/solver/greedy"
+	"cloudia/internal/solver/mip"
+	"cloudia/internal/solver/random"
+	"cloudia/internal/stats"
+	"cloudia/internal/topology"
+)
+
+// Solver figures: CP/MIP convergence and clustering (Figs. 6, 7, 9), CP
+// scalability (Fig. 8), and the lightweight-approach comparisons (Figs. 14,
+// 15), plus the Appendix 2 distance-approximation negative results (Figs.
+// 16, 17).
+
+func init() {
+	register("fig06", Fig06CPClusters)
+	register("fig07", Fig07CPvsMIP)
+	register("fig08", Fig08CPScalability)
+	register("fig09", Fig09LPNDPClusters)
+	register("fig14", Fig14LightweightLL)
+	register("fig15", Fig15LightweightLP)
+	register("fig16", Fig16IPDistance)
+	register("fig17", Fig17HopCount)
+}
+
+// llProblem builds the standard LLNDP benchmark instance: a 2D mesh over
+// 90% of an EC2-like allocation, with ground-truth mean RTTs as costs.
+func llProblem(nInstances int, rows, cols int, seed int64) (*solver.Problem, error) {
+	dc, insts, err := allocate(topology.EC2Profile(), nInstances, seed)
+	if err != nil {
+		return nil, err
+	}
+	g, err := core.Mesh2D(rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	m := cloud.MeanRTTMatrix(dc, insts)
+	return solver.NewProblem(g, m, solver.LongestLink)
+}
+
+// lpProblem builds the standard LPNDP benchmark instance: an aggregation
+// tree of depth <= 4 over an EC2-like allocation.
+func lpProblem(nInstances, fanout, depth int, seed int64) (*solver.Problem, error) {
+	dc, insts, err := allocate(topology.EC2Profile(), nInstances, seed)
+	if err != nil {
+		return nil, err
+	}
+	g, err := core.AggregationTree(fanout, depth)
+	if err != nil {
+		return nil, err
+	}
+	m := cloud.MeanRTTMatrix(dc, insts)
+	return solver.NewProblem(g, m, solver.LongestPath)
+}
+
+// traceSeries converts a solver convergence trace into a plot series
+// (elapsed milliseconds vs cost).
+func traceSeries(name string, res *solver.Result) Series {
+	s := Series{Name: name}
+	for _, tp := range res.Trace {
+		s.X = append(s.X, float64(tp.Elapsed)/float64(time.Millisecond))
+		s.Y = append(s.Y, tp.Cost)
+	}
+	// Close the series at the final elapsed time so flat tails are visible.
+	s.X = append(s.X, float64(res.Elapsed)/float64(time.Millisecond))
+	s.Y = append(s.Y, res.Cost)
+	return s
+}
+
+// Fig06CPClusters reproduces Fig. 6: CP convergence on LLNDP under k=5,
+// k=20, and no clustering. Paper headline: k=20 converges fastest to the
+// best cost; k=5 converges fast but to a worse cost; no clustering is slow.
+func Fig06CPClusters(opts Options) (*Figure, error) {
+	nInst, rows, cols := 100, 9, 10
+	budget := solver.Budget{Time: 3 * time.Second}
+	if opts.Quick {
+		nInst, rows, cols = 40, 6, 6
+		budget = solver.Budget{Time: 300 * time.Millisecond}
+	}
+	p, err := llProblem(nInst, rows, cols, opts.Seed+106)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID: "fig06", Title: "CP convergence on LLNDP by cost-cluster count",
+		XLabel: "elapsed_ms", YLabel: "longest_link_ms",
+	}
+	configs := []struct {
+		name string
+		k    int
+	}{{"k=5", 5}, {"k=20", 20}, {"no clustering", -1}}
+	finals := map[string]float64{}
+	for _, cfg := range configs {
+		res, err := cp.New(cfg.k, opts.Seed+7).Solve(p, budget)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, traceSeries(cfg.name, res))
+		finals[cfg.name] = res.Cost
+	}
+	fig.note("final costs: k=5 %.3f, k=20 %.3f, none %.3f (paper: k=5 stuck high; k=20 fast and good)",
+		finals["k=5"], finals["k=20"], finals["no clustering"])
+	return fig, nil
+}
+
+// Fig07CPvsMIP reproduces Fig. 7: CP vs MIP convergence on LLNDP with k=20
+// at 100 instances. Paper headline: CP finds a significantly better solution.
+func Fig07CPvsMIP(opts Options) (*Figure, error) {
+	nInst, rows, cols := 100, 9, 10
+	budget := solver.Budget{Time: 3 * time.Second}
+	if opts.Quick {
+		nInst, rows, cols = 40, 6, 6
+		budget = solver.Budget{Time: 300 * time.Millisecond}
+	}
+	p, err := llProblem(nInst, rows, cols, opts.Seed+107)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID: "fig07", Title: "CP vs MIP convergence on LLNDP (k=20)",
+		XLabel: "elapsed_ms", YLabel: "longest_link_ms",
+	}
+	cpRes, err := cp.New(20, opts.Seed+7).Solve(p, budget)
+	if err != nil {
+		return nil, err
+	}
+	mipRes, err := mip.New(20, opts.Seed+7).Solve(p, budget)
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = append(fig.Series, traceSeries("CP", cpRes), traceSeries("MIP", mipRes))
+	fig.note("final: CP %.3f vs MIP %.3f (paper: CP significantly better at this scale)", cpRes.Cost, mipRes.Cost)
+	return fig, nil
+}
+
+// Fig08CPScalability reproduces Fig. 8: average CP convergence time versus
+// instance count. Convergence time is when the last improvement was found
+// within a fixed search budget, averaged over several random sub-allocations
+// per size. Paper headline: convergence time grows acceptably with size.
+func Fig08CPScalability(opts Options) (*Figure, error) {
+	sizes := []int{20, 40, 60, 80, 100}
+	subsets := 5
+	budget := solver.Budget{Time: 1500 * time.Millisecond}
+	if opts.Quick {
+		sizes = []int{12, 20, 30}
+		subsets = 2
+		budget = solver.Budget{Time: 200 * time.Millisecond}
+	}
+	fig := &Figure{
+		ID: "fig08", Title: "CP convergence time vs number of instances",
+		XLabel: "instances", YLabel: "convergence_ms",
+	}
+	s := Series{Name: "mean convergence"}
+	for _, size := range sizes {
+		nodes := size * 9 / 10
+		rows, cols := meshDims(nodes)
+		var sum float64
+		for sub := 0; sub < subsets; sub++ {
+			p, err := llProblem(size, rows, cols, opts.Seed+int64(108+size*10+sub))
+			if err != nil {
+				return nil, err
+			}
+			res, err := cp.New(20, opts.Seed+int64(sub)).Solve(p, budget)
+			if err != nil {
+				return nil, err
+			}
+			last := res.Trace[len(res.Trace)-1]
+			sum += float64(last.Elapsed) / float64(time.Millisecond)
+		}
+		s.X = append(s.X, float64(size))
+		s.Y = append(s.Y, sum/float64(subsets))
+	}
+	fig.Series = append(fig.Series, s)
+	if len(s.Y) >= 2 && s.Y[0] > 0 {
+		fig.note("convergence time grows %.1fx from %d to %d instances",
+			s.Y[len(s.Y)-1]/s.Y[0], sizes[0], sizes[len(sizes)-1])
+	}
+	return fig, nil
+}
+
+// meshDims factors n into the most square rows x cols mesh with rows*cols <= n
+// and at least 2 rows when possible.
+func meshDims(n int) (rows, cols int) {
+	best := 1
+	for r := 1; r*r <= n; r++ {
+		if n/r >= r {
+			best = r
+		}
+	}
+	return best, n / best
+}
+
+// Fig09LPNDPClusters reproduces Fig. 9: MIP convergence on LPNDP under
+// different cluster counts. Paper headline: clustering does NOT improve
+// LPNDP (sums of clustered costs are still almost all distinct), and k=5
+// hurts.
+func Fig09LPNDPClusters(opts Options) (*Figure, error) {
+	nInst, fanout, depth := 50, 3, 3 // 40-node tree, depth 3 <= 4
+	budget := solver.Budget{Time: 2 * time.Second}
+	if opts.Quick {
+		nInst, fanout, depth = 20, 2, 3 // 15-node tree
+		budget = solver.Budget{Time: 300 * time.Millisecond}
+	}
+	p, err := lpProblem(nInst, fanout, depth, opts.Seed+109)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID: "fig09", Title: "MIP convergence on LPNDP by cost-cluster count",
+		XLabel: "elapsed_ms", YLabel: "longest_path_ms",
+	}
+	configs := []struct {
+		name string
+		k    int
+	}{{"k=5", 5}, {"k=20", 20}, {"no clustering", -1}}
+	finals := map[string]float64{}
+	for _, cfg := range configs {
+		res, err := mip.New(cfg.k, opts.Seed+9).Solve(p, budget)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, traceSeries(cfg.name, res))
+		finals[cfg.name] = res.Cost
+	}
+	fig.note("final costs: k=5 %.3f, k=20 %.3f, none %.3f (paper: clustering does not help LPNDP)",
+		finals["k=5"], finals["k=20"], finals["no clustering"])
+	return fig, nil
+}
+
+// lightweightComparison runs the Figs. 14/15 protocol: average final cost of
+// each technique over several allocations, with R2 and the systematic solver
+// sharing the same budget.
+func lightweightComparison(id, title string, objective solver.Objective, opts Options) (*Figure, error) {
+	allocations := 20
+	nInst := 50
+	heavyBudget := solver.Budget{Time: 500 * time.Millisecond}
+	if opts.Quick {
+		allocations = 4
+		nInst = 20
+		heavyBudget = solver.Budget{Time: 100 * time.Millisecond}
+	}
+	nodes := nInst * 9 / 10
+
+	sums := map[string]float64{}
+	order := []string{"G1", "G2", "R1", "R2", "heavy"}
+	heavyName := "CP"
+	if objective == solver.LongestPath {
+		heavyName = "MIP"
+	}
+
+	for a := 0; a < allocations; a++ {
+		seed := opts.Seed + int64(114+a*97)
+		var p *solver.Problem
+		var err error
+		if objective == solver.LongestLink {
+			rows, cols := meshDims(nodes)
+			p, err = llProblem(nInst, rows, cols, seed)
+		} else {
+			mids := nodes / 8
+			if mids < 2 {
+				mids = 2
+			}
+			leaves := nodes - 1 - mids
+			dc, insts, aerr := allocate(topology.EC2Profile(), nInst, seed)
+			if aerr != nil {
+				return nil, aerr
+			}
+			g, gerr := core.TwoLevelAggregation(mids, leaves)
+			if gerr != nil {
+				return nil, gerr
+			}
+			p, err = solver.NewProblem(g, cloud.MeanRTTMatrix(dc, insts), objective)
+		}
+		if err != nil {
+			return nil, err
+		}
+
+		solvers := map[string]solver.Solver{
+			"G1": greedy.New(greedy.G1),
+			"G2": greedy.New(greedy.G2),
+			"R1": random.NewR1(1000, seed+1),
+			"R2": random.NewR2(seed + 2),
+		}
+		if objective == solver.LongestLink {
+			solvers["heavy"] = cp.New(20, seed+3)
+		} else {
+			solvers["heavy"] = mip.New(0, seed+3)
+		}
+		for name, sol := range solvers {
+			budget := solver.Budget{Nodes: 1_000_000}
+			if name == "R2" || name == "heavy" {
+				budget = heavyBudget
+			}
+			res, err := sol.Solve(p, budget)
+			if err != nil {
+				return nil, err
+			}
+			sums[name] += res.Cost
+		}
+	}
+
+	fig := &Figure{ID: id, Title: title, XLabel: "technique_idx", YLabel: "mean_cost_ms"}
+	s := Series{Name: "mean final cost"}
+	for i, name := range order {
+		s.X = append(s.X, float64(i+1))
+		s.Y = append(s.Y, sums[name]/float64(allocations))
+	}
+	fig.Series = append(fig.Series, s)
+	fig.note("techniques: 1=G1 2=G2 3=R1 4=R2 5=%s", heavyName)
+	fig.note("G1 %.3f, G2 %.3f, R1 %.3f, R2 %.3f, %s %.3f",
+		sums["G1"]/float64(allocations), sums["G2"]/float64(allocations),
+		sums["R1"]/float64(allocations), sums["R2"]/float64(allocations),
+		heavyName, sums["heavy"]/float64(allocations))
+	if objective == solver.LongestLink {
+		fig.note("paper: G1 worst (+66.7%% vs CP); G2 better; R1 ~3%% below G2; R2 within ~9%% of CP")
+	} else {
+		fig.note("paper: R2 ~5%% BETTER than MIP; G1/G2 comparable to R1")
+	}
+	return fig, nil
+}
+
+// Fig14LightweightLL reproduces Fig. 14 (LLNDP lightweight comparison).
+func Fig14LightweightLL(opts Options) (*Figure, error) {
+	return lightweightComparison("fig14", "Lightweight approaches vs CP for LLNDP",
+		solver.LongestLink, opts)
+}
+
+// Fig15LightweightLP reproduces Fig. 15 (LPNDP lightweight comparison).
+func Fig15LightweightLP(opts Options) (*Figure, error) {
+	return lightweightComparison("fig15", "Lightweight approaches vs MIP for LPNDP",
+		solver.LongestPath, opts)
+}
+
+// distanceGrouping implements the Figs. 16/17 protocol: group links by a
+// cheap distance proxy, sort each group by measured latency, and quantify
+// how badly group membership predicts latency ordering.
+func distanceGrouping(id, title, proxyName string, proxy func(dc *topology.Datacenter, a, b int) int, opts Options) (*Figure, error) {
+	n := 100
+	if opts.Quick {
+		n = 40
+	}
+	dc, insts, err := allocate(topology.EC2Profile(), n, opts.Seed+116)
+	if err != nil {
+		return nil, err
+	}
+	m := cloud.MeanRTTMatrix(dc, insts)
+	groups := map[int][]float64{}
+	var proxyVec, latVec []float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			g := proxy(dc, insts[i].Host, insts[j].Host)
+			lat := m.At(i, j)
+			groups[g] = append(groups[g], lat)
+			proxyVec = append(proxyVec, float64(g))
+			latVec = append(latVec, lat)
+		}
+	}
+	fig := &Figure{ID: id, Title: title, XLabel: "rank_in_group", YLabel: "mean_latency_ms"}
+	keys := sortedKeys(groups)
+	for _, k := range keys {
+		lats := groups[k]
+		sort.Float64s(lats)
+		s := Series{Name: fmt.Sprintf("%s=%d", proxyName, k)}
+		for r, v := range lats {
+			s.X = append(s.X, float64(r+1))
+			s.Y = append(s.Y, v)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	r, _ := stats.Pearson(proxyVec, latVec)
+	fig.note("Pearson(%s, latency) = %.3f (weak: %s does not order latency)", proxyName, r, proxyName)
+	// Overlap headline: max of a lower group vs min of a higher group.
+	for i := 0; i+1 < len(keys); i++ {
+		lo, hi := groups[keys[i]], groups[keys[i+1]]
+		if len(lo) > 0 && len(hi) > 0 && lo[len(lo)-1] > hi[0] {
+			fig.note("group %s=%d overlaps %s=%d: %.3f > %.3f (monotonicity violated)",
+				proxyName, keys[i], proxyName, keys[i+1], lo[len(lo)-1], hi[0])
+		}
+	}
+	return fig, nil
+}
+
+// Fig16IPDistance reproduces Appendix 2's Fig. 16: latency ordered by IP
+// distance. Paper headline: monotonicity does not hold.
+func Fig16IPDistance(opts Options) (*Figure, error) {
+	return distanceGrouping("fig16", "Latency order by IP distance", "ip_distance",
+		func(dc *topology.Datacenter, a, b int) int { return dc.IPDistance(a, b) }, opts)
+}
+
+// Fig17HopCount reproduces Appendix 2's Fig. 17: latency ordered by hop
+// count. Paper headline: many link pairs are ordered inconsistently.
+func Fig17HopCount(opts Options) (*Figure, error) {
+	return distanceGrouping("fig17", "Latency order by hop count", "hops",
+		func(dc *topology.Datacenter, a, b int) int { return dc.Hops(a, b) }, opts)
+}
+
+func sortedKeys(m map[int][]float64) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,33 @@
+package cluster
+
+import "cloudia/internal/core"
+
+// RoundCostMatrix returns a copy of m whose off-diagonal costs are rounded to
+// the means of an optimal k-clustering of the original cost values. This is
+// the preprocessing step the paper applies before handing the matrix to the
+// CP or MIP solvers (Sect. 6.3.1): it shrinks the number of distinct cost
+// values (and hence CP threshold iterations) at the price of objective
+// precision. k <= 0 disables clustering and returns a plain clone.
+func RoundCostMatrix(m *core.CostMatrix, k int) (*core.CostMatrix, error) {
+	if k <= 0 {
+		return m.Clone(), nil
+	}
+	vals := m.OffDiagonal()
+	if len(vals) == 0 {
+		return m.Clone(), nil
+	}
+	r, err := KMeans1D(vals, k)
+	if err != nil {
+		return nil, err
+	}
+	n := m.Size()
+	out := core.NewCostMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				out.Set(i, j, r.Assign(m.At(i, j)))
+			}
+		}
+	}
+	return out, nil
+}

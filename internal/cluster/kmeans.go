@@ -1,0 +1,169 @@
+// Package cluster implements optimal one-dimensional k-means clustering via
+// dynamic programming, used by ClouDiA to round link costs to cost clusters
+// before solving (Sect. 6.3.1). Fewer distinct cost values means fewer CP
+// threshold iterations, trading objective precision for search speed
+// (Fig. 6). The paper solves the same 1-D problem with k-means over distinct
+// values; our DP is exact for the sum-of-squares objective.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Result describes a clustering of one-dimensional values.
+type Result struct {
+	// Centers holds the cluster means in increasing order.
+	Centers []float64
+	// Boundaries[i] is the index (into the sorted distinct values) of the
+	// first value belonging to cluster i.
+	Boundaries []int
+	// Cost is the total within-cluster sum of squared deviations.
+	Cost float64
+}
+
+// KMeans1D clusters xs into at most k clusters, minimizing the within-cluster
+// sum of squared deviations exactly via DP over the sorted distinct values.
+// Duplicate values are weighted by multiplicity. If k exceeds the number of
+// distinct values, each distinct value becomes its own cluster.
+func KMeans1D(xs []float64, k int) (*Result, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("cluster: no values")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: invalid k=%d", k)
+	}
+	vals, weights := distinctWeighted(xs)
+	n := len(vals)
+	if k > n {
+		k = n
+	}
+
+	// Prefix sums for O(1) interval cost: cost(i..j) = sum w*v^2 - (sum w*v)^2 / sum w.
+	pw := make([]float64, n+1)  // prefix weights
+	pwv := make([]float64, n+1) // prefix weight*value
+	pwv2 := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		w := float64(weights[i])
+		pw[i+1] = pw[i] + w
+		pwv[i+1] = pwv[i] + w*vals[i]
+		pwv2[i+1] = pwv2[i] + w*vals[i]*vals[i]
+	}
+	intervalCost := func(i, j int) float64 { // values [i, j] inclusive
+		w := pw[j+1] - pw[i]
+		s := pwv[j+1] - pwv[i]
+		s2 := pwv2[j+1] - pwv2[i]
+		c := s2 - s*s/w
+		if c < 0 { // numeric noise
+			c = 0
+		}
+		return c
+	}
+
+	// dp[c][j] = min cost of clustering values [0..j] into c+1 clusters.
+	dp := make([][]float64, k)
+	choice := make([][]int, k)
+	for c := range dp {
+		dp[c] = make([]float64, n)
+		choice[c] = make([]int, n)
+	}
+	for j := 0; j < n; j++ {
+		dp[0][j] = intervalCost(0, j)
+	}
+	for c := 1; c < k; c++ {
+		for j := 0; j < n; j++ {
+			best := math.Inf(1)
+			bestI := 0
+			// Last cluster covers [i, j]; need i >= c so earlier clusters are
+			// non-empty.
+			for i := c; i <= j; i++ {
+				cost := dp[c-1][i-1] + intervalCost(i, j)
+				if cost < best {
+					best = cost
+					bestI = i
+				}
+			}
+			if j < c { // not enough values for c+1 clusters
+				best = math.Inf(1)
+			}
+			dp[c][j] = best
+			choice[c][j] = bestI
+		}
+	}
+
+	// Recover boundaries for exactly k clusters over all n values.
+	boundaries := make([]int, k)
+	j := n - 1
+	for c := k - 1; c >= 1; c-- {
+		i := choice[c][j]
+		boundaries[c] = i
+		j = i - 1
+	}
+	boundaries[0] = 0
+
+	centers := make([]float64, k)
+	for c := 0; c < k; c++ {
+		lo := boundaries[c]
+		hi := n - 1
+		if c+1 < k {
+			hi = boundaries[c+1] - 1
+		}
+		w := pw[hi+1] - pw[lo]
+		s := pwv[hi+1] - pwv[lo]
+		centers[c] = s / w
+	}
+	return &Result{Centers: centers, Boundaries: boundaries, Cost: dp[k-1][n-1]}, nil
+}
+
+// Assign returns the center of the cluster that value x falls into: the
+// cluster whose mean is nearest. Centers must be sorted ascending, as
+// produced by KMeans1D.
+func (r *Result) Assign(x float64) float64 {
+	cs := r.Centers
+	// Binary search for the insertion point, then compare neighbours.
+	i := sort.SearchFloat64s(cs, x)
+	if i == 0 {
+		return cs[0]
+	}
+	if i == len(cs) {
+		return cs[len(cs)-1]
+	}
+	if x-cs[i-1] <= cs[i]-x {
+		return cs[i-1]
+	}
+	return cs[i]
+}
+
+// distinctWeighted returns the sorted distinct values of xs and their
+// multiplicities.
+func distinctWeighted(xs []float64) ([]float64, []int) {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	vals := make([]float64, 0, len(sorted))
+	weights := make([]int, 0, len(sorted))
+	for _, v := range sorted {
+		if len(vals) > 0 && vals[len(vals)-1] == v {
+			weights[len(weights)-1]++
+			continue
+		}
+		vals = append(vals, v)
+		weights = append(weights, 1)
+	}
+	return vals, weights
+}
+
+// RoundValues maps every value in xs to its cluster mean under an optimal
+// k-clustering and returns the rounded copy.
+func RoundValues(xs []float64, k int) ([]float64, error) {
+	r, err := KMeans1D(xs, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = r.Assign(x)
+	}
+	return out, nil
+}

@@ -1,0 +1,229 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cloudia/internal/core"
+)
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans1D(nil, 3); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := KMeans1D([]float64{1}, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestKMeansSingleCluster(t *testing.T) {
+	r, err := KMeans1D([]float64{1, 2, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Centers) != 1 || math.Abs(r.Centers[0]-2) > 1e-12 {
+		t.Fatalf("centers = %v, want [2]", r.Centers)
+	}
+	if math.Abs(r.Cost-2) > 1e-12 { // (1-2)^2+(2-2)^2+(3-2)^2
+		t.Fatalf("cost = %g, want 2", r.Cost)
+	}
+}
+
+func TestKMeansPerfectSplit(t *testing.T) {
+	xs := []float64{1, 1.1, 0.9, 10, 10.1, 9.9}
+	r, err := KMeans1D(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Centers) != 2 {
+		t.Fatalf("centers = %v, want 2 clusters", r.Centers)
+	}
+	if math.Abs(r.Centers[0]-1) > 1e-9 || math.Abs(r.Centers[1]-10) > 1e-9 {
+		t.Fatalf("centers = %v, want ~[1 10]", r.Centers)
+	}
+	// All low values assign to the low center.
+	for _, x := range []float64{0.9, 1, 1.1} {
+		if got := r.Assign(x); math.Abs(got-1) > 1e-9 {
+			t.Fatalf("Assign(%g) = %g, want ~1", x, got)
+		}
+	}
+}
+
+func TestKMeansKExceedsDistinct(t *testing.T) {
+	r, err := KMeans1D([]float64{5, 5, 7, 7}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Centers) != 2 {
+		t.Fatalf("centers = %v, want one per distinct value", r.Centers)
+	}
+	if r.Cost != 0 {
+		t.Fatalf("cost = %g, want 0", r.Cost)
+	}
+}
+
+func TestKMeansDuplicatesWeighted(t *testing.T) {
+	// Three 0s and one 10 with k=1: mean must be weighted, 2.5.
+	r, err := KMeans1D([]float64{0, 0, 0, 10}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Centers[0]-2.5) > 1e-12 {
+		t.Fatalf("weighted center = %g, want 2.5", r.Centers[0])
+	}
+}
+
+// bruteForce finds the optimal k-clustering cost by trying all contiguous
+// partitions of the sorted distinct values.
+func bruteForce(vals []float64, weights []int, k int) float64 {
+	n := len(vals)
+	if k >= n {
+		return 0
+	}
+	best := math.Inf(1)
+	// Choose k-1 boundaries among positions 1..n-1.
+	var rec func(start, remaining int, cost float64)
+	intervalCost := func(i, j int) float64 {
+		var w, s float64
+		for x := i; x <= j; x++ {
+			w += float64(weights[x])
+			s += float64(weights[x]) * vals[x]
+		}
+		mean := s / w
+		c := 0.0
+		for x := i; x <= j; x++ {
+			d := vals[x] - mean
+			c += float64(weights[x]) * d * d
+		}
+		return c
+	}
+	rec = func(start, remaining int, cost float64) {
+		if remaining == 1 {
+			total := cost + intervalCost(start, n-1)
+			if total < best {
+				best = total
+			}
+			return
+		}
+		for end := start; end <= n-remaining; end++ {
+			rec(end+1, remaining-1, cost+intervalCost(start, end))
+		}
+	}
+	rec(0, k, 0)
+	return best
+}
+
+func TestKMeansMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		k := 1 + rng.Intn(4)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Round(rng.Float64()*10) / 2 // induce duplicates
+		}
+		r, err := KMeans1D(xs, k)
+		if err != nil {
+			return false
+		}
+		vals, weights := distinctWeighted(xs)
+		kk := k
+		if kk > len(vals) {
+			kk = len(vals)
+		}
+		want := bruteForce(vals, weights, kk)
+		return math.Abs(r.Cost-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundValues(t *testing.T) {
+	out, err := RoundValues([]float64{1, 1.2, 9.8, 10}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-1.1) > 1e-9 || math.Abs(out[3]-9.9) > 1e-9 {
+		t.Fatalf("rounded = %v", out)
+	}
+	// Rounding never changes the value ordering across clusters.
+	if !(out[0] < out[2]) {
+		t.Fatalf("ordering broken: %v", out)
+	}
+}
+
+func TestRoundCostMatrix(t *testing.T) {
+	m := core.NewCostMatrix(3)
+	m.Set(0, 1, 1.0)
+	m.Set(1, 0, 1.1)
+	m.Set(0, 2, 5.0)
+	m.Set(2, 0, 5.2)
+	m.Set(1, 2, 1.05)
+	m.Set(2, 1, 5.1)
+	out, err := RoundCostMatrix(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv := out.DistinctValues()
+	if len(dv) != 2 {
+		t.Fatalf("distinct after rounding = %v, want 2 values", dv)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("rounded matrix invalid: %v", err)
+	}
+	// Diagonal untouched.
+	if out.At(1, 1) != 0 {
+		t.Fatal("diagonal modified")
+	}
+}
+
+func TestRoundCostMatrixDisabled(t *testing.T) {
+	m := core.NewCostMatrix(2)
+	m.Set(0, 1, 3)
+	m.Set(1, 0, 4)
+	out, err := RoundCostMatrix(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 1) != 3 || out.At(1, 0) != 4 {
+		t.Fatal("k<=0 should clone unchanged")
+	}
+	out.Set(0, 1, 9)
+	if m.At(0, 1) != 3 {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+// Property: rounding to k clusters leaves at most k distinct values and
+// preserves the min<=x<=max envelope.
+func TestRoundValuesProperty(t *testing.T) {
+	f := func(seed int64, rawK uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(rawK%10) + 1
+		xs := make([]float64, 3+rng.Intn(40))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		out, err := RoundValues(xs, k)
+		if err != nil {
+			return false
+		}
+		distinct := map[float64]struct{}{}
+		for _, v := range out {
+			distinct[v] = struct{}{}
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return len(distinct) <= k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

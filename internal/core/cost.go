@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CostMatrix is the communication cost function CL : S x S -> R (Definition
+// 1) over a set of instances 0..n-1. Costs may be asymmetric and need not
+// satisfy the triangle inequality, reflecting true network properties. The
+// diagonal is zero by convention and is never consulted by deployment cost
+// functions because deployment plans are injective.
+type CostMatrix struct {
+	n int
+	c []float64 // row-major n*n
+}
+
+// NewCostMatrix returns an n x n zero cost matrix.
+func NewCostMatrix(n int) *CostMatrix {
+	if n < 0 {
+		panic(fmt.Sprintf("core: negative cost matrix size %d", n))
+	}
+	return &CostMatrix{n: n, c: make([]float64, n*n)}
+}
+
+// Size reports the number of instances covered by the matrix.
+func (m *CostMatrix) Size() int { return m.n }
+
+// At returns CL(i, j). It panics if either index is out of range, matching
+// slice semantics; the hot solver loops index the backing slice directly.
+func (m *CostMatrix) At(i, j int) float64 { return m.c[i*m.n+j] }
+
+// Set assigns CL(i, j) = v.
+func (m *CostMatrix) Set(i, j int, v float64) { m.c[i*m.n+j] = v }
+
+// Clone returns a deep copy of the matrix.
+func (m *CostMatrix) Clone() *CostMatrix {
+	out := NewCostMatrix(m.n)
+	copy(out.c, m.c)
+	return out
+}
+
+// Row returns the i-th row as a slice view. Callers must not modify it.
+func (m *CostMatrix) Row(i int) []float64 { return m.c[i*m.n : (i+1)*m.n] }
+
+// OffDiagonal returns all off-diagonal entries in row-major order. This is
+// the "latency vector" used when comparing measurement schemes (Sect. 6.2.2).
+func (m *CostMatrix) OffDiagonal() []float64 {
+	if m.n < 2 {
+		return nil
+	}
+	out := make([]float64, 0, m.n*(m.n-1))
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if i != j {
+				out = append(out, m.At(i, j))
+			}
+		}
+	}
+	return out
+}
+
+// DistinctValues returns the sorted distinct off-diagonal cost values. The CP
+// solver iterates over these thresholds (Sect. 4.2), so their count bounds
+// its iteration count.
+func (m *CostMatrix) DistinctValues() []float64 {
+	seen := make(map[float64]struct{})
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if i != j {
+				seen[m.At(i, j)] = struct{}{}
+			}
+		}
+	}
+	out := make([]float64, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// MaxValue returns the largest off-diagonal cost, or 0 for matrices smaller
+// than 2x2.
+func (m *CostMatrix) MaxValue() float64 {
+	max := 0.0
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if i != j && m.At(i, j) > max {
+				max = m.At(i, j)
+			}
+		}
+	}
+	return max
+}
+
+// Validate checks that the matrix has a zero diagonal and no negative or
+// non-finite costs.
+func (m *CostMatrix) Validate() error {
+	if len(m.c) != m.n*m.n {
+		return fmt.Errorf("core: cost matrix backing size %d != %d^2", len(m.c), m.n)
+	}
+	for i := 0; i < m.n; i++ {
+		if m.At(i, i) != 0 {
+			return fmt.Errorf("core: nonzero diagonal at %d", i)
+		}
+		for j := 0; j < m.n; j++ {
+			v := m.At(i, j)
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("core: invalid cost %g at (%d,%d)", v, i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Deployment is a deployment plan D : N -> S (Definition 2): entry i holds
+// the instance assigned to application node i. The plan must be injective —
+// at most one node per instance — and instances not referenced simply run
+// nothing (they are the over-allocated instances ClouDiA terminates).
+type Deployment []int
+
+// Identity returns the deployment mapping node i to instance i, the "default
+// deployment" of the EC2 allocation ordering the paper compares against.
+func Identity(n int) Deployment {
+	d := make(Deployment, n)
+	for i := range d {
+		d[i] = i
+	}
+	return d
+}
+
+// Clone returns a copy of the deployment.
+func (d Deployment) Clone() Deployment { return append(Deployment(nil), d...) }
+
+// Validate checks that d maps each of its nodes to a distinct instance in
+// [0, numInstances).
+func (d Deployment) Validate(numInstances int) error {
+	seen := make(map[int]int, len(d))
+	for node, inst := range d {
+		if inst < 0 || inst >= numInstances {
+			return fmt.Errorf("core: node %d mapped to out-of-range instance %d (have %d)", node, inst, numInstances)
+		}
+		if prev, dup := seen[inst]; dup {
+			return fmt.Errorf("core: nodes %d and %d both mapped to instance %d", prev, node, inst)
+		}
+		seen[inst] = node
+	}
+	return nil
+}
+
+// LongestLink computes the Class 1 deployment cost CLL(D, G, CL): the maximum
+// link cost over communication-graph edges under deployment d (Sect. 3.3),
+// scaled by edge weights when the graph is weighted. It panics if d does not
+// cover all graph nodes; callers validate first.
+func LongestLink(d Deployment, g *Graph, m *CostMatrix) float64 {
+	worst := 0.0
+	n := m.n
+	if !g.Weighted() {
+		for _, e := range g.Edges() {
+			c := m.c[d[e.From]*n+d[e.To]]
+			if c > worst {
+				worst = c
+			}
+		}
+		return worst
+	}
+	for k, e := range g.Edges() {
+		c := g.edgeWeight(k) * m.c[d[e.From]*n+d[e.To]]
+		if c > worst {
+			worst = c
+		}
+	}
+	return worst
+}
+
+// LongestPath computes the Class 2 deployment cost CLP(D, G, CL): the maximum
+// over directed paths of the sum of link costs along the path. The graph
+// must be acyclic; ErrCyclic is returned otherwise.
+func LongestPath(d Deployment, g *Graph, m *CostMatrix) (float64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0, err
+	}
+	return longestPathInOrder(d, g, m, order), nil
+}
+
+// longestPathInOrder is the DP core of LongestPath, reusable by solvers that
+// already hold a topological order. dist[v] = longest path cost ending at v.
+func longestPathInOrder(d Deployment, g *Graph, m *CostMatrix, order []NodeID) float64 {
+	n := m.n
+	dist := make([]float64, g.NumNodes())
+	best := 0.0
+	weighted := g.Weighted()
+	for _, v := range order {
+		dv := dist[v]
+		if dv > best {
+			best = dv
+		}
+		for k, w := range g.Out(v) {
+			c := dv + m.c[d[v]*n+d[w]]
+			if weighted {
+				c = dv + g.outWeight(v, k)*m.c[d[v]*n+d[w]]
+			}
+			if c > dist[w] {
+				dist[w] = c
+			}
+		}
+	}
+	return best
+}
+
+// LongestPathWithOrder computes the Class 2 deployment cost given a
+// precomputed topological order (as returned by Graph.TopoOrder). Solver
+// inner loops use this to avoid recomputing the order per candidate.
+func LongestPathWithOrder(d Deployment, g *Graph, m *CostMatrix, order []NodeID) float64 {
+	return longestPathInOrder(d, g, m, order)
+}

@@ -1,0 +1,200 @@
+// Package core defines the node deployment problem from the ClouDiA paper:
+// communication graphs over application nodes, injective deployment plans
+// mapping nodes to cloud instances, pairwise communication cost matrices, and
+// the two deployment cost functions — longest link (Class 1) and longest path
+// (Class 2) — that model latency-sensitive HPC and service-oriented cloud
+// applications respectively.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies an application node in a communication graph.
+type NodeID = int
+
+// Edge is a directed communication link between two application nodes,
+// meaning From talks to To (Definition 3).
+type Edge struct {
+	From NodeID
+	To   NodeID
+}
+
+// Graph is a directed communication graph G = (V, E) over application nodes
+// 0..n-1. Edges carry no weights; the paper leaves weighted graphs to future
+// work and so do we (see DESIGN.md).
+type Graph struct {
+	n     int
+	out   [][]NodeID
+	in    [][]NodeID
+	edges []Edge
+	has   map[Edge]bool
+
+	// Edge weights (see weights.go). nil/empty means all weights are 1.
+	weights map[Edge]float64
+	edgeW   []float64   // cache: weight per Edges() index
+	outW    [][]float64 // cache: weight per out-adjacency slot
+}
+
+// NewGraph returns an empty communication graph over n application nodes.
+// It panics if n is negative.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("core: negative node count %d", n))
+	}
+	return &Graph{
+		n:   n,
+		out: make([][]NodeID, n),
+		in:  make([][]NodeID, n),
+		has: make(map[Edge]bool),
+	}
+}
+
+// NumNodes reports |V|.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges reports |E|.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddEdge inserts the directed edge (from, to). Self-loops and duplicate
+// edges are rejected, as is any endpoint outside [0, n).
+func (g *Graph) AddEdge(from, to NodeID) error {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		return fmt.Errorf("core: edge (%d,%d) out of range [0,%d)", from, to, g.n)
+	}
+	if from == to {
+		return fmt.Errorf("core: self-loop at node %d", from)
+	}
+	e := Edge{from, to}
+	if g.has[e] {
+		return fmt.Errorf("core: duplicate edge (%d,%d)", from, to)
+	}
+	g.has[e] = true
+	g.out[from] = append(g.out[from], to)
+	g.in[to] = append(g.in[to], from)
+	g.edges = append(g.edges, e)
+	if len(g.weights) > 0 {
+		// Keep the weight caches aligned with the new edge.
+		g.rebuildWeightCaches()
+	}
+	return nil
+}
+
+// AddBiEdge inserts both (a,b) and (b,a). It is a convenience for mesh-like
+// templates where communication is symmetric.
+func (g *Graph) AddBiEdge(a, b NodeID) error {
+	if err := g.AddEdge(a, b); err != nil {
+		return err
+	}
+	return g.AddEdge(b, a)
+}
+
+// HasEdge reports whether the directed edge (from, to) is present.
+func (g *Graph) HasEdge(from, to NodeID) bool { return g.has[Edge{from, to}] }
+
+// Edges returns the edge list in insertion order. Callers must not modify
+// the returned slice.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Out returns the out-neighbours of node v. Callers must not modify the
+// returned slice.
+func (g *Graph) Out(v NodeID) []NodeID { return g.out[v] }
+
+// In returns the in-neighbours of node v. Callers must not modify the
+// returned slice.
+func (g *Graph) In(v NodeID) []NodeID { return g.in[v] }
+
+// OutDegree reports len(Out(v)).
+func (g *Graph) OutDegree(v NodeID) int { return len(g.out[v]) }
+
+// InDegree reports len(In(v)).
+func (g *Graph) InDegree(v NodeID) int { return len(g.in[v]) }
+
+// Degree reports the total degree of v (in + out).
+func (g *Graph) Degree(v NodeID) int { return len(g.in[v]) + len(g.out[v]) }
+
+// Clone returns a deep copy of the graph, including edge weights.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(g.n)
+	for _, e := range g.edges {
+		// Edges were validated on insertion; re-adding cannot fail.
+		if err := c.AddEdge(e.From, e.To); err != nil {
+			panic("core: clone of valid graph failed: " + err.Error())
+		}
+	}
+	for e, w := range g.weights {
+		if err := c.SetWeight(e.From, e.To, w); err != nil {
+			panic("core: clone of valid weights failed: " + err.Error())
+		}
+	}
+	return c
+}
+
+// ErrCyclic is returned when a DAG-only operation is applied to a graph that
+// contains a directed cycle.
+var ErrCyclic = errors.New("core: communication graph contains a directed cycle")
+
+// TopoOrder returns a topological order of the graph's nodes, or ErrCyclic if
+// the graph has a directed cycle. Nodes with no edges appear in the order too.
+func (g *Graph) TopoOrder() ([]NodeID, error) {
+	indeg := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		indeg[v] = len(g.in[v])
+	}
+	queue := make([]NodeID, 0, g.n)
+	for v := 0; v < g.n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order := make([]NodeID, 0, g.n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, w := range g.out[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(order) != g.n {
+		return nil, ErrCyclic
+	}
+	return order, nil
+}
+
+// IsDAG reports whether the graph is acyclic.
+func (g *Graph) IsDAG() bool {
+	_, err := g.TopoOrder()
+	return err == nil
+}
+
+// Validate checks internal consistency of the graph structure. It is used by
+// tests and by code paths that deserialize graphs from user input.
+func (g *Graph) Validate() error {
+	if g.n < 0 {
+		return fmt.Errorf("core: negative node count %d", g.n)
+	}
+	if len(g.out) != g.n || len(g.in) != g.n {
+		return errors.New("core: adjacency size mismatch")
+	}
+	count := 0
+	for v := 0; v < g.n; v++ {
+		for _, w := range g.out[v] {
+			if w < 0 || w >= g.n {
+				return fmt.Errorf("core: out-neighbour %d of %d out of range", w, v)
+			}
+			if !g.has[Edge{v, w}] {
+				return fmt.Errorf("core: adjacency edge (%d,%d) missing from edge set", v, w)
+			}
+			count++
+		}
+	}
+	if count != len(g.edges) {
+		return fmt.Errorf("core: edge count mismatch: adjacency %d vs list %d", count, len(g.edges))
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGraphEmpty(t *testing.T) {
+	g := NewGraph(5)
+	if g.NumNodes() != 5 {
+		t.Fatalf("NumNodes = %d, want 5", g.NumNodes())
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("NumEdges = %d, want 0", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestAddEdge(t *testing.T) {
+	g := NewGraph(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatalf("AddEdge(0,1): %v", err)
+	}
+	if !g.HasEdge(0, 1) {
+		t.Fatal("HasEdge(0,1) = false after AddEdge")
+	}
+	if g.HasEdge(1, 0) {
+		t.Fatal("HasEdge(1,0) = true; edges are directed")
+	}
+	if g.OutDegree(0) != 1 || g.InDegree(1) != 1 {
+		t.Fatalf("degrees: out(0)=%d in(1)=%d, want 1,1", g.OutDegree(0), g.InDegree(1))
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := NewGraph(3)
+	if err := g.AddEdge(0, 0); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := g.AddEdge(-1, 1); err == nil {
+		t.Fatal("negative endpoint accepted")
+	}
+	if err := g.AddEdge(0, 3); err == nil {
+		t.Fatal("out-of-range endpoint accepted")
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatalf("AddEdge(0,1): %v", err)
+	}
+	if err := g.AddEdge(0, 1); err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+}
+
+func TestAddBiEdge(t *testing.T) {
+	g := NewGraph(2)
+	if err := g.AddBiEdge(0, 1); err != nil {
+		t.Fatalf("AddBiEdge: %v", err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("AddBiEdge did not add both directions")
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := NewGraph(4)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	c := g.Clone()
+	mustEdge(t, c, 2, 3)
+	if g.HasEdge(2, 3) {
+		t.Fatal("mutating clone affected original")
+	}
+	if c.NumEdges() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("edge counts: clone %d orig %d, want 3,2", c.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestTopoOrderDAG(t *testing.T) {
+	g := NewGraph(4)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 0, 2)
+	mustEdge(t, g, 1, 3)
+	mustEdge(t, g, 2, 3)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatalf("TopoOrder: %v", err)
+	}
+	pos := make(map[NodeID]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Fatalf("edge (%d,%d) violates topo order %v", e.From, e.To, order)
+		}
+	}
+}
+
+func TestTopoOrderCycle(t *testing.T) {
+	g := NewGraph(3)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 0)
+	if _, err := g.TopoOrder(); err != ErrCyclic {
+		t.Fatalf("TopoOrder on cycle: err = %v, want ErrCyclic", err)
+	}
+	if g.IsDAG() {
+		t.Fatal("IsDAG = true for a cycle")
+	}
+}
+
+func TestTopoOrderIsolatedNodes(t *testing.T) {
+	g := NewGraph(3) // no edges at all
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatalf("TopoOrder: %v", err)
+	}
+	if len(order) != 3 {
+		t.Fatalf("order covers %d nodes, want 3", len(order))
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	g := NewGraph(3)
+	mustEdge(t, g, 0, 1)
+	g.out[0] = append(g.out[0], 2) // corrupt adjacency without edge set
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted corrupted adjacency")
+	}
+}
+
+// Property: a random DAG always topologically sorts, and every edge respects
+// the order.
+func TestRandomDAGProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8, rawP uint8) bool {
+		n := int(rawN%30) + 1
+		p := float64(rawP) / 255
+		rng := rand.New(rand.NewSource(seed))
+		g, err := RandomDAG(n, p, rng)
+		if err != nil {
+			return false
+		}
+		order, err := g.TopoOrder()
+		if err != nil {
+			return false
+		}
+		pos := make([]int, n)
+		for i, v := range order {
+			pos[v] = i
+		}
+		for _, e := range g.Edges() {
+			if pos[e.From] >= pos[e.To] {
+				return false
+			}
+		}
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustEdge(t *testing.T, g *Graph, from, to NodeID) {
+	t.Helper()
+	if err := g.AddEdge(from, to); err != nil {
+		t.Fatalf("AddEdge(%d,%d): %v", from, to, err)
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import "fmt"
+
+// This file carries the Appendix 1 reduction constructions, both as executable
+// documentation of the hardness proofs and as generators of structured solver
+// test instances: a subgraph isomorphism instance (G1 into G2) becomes a
+// LLNDP (or LPNDP) instance whose optimal cost reveals whether the embedding
+// exists.
+
+// SIPToLLNDP encodes a subgraph isomorphism instance into a Longest Link Node
+// Deployment Problem following the proof of Theorem 1: pattern nodes become
+// application nodes, host nodes become instances, host edges get cost 1 and
+// non-edges cost 2. G2 contains a subgraph isomorphic to pattern iff the
+// optimal longest-link cost is 1.
+//
+// The host graph must have at least as many nodes as the pattern.
+func SIPToLLNDP(pattern, host *Graph) (*Graph, *CostMatrix, error) {
+	if host.NumNodes() < pattern.NumNodes() {
+		return nil, nil, fmt.Errorf("core: host graph smaller (%d) than pattern (%d)",
+			host.NumNodes(), pattern.NumNodes())
+	}
+	m := NewCostMatrix(host.NumNodes())
+	for i := 0; i < host.NumNodes(); i++ {
+		for j := 0; j < host.NumNodes(); j++ {
+			if i == j {
+				continue
+			}
+			if host.HasEdge(i, j) {
+				m.Set(i, j, 1)
+			} else {
+				m.Set(i, j, 2)
+			}
+		}
+	}
+	return pattern.Clone(), m, nil
+}
+
+// SIPToLPNDP encodes a subgraph isomorphism instance into a Longest Path Node
+// Deployment Problem following the proof of Theorem 4: host edges get cost 1
+// and non-edges cost |E1|+1, so an embedding exists iff the optimal
+// longest-path cost is at most |E1| (every path uses at most |E1| edges, all
+// of cost 1 under an embedding, while a single non-edge already exceeds
+// |E1|). The pattern must be a DAG for the LP objective to be defined.
+func SIPToLPNDP(pattern, host *Graph) (*Graph, *CostMatrix, error) {
+	if !pattern.IsDAG() {
+		return nil, nil, ErrCyclic
+	}
+	if host.NumNodes() < pattern.NumNodes() {
+		return nil, nil, fmt.Errorf("core: host graph smaller (%d) than pattern (%d)",
+			host.NumNodes(), pattern.NumNodes())
+	}
+	heavy := float64(pattern.NumEdges() + 1)
+	m := NewCostMatrix(host.NumNodes())
+	for i := 0; i < host.NumNodes(); i++ {
+		for j := 0; j < host.NumNodes(); j++ {
+			if i == j {
+				continue
+			}
+			if host.HasEdge(i, j) {
+				m.Set(i, j, 1)
+			} else {
+				m.Set(i, j, heavy)
+			}
+		}
+	}
+	return pattern.Clone(), m, nil
+}
+
+// EmbeddingRespectsHost reports whether deployment d of the pattern into the
+// host uses only host edges, i.e. whether d is a subgraph isomorphism from
+// pattern into host.
+func EmbeddingRespectsHost(d Deployment, pattern, host *Graph) bool {
+	for _, e := range pattern.Edges() {
+		if !host.HasEdge(d[e.From], d[e.To]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSIPToLLNDPEmbeddingCost(t *testing.T) {
+	// Pattern: directed path 0->1->2. Host: 4 nodes with a directed path
+	// 1->2->3 plus noise edge 0->2. The embedding exists, so the optimal
+	// LLNDP cost must be 1, achieved by mapping (0,1,2) -> (1,2,3).
+	pattern := NewGraph(3)
+	mustEdge(t, pattern, 0, 1)
+	mustEdge(t, pattern, 1, 2)
+	host := NewGraph(4)
+	mustEdge(t, host, 1, 2)
+	mustEdge(t, host, 2, 3)
+	mustEdge(t, host, 0, 2)
+
+	g, m, err := SIPToLLNDP(pattern, host)
+	if err != nil {
+		t.Fatalf("SIPToLLNDP: %v", err)
+	}
+	d := Deployment{1, 2, 3}
+	if got := LongestLink(d, g, m); got != 1 {
+		t.Fatalf("embedding cost = %g, want 1", got)
+	}
+	if !EmbeddingRespectsHost(d, pattern, host) {
+		t.Fatal("EmbeddingRespectsHost = false for a valid embedding")
+	}
+	// A non-embedding deployment must pay cost 2 somewhere.
+	bad := Deployment{0, 1, 2}
+	if got := LongestLink(bad, g, m); got != 2 {
+		t.Fatalf("non-embedding cost = %g, want 2", got)
+	}
+	if EmbeddingRespectsHost(bad, pattern, host) {
+		t.Fatal("EmbeddingRespectsHost = true for an invalid embedding")
+	}
+}
+
+func TestSIPToLLNDPHostTooSmall(t *testing.T) {
+	pattern := NewGraph(3)
+	host := NewGraph(2)
+	if _, _, err := SIPToLLNDP(pattern, host); err == nil {
+		t.Fatal("undersized host accepted")
+	}
+}
+
+func TestSIPToLPNDPThreshold(t *testing.T) {
+	// Pattern path of 2 edges, |E1| = 2. Under an embedding all edges cost 1
+	// so CLP <= 2; a single non-host edge costs |E1|+1 = 3 > 2.
+	pattern := NewGraph(3)
+	mustEdge(t, pattern, 0, 1)
+	mustEdge(t, pattern, 1, 2)
+	host := NewGraph(3)
+	mustEdge(t, host, 0, 1)
+	mustEdge(t, host, 1, 2)
+
+	g, m, err := SIPToLPNDP(pattern, host)
+	if err != nil {
+		t.Fatalf("SIPToLPNDP: %v", err)
+	}
+	good, err := LongestPath(Identity(3), g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good > float64(pattern.NumEdges()) {
+		t.Fatalf("embedding CLP = %g, want <= %d", good, pattern.NumEdges())
+	}
+	// Swap two nodes to break the embedding.
+	bad, err := LongestPath(Deployment{1, 0, 2}, g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad <= float64(pattern.NumEdges()) {
+		t.Fatalf("non-embedding CLP = %g, want > %d", bad, pattern.NumEdges())
+	}
+}
+
+func TestSIPToLPNDPRejectsCyclicPattern(t *testing.T) {
+	pattern := NewGraph(2)
+	mustEdge(t, pattern, 0, 1)
+	mustEdge(t, pattern, 1, 0)
+	host := NewGraph(3)
+	if _, _, err := SIPToLPNDP(pattern, host); err != ErrCyclic {
+		t.Fatalf("err = %v, want ErrCyclic", err)
+	}
+}
+
+// Random round-trip: plant a random pattern inside a larger host, run the
+// reduction, and verify the planted deployment achieves the embedding cost.
+func TestSIPReductionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		pn := 3 + rng.Intn(5)
+		hn := pn + rng.Intn(5)
+		pattern, err := RandomDAG(pn, 0.5, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Plant: host node (i + offset) mirrors pattern node i.
+		offset := rng.Intn(hn - pn + 1)
+		host := NewGraph(hn)
+		for _, e := range pattern.Edges() {
+			if err := host.AddEdge(e.From+offset, e.To+offset); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Noise edges.
+		for k := 0; k < hn; k++ {
+			a, b := rng.Intn(hn), rng.Intn(hn)
+			if a != b && !host.HasEdge(a, b) {
+				if err := host.AddEdge(a, b); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		g, m, err := SIPToLLNDP(pattern, host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		planted := make(Deployment, pn)
+		for i := range planted {
+			planted[i] = i + offset
+		}
+		cost := LongestLink(planted, g, m)
+		if pattern.NumEdges() > 0 && cost != 1 {
+			t.Fatalf("trial %d: planted embedding cost = %g, want 1", trial, cost)
+		}
+		if !EmbeddingRespectsHost(planted, pattern, host) {
+			t.Fatalf("trial %d: planted embedding rejected", trial)
+		}
+	}
+}

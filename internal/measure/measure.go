@@ -1,0 +1,496 @@
+// Package measure implements ClouDiA's pairwise latency measurement schemes
+// (Sect. 5): token passing, uncoordinated, and staged. All three estimate the
+// mean round-trip time of small TCP messages for every ordered instance
+// pair, trading measurement speed against cross-link interference:
+//
+//   - Token passing: a unique token serializes all probes. Interference-free
+//     but sequential, so coverage per unit time is worst. It is the accuracy
+//     baseline in Fig. 4.
+//   - Uncoordinated: every instance continuously probes, all in parallel.
+//     Fast, but replies contend with the replier's own outstanding probe
+//     (single-threaded event loop, hypervisor scheduling), inflating and
+//     noising some links' estimates.
+//   - Staged: a coordinator runs stages of pairwise-disjoint probes (circle
+//     method tournament), Ks consecutive RTTs per pair per stage. Parallel
+//     like uncoordinated, interference-free like token passing.
+//
+// The schemes run over the netsim discrete-event simulator, so a "5 minute"
+// measurement completes in real milliseconds.
+package measure
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cloudia/internal/cloud"
+	"cloudia/internal/core"
+	"cloudia/internal/netsim"
+	"cloudia/internal/stats"
+	"cloudia/internal/topology"
+)
+
+// Scheme selects a measurement strategy.
+type Scheme string
+
+// The three measurement schemes of Sect. 5.
+const (
+	Token         Scheme = "token"
+	Uncoordinated Scheme = "uncoordinated"
+	Staged        Scheme = "staged"
+)
+
+// Options configures a measurement run.
+type Options struct {
+	Scheme Scheme
+	// MessageBytes is the probe payload size; the paper uses 1 KB to match
+	// application workloads. Zero selects 1024.
+	MessageBytes int
+	// DurationMS is the virtual-time measurement budget. Required.
+	DurationMS float64
+	// Ks is the number of consecutive RTTs per pair within one stage of the
+	// staged scheme (Sect. 5, optimization). Zero selects 10.
+	Ks int
+	// Seed drives all randomness (probe jitter, destination shuffles).
+	Seed int64
+	// StartHours anchors the measurement at an absolute datacenter time,
+	// so non-stationary networks (topology.Profile.RegimeHours) are
+	// measured in the regime that will hold during execution.
+	StartHours float64
+	// SnapshotEveryMS, when positive, records a snapshot of the running
+	// mean-latency matrix at that period, for convergence analysis (Fig. 5).
+	SnapshotEveryMS float64
+	// Contention models the replier-side delay incurred when a probe
+	// arrives at an instance that has its own probe outstanding (the
+	// uncoordinated scheme's failure mode). Zero values select defaults:
+	// scale 0.15 ms, spike probability 0.15, spike scale 0.6 ms.
+	ContentionScale      float64
+	ContentionSpikeProb  float64
+	ContentionSpikeScale float64
+	// Background, when non-nil, injects application traffic during the
+	// measurement — the overlapped-execution mode of Sect. 2.2.2, where the
+	// tenant starts the application on the initial allocation instead of
+	// idling while ClouDiA measures. Probes then share NICs with the
+	// application's messages, degrading measurement accuracy; the
+	// extension-overlap experiment quantifies the trade.
+	Background *BackgroundTraffic
+}
+
+// BackgroundTraffic describes the application traffic overlapping a
+// measurement: every IntervalMS, each pair exchanges one MsgBytes message in
+// each direction.
+type BackgroundTraffic struct {
+	Pairs      [][2]int
+	MsgBytes   int
+	IntervalMS float64
+}
+
+func (o *Options) withDefaults() (Options, error) {
+	out := *o
+	switch out.Scheme {
+	case Token, Uncoordinated, Staged:
+	default:
+		return out, fmt.Errorf("measure: unknown scheme %q", out.Scheme)
+	}
+	if out.DurationMS <= 0 {
+		return out, fmt.Errorf("measure: non-positive duration %g", out.DurationMS)
+	}
+	if out.MessageBytes == 0 {
+		out.MessageBytes = 1024
+	}
+	if out.MessageBytes < 0 {
+		return out, fmt.Errorf("measure: negative message size")
+	}
+	if out.Ks == 0 {
+		out.Ks = 10
+	}
+	if out.Ks < 0 {
+		return out, fmt.Errorf("measure: negative Ks")
+	}
+	if out.ContentionScale == 0 {
+		out.ContentionScale = 0.15
+	}
+	if out.ContentionSpikeProb == 0 {
+		out.ContentionSpikeProb = 0.15
+	}
+	if out.ContentionSpikeScale == 0 {
+		out.ContentionSpikeScale = 0.6
+	}
+	return out, nil
+}
+
+// Snapshot is the state of the running mean estimate at a point in virtual
+// time.
+type Snapshot struct {
+	AtMS float64
+	Mean *core.CostMatrix
+}
+
+// Result holds per-link latency sample aggregates from one measurement run.
+type Result struct {
+	N            int
+	Scheme       Scheme
+	DurationMS   float64
+	TotalSamples int64
+	Snapshots    []Snapshot
+
+	agg     []stats.Welford // per ordered pair, row-major
+	samples [][]float64     // per ordered pair, for percentile metrics
+}
+
+func newResult(n int, scheme Scheme) *Result {
+	return &Result{
+		N:       n,
+		Scheme:  scheme,
+		agg:     make([]stats.Welford, n*n),
+		samples: make([][]float64, n*n),
+	}
+}
+
+func (r *Result) record(i, j int, rtt float64) {
+	k := i*r.N + j
+	r.agg[k].Add(rtt)
+	r.samples[k] = append(r.samples[k], rtt)
+	r.TotalSamples++
+}
+
+// SampleCount reports the number of RTT observations for ordered pair (i,j).
+func (r *Result) SampleCount(i, j int) int { return r.agg[i*r.N+j].N() }
+
+// MinSamples reports the smallest per-link sample count across all ordered
+// pairs, a coverage diagnostic.
+func (r *Result) MinSamples() int {
+	min := -1
+	for i := 0; i < r.N; i++ {
+		for j := 0; j < r.N; j++ {
+			if i == j {
+				continue
+			}
+			n := r.SampleCount(i, j)
+			if min < 0 || n < min {
+				min = n
+			}
+		}
+	}
+	if min < 0 {
+		min = 0
+	}
+	return min
+}
+
+// globalMean is the fallback cost for links that received no samples, so
+// that solvers do not mistake an unmeasured link for a free one.
+func (r *Result) globalMean() float64 {
+	var w stats.Welford
+	for k := range r.agg {
+		if r.agg[k].N() > 0 {
+			w.Add(r.agg[k].Mean())
+		}
+	}
+	return w.Mean()
+}
+
+// MeanMatrix returns the estimated mean RTT per ordered pair. Unsampled
+// links fall back to the global mean estimate.
+func (r *Result) MeanMatrix() *core.CostMatrix {
+	return r.matrix(func(w *stats.Welford, _ []float64) float64 { return w.Mean() })
+}
+
+// MeanPlusStdMatrix returns mean + standard deviation per link, the jitter-
+// sensitive metric of Sect. 3.2.
+func (r *Result) MeanPlusStdMatrix() *core.CostMatrix {
+	return r.matrix(func(w *stats.Welford, _ []float64) float64 { return w.Mean() + w.Std() })
+}
+
+// P99Matrix returns the 99th-percentile RTT per link, the tail-latency
+// metric of Sect. 3.2.
+func (r *Result) P99Matrix() *core.CostMatrix {
+	return r.matrix(func(_ *stats.Welford, xs []float64) float64 {
+		p, err := stats.Percentile(xs, 99)
+		if err != nil {
+			return 0
+		}
+		return p
+	})
+}
+
+func (r *Result) matrix(f func(*stats.Welford, []float64) float64) *core.CostMatrix {
+	m := core.NewCostMatrix(r.N)
+	fallback := r.globalMean()
+	for i := 0; i < r.N; i++ {
+		for j := 0; j < r.N; j++ {
+			if i == j {
+				continue
+			}
+			k := i*r.N + j
+			if r.agg[k].N() == 0 {
+				m.Set(i, j, fallback)
+				continue
+			}
+			m.Set(i, j, f(&r.agg[k], r.samples[k]))
+		}
+	}
+	return m
+}
+
+// Run executes one measurement over the given instances and returns the
+// aggregated result. At least two instances are required.
+func Run(dc *topology.Datacenter, instances []cloud.Instance, opts Options) (*Result, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	n := len(instances)
+	if n < 2 {
+		return nil, fmt.Errorf("measure: need >= 2 instances, got %d", n)
+	}
+
+	instLat := cloud.LatencyFunc(dc, instances, o.StartHours)
+	// Endpoint n is the staged scheme's coordinator; its control messages
+	// traverse an ordinary in-datacenter path.
+	coordLat := dc.Profile().AggBase / 2
+	lat := func(src, dst int, now netsim.Time, rng *rand.Rand) float64 {
+		if src >= n || dst >= n {
+			return coordLat
+		}
+		return instLat(src, dst, now, rng)
+	}
+	sim, err := netsim.New(n+1, lat, o.Seed, netsim.Config{})
+	if err != nil {
+		return nil, err
+	}
+
+	res := newResult(n, o.Scheme)
+	res.DurationMS = o.DurationMS
+	m := &runner{sim: sim, res: res, opts: o, n: n,
+		outstanding: make([]int, n),
+		rng:         rand.New(rand.NewSource(o.Seed ^ 0x6d656173)),
+	}
+
+	if bg := o.Background; bg != nil {
+		if bg.IntervalMS <= 0 || bg.MsgBytes <= 0 {
+			return nil, fmt.Errorf("measure: invalid background traffic %+v", *bg)
+		}
+		for _, pr := range bg.Pairs {
+			if pr[0] < 0 || pr[0] >= n || pr[1] < 0 || pr[1] >= n || pr[0] == pr[1] {
+				return nil, fmt.Errorf("measure: background pair %v out of range", pr)
+			}
+		}
+		var tick func()
+		tick = func() {
+			if sim.Now() >= o.DurationMS {
+				return
+			}
+			for _, pr := range bg.Pairs {
+				sim.Send(pr[0], pr[1], bg.MsgBytes, nil)
+				sim.Send(pr[1], pr[0], bg.MsgBytes, nil)
+			}
+			sim.After(bg.IntervalMS, tick)
+		}
+		sim.At(0, tick)
+	}
+
+	if o.SnapshotEveryMS > 0 {
+		for t := o.SnapshotEveryMS; t <= o.DurationMS; t += o.SnapshotEveryMS {
+			t := t
+			sim.At(t, func() {
+				res.Snapshots = append(res.Snapshots, Snapshot{AtMS: t, Mean: res.MeanMatrix()})
+			})
+		}
+	}
+
+	switch o.Scheme {
+	case Token:
+		m.runToken()
+	case Uncoordinated:
+		m.runUncoordinated()
+	case Staged:
+		m.runStaged()
+	}
+	sim.RunUntil(o.DurationMS)
+	return res, nil
+}
+
+// runner holds the per-run mutable state shared by the scheme drivers.
+type runner struct {
+	sim  *netsim.Sim
+	res  *Result
+	opts Options
+	n    int
+	rng  *rand.Rand
+	// outstanding[i] counts instance i's own probes in flight; a reply
+	// issued while the replier has an outstanding probe contends with it.
+	outstanding []int
+}
+
+func (m *runner) done() bool { return m.sim.Now() >= m.opts.DurationMS }
+
+// probe performs one RTT measurement from i to j and calls next when the
+// reply lands. The replier contends if it is itself mid-probe.
+func (m *runner) probe(i, j int, record bool, next func()) {
+	start := m.sim.Now()
+	m.outstanding[i]++
+	m.sim.Send(i, j, m.opts.MessageBytes, func(netsim.Time) {
+		// j received the entire probe; reply after any contention delay.
+		delay := 0.0
+		if m.outstanding[j] > 0 {
+			delay = m.rng.ExpFloat64() * m.opts.ContentionScale
+			if m.rng.Float64() < m.opts.ContentionSpikeProb {
+				delay += m.rng.ExpFloat64() * m.opts.ContentionSpikeScale
+			}
+		}
+		m.sim.After(delay, func() {
+			m.sim.Send(j, i, m.opts.MessageBytes, func(at netsim.Time) {
+				m.outstanding[i]--
+				if record {
+					m.res.record(i, j, at-start)
+				}
+				if next != nil {
+					next()
+				}
+			})
+		})
+	})
+}
+
+// runToken drives the token-passing scheme: a single token visits ordered
+// pairs in sweep order (offset rounds), so exactly one message is in flight
+// at any time.
+func (m *runner) runToken() {
+	const tokenBytes = 64
+	cur := 0
+	round := 1
+	idx := 0
+	var step func()
+	step = func() {
+		if m.done() {
+			return
+		}
+		i := idx
+		j := (idx + round) % m.n
+		idx++
+		if idx == m.n {
+			idx = 0
+			round++
+			if round == m.n {
+				round = 1
+			}
+		}
+		measure := func() {
+			m.probe(i, j, true, step)
+		}
+		if cur != i {
+			from := cur
+			cur = i
+			m.sim.Send(from, i, tokenBytes, func(netsim.Time) { measure() })
+		} else {
+			measure()
+		}
+	}
+	step()
+}
+
+// runUncoordinated drives the uncoordinated scheme: every instance
+// continuously probes destinations from its own shuffled cycle, all in
+// parallel, with no coordination — and therefore with contention.
+func (m *runner) runUncoordinated() {
+	for i := 0; i < m.n; i++ {
+		i := i
+		perm := m.rng.Perm(m.n - 1)
+		k := 0
+		var loop func()
+		loop = func() {
+			if m.done() {
+				return
+			}
+			j := perm[k%len(perm)]
+			if j >= i {
+				j++
+			}
+			k++
+			m.probe(i, j, true, loop)
+		}
+		// Stagger starts slightly so instances do not fire in lockstep.
+		m.sim.At(m.rng.Float64()*0.01, loop)
+	}
+}
+
+// runStaged drives the staged scheme: the coordinator (endpoint n) runs
+// circle-method tournament rounds; each stage probes floor(n/2) disjoint
+// pairs in parallel, Ks RTTs in each direction, then reports back.
+func (m *runner) runStaged() {
+	const ctrlBytes = 64
+	pairsByRound := circleRounds(m.n)
+	round := 0
+	var startStage func()
+	startStage = func() {
+		if m.done() {
+			return
+		}
+		pairs := pairsByRound[round%len(pairsByRound)]
+		// Alternate probe direction on odd sweeps so both ordered pairs get
+		// sampled.
+		flip := (round/len(pairsByRound))%2 == 1
+		round++
+		remaining := len(pairs)
+		for _, pr := range pairs {
+			a, b := pr[0], pr[1]
+			if flip {
+				a, b = b, a
+			}
+			// Coordinator notifies a of its partner b.
+			m.sim.Send(m.n, a, ctrlBytes, func(netsim.Time) {
+				k := 0
+				var seq func()
+				seq = func() {
+					if k < m.opts.Ks && !m.done() {
+						k++
+						m.probe(a, b, true, seq)
+						return
+					}
+					// Report back to the coordinator.
+					m.sim.Send(a, m.n, ctrlBytes, func(netsim.Time) {
+						remaining--
+						if remaining == 0 {
+							startStage()
+						}
+					})
+				}
+				seq()
+			})
+		}
+	}
+	startStage()
+}
+
+// circleRounds returns the circle-method round-robin tournament schedule
+// over n players: a list of rounds, each a set of disjoint pairs, jointly
+// covering every unordered pair exactly once. For odd n one player sits out
+// each round.
+func circleRounds(n int) [][][2]int {
+	players := n
+	odd := n%2 == 1
+	if odd {
+		players++ // add a bye
+	}
+	rounds := make([][][2]int, 0, players-1)
+	ring := make([]int, players)
+	for i := range ring {
+		ring[i] = i
+	}
+	for r := 0; r < players-1; r++ {
+		var pairs [][2]int
+		for k := 0; k < players/2; k++ {
+			a, b := ring[k], ring[players-1-k]
+			if odd && (a == players-1 || b == players-1) {
+				continue // bye
+			}
+			pairs = append(pairs, [2]int{a, b})
+		}
+		rounds = append(rounds, pairs)
+		// Rotate all but the first element.
+		last := ring[players-1]
+		copy(ring[2:], ring[1:players-1])
+		ring[1] = last
+	}
+	return rounds
+}

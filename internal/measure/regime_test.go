@@ -1,0 +1,138 @@
+package measure
+
+import (
+	"testing"
+
+	"cloudia/internal/cloud"
+	"cloudia/internal/stats"
+	"cloudia/internal/topology"
+)
+
+// Tests for time-anchored measurement on non-stationary networks
+// (Options.StartHours + topology.Profile.RegimeHours) and for overlapped
+// measurement (Options.Background).
+
+func shiftingFleet(t *testing.T, n int, regimeHours float64, seed int64) (*topology.Datacenter, []cloud.Instance) {
+	t.Helper()
+	prof := topology.EC2Profile()
+	prof.RegimeHours = regimeHours
+	dc, err := topology.New(prof, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cloud.NewProvider(dc, 0.6, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts, err := p.RunInstances(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dc, insts
+}
+
+func TestStartHoursMeasuresTheRightRegime(t *testing.T) {
+	dc, insts := shiftingFleet(t, 10, 8, 1)
+	// Two measurements in different regimes must differ substantially;
+	// two in the same regime must agree closely.
+	measureAt := func(hours float64) []float64 {
+		res, err := Run(dc, insts, Options{
+			Scheme: Staged, DurationMS: 3000, Seed: 3, StartHours: hours,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.NormalizeUnit(res.MeanMatrix().OffDiagonal())
+	}
+	epoch0 := measureAt(1)
+	epoch0b := measureAt(2) // same 8h regime window
+	epoch1 := measureAt(9)  // next regime
+
+	same, err := stats.RMSE(epoch0, epoch0b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := stats.RMSE(epoch0, epoch1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff < 3*same {
+		t.Fatalf("cross-regime RMSE %g not clearly above within-regime RMSE %g", diff, same)
+	}
+}
+
+func TestStationaryNetworkIgnoresStartHours(t *testing.T) {
+	dc, insts := shiftingFleet(t, 8, 0, 5) // RegimeHours 0: stationary
+	truthEarly := cloud.MeanRTTMatrix(dc, insts)
+	res, err := Run(dc, insts, Options{
+		Scheme: Staged, DurationMS: 3000, Seed: 7, StartHours: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv := stats.NormalizeUnit(truthEarly.OffDiagonal())
+	ev := stats.NormalizeUnit(res.MeanMatrix().OffDiagonal())
+	rmse, err := stats.RMSE(tv, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only drift separates hour 100 from hour 0 on a stationary profile.
+	if rmse > 0.02 {
+		t.Fatalf("stationary network measured at hour 100 deviates: RMSE %g", rmse)
+	}
+}
+
+func TestBackgroundTrafficValidation(t *testing.T) {
+	dc, insts := shiftingFleet(t, 6, 0, 9)
+	if _, err := Run(dc, insts, Options{
+		Scheme: Staged, DurationMS: 100, Seed: 1,
+		Background: &BackgroundTraffic{Pairs: [][2]int{{0, 1}}, MsgBytes: 0, IntervalMS: 1},
+	}); err == nil {
+		t.Fatal("zero background message size accepted")
+	}
+	if _, err := Run(dc, insts, Options{
+		Scheme: Staged, DurationMS: 100, Seed: 1,
+		Background: &BackgroundTraffic{Pairs: [][2]int{{0, 9}}, MsgBytes: 1024, IntervalMS: 1},
+	}); err == nil {
+		t.Fatal("out-of-range background pair accepted")
+	}
+	if _, err := Run(dc, insts, Options{
+		Scheme: Staged, DurationMS: 100, Seed: 1,
+		Background: &BackgroundTraffic{Pairs: [][2]int{{2, 2}}, MsgBytes: 1024, IntervalMS: 1},
+	}); err == nil {
+		t.Fatal("self-pair background accepted")
+	}
+}
+
+func TestBackgroundTrafficDegradesAccuracy(t *testing.T) {
+	dc, insts := shiftingFleet(t, 10, 0, 11)
+	truth := stats.NormalizeUnit(cloud.MeanRTTMatrix(dc, insts).OffDiagonal())
+	errOf := func(bg *BackgroundTraffic) float64 {
+		res, err := Run(dc, insts, Options{
+			Scheme: Staged, DurationMS: 1500, Seed: 13, Background: bg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := stats.NormalizeUnit(res.MeanMatrix().OffDiagonal())
+		errs, err := stats.RelativeErrors(ev, truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p90, err := stats.Percentile(errs, 90)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p90
+	}
+	clean := errOf(nil)
+	var pairs [][2]int
+	for i := 0; i < 10; i++ {
+		pairs = append(pairs, [2]int{i, (i + 1) % 10})
+	}
+	// Saturating traffic: 16 KB both ways every 0.2 ms on every ring link.
+	busy := errOf(&BackgroundTraffic{Pairs: pairs, MsgBytes: 16384, IntervalMS: 0.2})
+	if busy <= clean {
+		t.Fatalf("background traffic did not degrade accuracy: %g <= %g", busy, clean)
+	}
+}

@@ -1,0 +1,157 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Simulation invariants checked over randomized traffic patterns.
+
+// TestDeliveryNeverBeforePhysics: every delivery happens no earlier than
+// send time + serialization (both sides) + propagation + processing.
+func TestDeliveryNeverBeforePhysics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		prop := 0.05 + rng.Float64()*0.5
+		lat := func(src, dst int, now Time, r *rand.Rand) float64 { return prop }
+		sim, err := New(n, lat, seed, Config{})
+		if err != nil {
+			return false
+		}
+		ok := true
+		for k := 0; k < 50; k++ {
+			src := rng.Intn(n)
+			dst := rng.Intn(n - 1)
+			if dst >= src {
+				dst++
+			}
+			size := rng.Intn(4096)
+			sentAt := sim.Now()
+			minLatency := 2*float64(size)/120000 + prop + 0.004
+			sim.Send(src, dst, size, func(at Time) {
+				if at < sentAt+minLatency-1e-12 {
+					ok = false
+				}
+			})
+			// Randomly interleave deliveries with new sends.
+			if rng.Intn(3) == 0 {
+				sim.Run()
+			}
+		}
+		sim.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPerPairFIFO: with a constant latency function, messages between one
+// ordered pair are delivered in send order (NIC serialization preserves
+// order; constant propagation cannot reorder).
+func TestPerPairFIFO(t *testing.T) {
+	lat := func(src, dst int, now Time, r *rand.Rand) float64 { return 0.3 }
+	sim, err := New(4, lat, 1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	for k := 0; k < 30; k++ {
+		k := k
+		sim.Send(0, 1, 512, func(Time) { order = append(order, k) })
+	}
+	sim.Run()
+	if len(order) != 30 {
+		t.Fatalf("delivered %d of 30", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+// TestClockMonotoneAcrossCallbacks: Now() never decreases, even when events
+// schedule more events.
+func TestClockMonotoneAcrossCallbacks(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	lat := func(src, dst int, now Time, r *rand.Rand) float64 { return 0.05 + r.Float64() }
+	sim, err := New(6, lat, 9, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := -1.0
+	violations := 0
+	var chain func(depth int)
+	chain = func(depth int) {
+		if sim.Now() < last {
+			violations++
+		}
+		last = sim.Now()
+		if depth == 0 {
+			return
+		}
+		sim.Send(rng.Intn(6), rng.Intn(6), 256, func(Time) { chain(depth - 1) })
+	}
+	for i := 0; i < 10; i++ {
+		chain(8)
+	}
+	sim.Run()
+	if violations > 0 {
+		t.Fatalf("clock went backwards %d times", violations)
+	}
+}
+
+// TestMassConservation: every sent message with a callback is delivered
+// exactly once when the queue drains.
+func TestMassConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	lat := func(src, dst int, now Time, r *rand.Rand) float64 { return 0.1 + r.Float64()*0.2 }
+	sim, err := New(8, lat, 13, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 500
+	delivered := 0
+	for k := 0; k < total; k++ {
+		src := rng.Intn(8)
+		dst := rng.Intn(7)
+		if dst >= src {
+			dst++
+		}
+		sim.Send(src, dst, rng.Intn(2048), func(Time) { delivered++ })
+	}
+	sim.Run()
+	if delivered != total {
+		t.Fatalf("delivered %d of %d", delivered, total)
+	}
+	if sim.MessagesSent() != total {
+		t.Fatalf("MessagesSent = %d, want %d", sim.MessagesSent(), total)
+	}
+	if sim.Pending() != 0 {
+		t.Fatalf("queue not drained: %d", sim.Pending())
+	}
+}
+
+// TestSendPanicsOnBadEndpoint documents the contract for programmer errors.
+func TestSendPanicsOnBadEndpoint(t *testing.T) {
+	sim, err := New(2, constLat(0.1), 1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPanics(t, func() { sim.Send(-1, 0, 10, nil) })
+	assertPanics(t, func() { sim.Send(0, 2, 10, nil) })
+	assertPanics(t, func() { sim.Send(0, 1, -5, nil) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

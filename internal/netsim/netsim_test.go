@@ -1,0 +1,239 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// constLat returns a latency function with a fixed one-way delay.
+func constLat(d float64) LatencyFunc {
+	return func(src, dst int, now Time, rng *rand.Rand) float64 { return d }
+}
+
+func newSim(t *testing.T, n int, lat LatencyFunc) *Sim {
+	t.Helper()
+	s, err := New(n, lat, 1, Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(0, constLat(1), 1, Config{}); err == nil {
+		t.Fatal("zero endpoints accepted")
+	}
+	if _, err := New(2, nil, 1, Config{}); err == nil {
+		t.Fatal("nil latency accepted")
+	}
+	if _, err := New(2, constLat(1), 1, Config{BandwidthMBps: -1}); err == nil {
+		t.Fatal("negative bandwidth accepted")
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	s := newSim(t, 1, constLat(0))
+	var got []int
+	s.At(5, func() { got = append(got, 2) })
+	s.At(1, func() { got = append(got, 0) })
+	s.At(3, func() { got = append(got, 1) })
+	s.Run()
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("event order = %v", got)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("Now = %g, want 5", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := newSim(t, 1, constLat(0))
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(1, func() { got = append(got, i) })
+	}
+	s.Run()
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("simultaneous events not FIFO: %v", got)
+	}
+}
+
+func TestPastEventsClampToNow(t *testing.T) {
+	s := newSim(t, 1, constLat(0))
+	fired := -1.0
+	s.At(10, func() {
+		s.At(5, func() { fired = s.Now() }) // in the past
+	})
+	s.Run()
+	if fired != 10 {
+		t.Fatalf("past event fired at %g, want 10", fired)
+	}
+}
+
+func TestSendSingleMessageTiming(t *testing.T) {
+	// 1 KB at 120 MB/s = 1024/120000 ms serialization on each side, plus
+	// 0.2 ms propagation and 0.004 ms processing.
+	s := newSim(t, 2, constLat(0.2))
+	var at Time
+	s.Send(0, 1, 1024, func(d Time) { at = d })
+	s.Run()
+	ser := 1024.0 / 120000.0
+	want := ser + 0.2 + ser + 0.004
+	if math.Abs(at-want) > 1e-12 {
+		t.Fatalf("delivery at %g, want %g", at, want)
+	}
+}
+
+func TestSendZeroSize(t *testing.T) {
+	s := newSim(t, 2, constLat(0.5))
+	var at Time
+	s.Send(0, 1, 0, func(d Time) { at = d })
+	s.Run()
+	if math.Abs(at-(0.5+0.004)) > 1e-12 {
+		t.Fatalf("delivery at %g", at)
+	}
+}
+
+func TestTransmitSerialization(t *testing.T) {
+	// Two messages sent back-to-back from the same source must serialize on
+	// its TX NIC: second delivery is one serialization time later.
+	s := newSim(t, 3, constLat(0.1))
+	var d1, d2 Time
+	s.Send(0, 1, 12000, func(d Time) { d1 = d })
+	s.Send(0, 2, 12000, func(d Time) { d2 = d })
+	s.Run()
+	ser := 12000.0 / 120000.0 // 0.1 ms
+	if math.Abs((d2-d1)-ser) > 1e-9 {
+		t.Fatalf("tx serialization gap = %g, want %g", d2-d1, ser)
+	}
+}
+
+func TestReceiveSerialization(t *testing.T) {
+	// Two senders hitting one receiver simultaneously: deliveries separated
+	// by at least serialization + processing.
+	s := newSim(t, 3, constLat(0.1))
+	var d1, d2 Time
+	s.Send(0, 2, 12000, func(d Time) { d1 = d })
+	s.Send(1, 2, 12000, func(d Time) { d2 = d })
+	s.Run()
+	gap := math.Abs(d2 - d1)
+	ser := 12000.0/120000.0 + 0.004
+	if gap < ser-1e-9 {
+		t.Fatalf("rx gap = %g, want >= %g", gap, ser)
+	}
+}
+
+func TestInterferenceRaisesLatency(t *testing.T) {
+	// A message delivered while the receiver is idle vs while the receiver
+	// is flooded: the flooded delivery must take longer end-to-end.
+	quiet := newSim(t, 4, constLat(0.2))
+	var quietAt Time
+	quiet.Send(0, 1, 1024, func(d Time) { quietAt = d })
+	quiet.Run()
+
+	busy := newSim(t, 4, constLat(0.2))
+	// Saturate endpoint 1's RX with large messages from endpoints 2 and 3
+	// (each takes 1 ms to serialize), then probe while the flood is landing.
+	for i := 0; i < 20; i++ {
+		busy.Send(2, 1, 120000, nil)
+		busy.Send(3, 1, 120000, nil)
+	}
+	var busyAt, probeStart Time
+	busy.At(5, func() {
+		probeStart = busy.Now()
+		busy.Send(0, 1, 1024, func(d Time) { busyAt = d - probeStart })
+	})
+	busy.Run()
+	if busyAt <= quietAt {
+		t.Fatalf("no interference: busy %g <= quiet %g", busyAt, quietAt)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := newSim(t, 1, constLat(0))
+	fired := 0
+	s.At(1, func() { fired++ })
+	s.At(2, func() { fired++ })
+	s.At(3, func() { fired++ })
+	s.RunUntil(2)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if s.Now() != 2 {
+		t.Fatalf("Now = %g, want 2", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+	s.Run()
+	if fired != 3 {
+		t.Fatalf("fired = %d, want 3", fired)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	s := newSim(t, 1, constLat(0))
+	s.RunUntil(42)
+	if s.Now() != 42 {
+		t.Fatalf("Now = %g, want 42", s.Now())
+	}
+}
+
+func TestPingPongChain(t *testing.T) {
+	// Request-reply RTT: send 0->1, then reply 1->0. Under constant latency
+	// the RTT is exactly twice the one-way time.
+	s := newSim(t, 2, constLat(0.25))
+	var rtt Time
+	start := s.Now()
+	s.Send(0, 1, 1024, func(Time) {
+		s.Send(1, 0, 1024, func(d Time) { rtt = d - start })
+	})
+	s.Run()
+	ser := 1024.0 / 120000.0
+	want := 2 * (ser + 0.25 + ser + 0.004)
+	if math.Abs(rtt-want) > 1e-9 {
+		t.Fatalf("RTT = %g, want %g", rtt, want)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []Time {
+		lat := func(src, dst int, now Time, rng *rand.Rand) float64 {
+			return 0.1 + rng.Float64()*0.1
+		}
+		s, err := New(5, lat, 99, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var deliveries []Time
+		for i := 0; i < 50; i++ {
+			src, dst := i%5, (i+1)%5
+			s.Send(src, dst, 1024, func(d Time) { deliveries = append(deliveries, d) })
+		}
+		s.Run()
+		return deliveries
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("delivery counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic delivery %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMessagesSentCounter(t *testing.T) {
+	s := newSim(t, 2, constLat(0.1))
+	for i := 0; i < 7; i++ {
+		s.Send(0, 1, 10, nil)
+	}
+	s.Run()
+	if s.MessagesSent() != 7 {
+		t.Fatalf("MessagesSent = %d, want 7", s.MessagesSent())
+	}
+}

@@ -1,0 +1,151 @@
+// Package anneal implements a simulated-annealing solver for both node
+// deployment objectives. The paper's toolbox stops at greedy and randomized
+// lightweight approaches (Sects. 4.3 and 4.5); annealing is the natural next
+// rung — a local search over the same solution space — and serves as an
+// ablation baseline between R2 and the systematic CP/MIP solvers.
+//
+// Moves either swap the instances of two deployed nodes or relocate a node
+// to an unused (over-allocated) instance. Temperature decays geometrically
+// from an initial value calibrated to the cost scale.
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cloudia/internal/solver"
+)
+
+// Solver is a simulated-annealing solver.
+type Solver struct {
+	// Seed drives all randomness.
+	Seed int64
+	// InitialTempFraction scales the starting temperature relative to the
+	// bootstrap cost; zero selects 0.5.
+	InitialTempFraction float64
+	// CoolingSteps is the number of moves over which temperature decays by
+	// ~e^-7 (effectively to zero); zero derives it from the node budget or
+	// defaults to 200k.
+	CoolingSteps int64
+}
+
+// New returns an annealing solver.
+func New(seed int64) *Solver { return &Solver{Seed: seed} }
+
+// Name implements solver.Solver.
+func (s *Solver) Name() string { return "SA" }
+
+// Solve implements solver.Solver.
+func (s *Solver) Solve(p *solver.Problem, budget solver.Budget) (*solver.Result, error) {
+	if budget.Unlimited() {
+		return nil, fmt.Errorf("anneal: requires a bounded budget")
+	}
+	clock := solver.NewClock(budget)
+	rng := rand.New(rand.NewSource(s.Seed))
+
+	cur, curCost := solver.Bootstrap(p, 10, rng)
+	cur = cur.Clone()
+	best := cur.Clone()
+	bestCost := curCost
+
+	res := &solver.Result{}
+	res.Trace = append(res.Trace, solver.TracePoint{Elapsed: clock.Elapsed(), Cost: bestCost})
+
+	frac := s.InitialTempFraction
+	if frac == 0 {
+		frac = 0.5
+	}
+	t0 := curCost * frac
+	if t0 <= 0 {
+		t0 = 1e-6
+	}
+	steps := s.CoolingSteps
+	if steps == 0 {
+		if budget.Nodes > 0 {
+			steps = budget.Nodes
+		} else {
+			steps = 200_000
+		}
+	}
+	decay := 7.0 / float64(steps)
+
+	n := p.NumNodes()
+	m := p.NumInstances()
+	usedBy := make([]int, m) // instance -> node + 1, 0 if free
+	for node, inst := range cur {
+		usedBy[inst] = node + 1
+	}
+
+	step := int64(0)
+	for !clock.Tick() {
+		step++
+		temp := t0 * math.Exp(-decay*float64(step))
+
+		// Propose: swap two nodes, or move one node to a free instance.
+		var apply, undo func()
+		if m > n && rng.Intn(2) == 0 {
+			node := rng.Intn(n)
+			target := randFreeInstance(usedBy, rng)
+			old := cur[node]
+			apply = func() {
+				usedBy[old] = 0
+				usedBy[target] = node + 1
+				cur[node] = target
+			}
+			undo = func() {
+				usedBy[target] = 0
+				usedBy[old] = node + 1
+				cur[node] = old
+			}
+		} else {
+			a := rng.Intn(n)
+			bn := rng.Intn(n - 1)
+			if bn >= a {
+				bn++
+			}
+			ia, ib := cur[a], cur[bn]
+			apply = func() {
+				cur[a], cur[bn] = ib, ia
+				usedBy[ia], usedBy[ib] = bn+1, a+1
+			}
+			undo = func() {
+				cur[a], cur[bn] = ia, ib
+				usedBy[ia], usedBy[ib] = a+1, bn+1
+			}
+		}
+
+		apply()
+		cand := p.Cost(cur)
+		delta := cand - curCost
+		if delta <= 0 || rng.Float64() < math.Exp(-delta/math.Max(temp, 1e-12)) {
+			curCost = cand
+			if curCost < bestCost {
+				bestCost = curCost
+				copy(best, cur)
+				res.Trace = append(res.Trace, solver.TracePoint{
+					Elapsed: clock.Elapsed(), Nodes: clock.Nodes(), Cost: bestCost,
+				})
+			}
+		} else {
+			undo()
+		}
+	}
+
+	res.Deployment = best
+	res.Cost = bestCost
+	res.Nodes = clock.Nodes()
+	res.Elapsed = clock.Elapsed()
+	return res, nil
+}
+
+// randFreeInstance picks a uniformly random free instance. usedBy must have
+// at least one zero entry.
+func randFreeInstance(usedBy []int, rng *rand.Rand) int {
+	for {
+		j := rng.Intn(len(usedBy))
+		if usedBy[j] == 0 {
+			return j
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package cp
+
+import "math/bits"
+
+// bitset is a fixed-capacity set of small non-negative integers, used for CP
+// variable domains and for the threshold graph's adjacency rows. Capacity is
+// fixed at construction; all binary operations assume equal capacity.
+type bitset struct {
+	words []uint64
+}
+
+func newBitset(capacity int) bitset {
+	return bitset{words: make([]uint64, (capacity+63)/64)}
+}
+
+func (b bitset) set(i int)      { b.words[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) clear(i int)    { b.words[i>>6] &^= 1 << (uint(i) & 63) }
+func (b bitset) has(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+func (b bitset) empty() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// intersect performs b &= other in place.
+func (b bitset) intersect(other bitset) {
+	for i := range b.words {
+		b.words[i] &= other.words[i]
+	}
+}
+
+func (b bitset) clone() bitset {
+	out := bitset{words: make([]uint64, len(b.words))}
+	copy(out.words, b.words)
+	return out
+}
+
+func (b bitset) copyFrom(other bitset) {
+	copy(b.words, other.words)
+}
+
+// forEach calls f for every member in ascending order; f returning false
+// stops the iteration.
+func (b bitset) forEach(f func(i int) bool) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			if !f(wi<<6 + bit) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package cp
+
+import (
+	"testing"
+
+	"cloudia/internal/core"
+	"cloudia/internal/solver"
+	"cloudia/internal/solver/solvertest"
+)
+
+func TestRejectsLongestPath(t *testing.T) {
+	p, _, err := solvertest.PlantedLP(4, 2, 0.1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(0, 1).Solve(p, solver.Budget{Nodes: 100}); err == nil {
+		t.Fatal("CP accepted longest-path objective")
+	}
+}
+
+func TestFindsPlantedOptimum(t *testing.T) {
+	p, optCeil, err := solvertest.PlantedLL(3, 3, 4, 0.1, 1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(0, 3).Solve(p, solver.Budget{Nodes: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Deployment.Validate(p.NumInstances()); err != nil {
+		t.Fatalf("invalid deployment: %v", err)
+	}
+	if res.Cost > optCeil {
+		t.Fatalf("cost %g, want <= %g", res.Cost, optCeil)
+	}
+	if !res.Optimal {
+		t.Fatal("optimality not proven on a small planted instance")
+	}
+}
+
+func TestProvenOptimalMatchesExhaustive(t *testing.T) {
+	// Tiny instance: 4 nodes on 5 instances; brute-force all injections.
+	g, err := core.Mesh2D(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := solvertest.Realistic(g, 5, solver.LongestLink, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteForceLL(p)
+	res, err := New(0, 4).Solve(p, solver.Budget{Nodes: 10_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal {
+		t.Fatal("optimality not proven")
+	}
+	if res.Cost != want {
+		t.Fatalf("CP optimum %g != brute force %g", res.Cost, want)
+	}
+}
+
+// bruteForceLL enumerates all injective deployments.
+func bruteForceLL(p *solver.Problem) float64 {
+	n, s := p.NumNodes(), p.NumInstances()
+	d := make(core.Deployment, n)
+	used := make([]bool, s)
+	best := -1.0
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			c := p.Cost(d)
+			if best < 0 || c < best {
+				best = c
+			}
+			return
+		}
+		for j := 0; j < s; j++ {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			d[i] = j
+			rec(i + 1)
+			used[j] = false
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestClusteringTradesPrecisionForIterations(t *testing.T) {
+	g, err := core.Mesh2D(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := solvertest.Realistic(g, 12, solver.LongestLink, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := New(0, 7).Solve(p, solver.Budget{Nodes: 3_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k5, err := New(5, 7).Solve(p, solver.Budget{Nodes: 3_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coarse clusters cannot beat the exact optimum, and the exact solver
+	// must prove optimality here.
+	if !exact.Optimal {
+		t.Fatal("exact CP failed to prove optimality")
+	}
+	if k5.Cost < exact.Cost-1e-12 {
+		t.Fatalf("k=5 cost %g beats exact optimum %g", k5.Cost, exact.Cost)
+	}
+	if err := k5.Deployment.Validate(p.NumInstances()); err != nil {
+		t.Fatal(err)
+	}
+	// Clustered search must never claim exact optimality.
+	if k5.Optimal {
+		t.Fatal("clustered CP claimed exact optimality")
+	}
+}
+
+func TestBudgetTruncationStillValid(t *testing.T) {
+	g, err := core.Mesh2D(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := solvertest.Realistic(g, 20, solver.LongestLink, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(20, 11).Solve(p, solver.Budget{Nodes: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Deployment.Validate(p.NumInstances()); err != nil {
+		t.Fatalf("budget-truncated deployment invalid: %v", err)
+	}
+	if res.Optimal {
+		t.Fatal("claimed optimality under a 200-node budget")
+	}
+}
+
+func TestTraceMonotone(t *testing.T) {
+	g, err := core.Mesh2D(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := solvertest.Realistic(g, 16, solver.LongestLink, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(10, 15).Solve(p, solver.Budget{Nodes: 500_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no trace")
+	}
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].Cost > res.Trace[i-1].Cost+1e-12 {
+			t.Fatalf("trace not monotone: %v", res.Trace)
+		}
+	}
+	if res.Trace[len(res.Trace)-1].Cost != res.Cost {
+		t.Fatal("trace does not end at final cost")
+	}
+}
+
+func TestDegreeFilterSoundness(t *testing.T) {
+	// With and without the degree filter the proven optimum must agree.
+	g, err := core.Mesh2D(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := solvertest.Realistic(g, 8, solver.LongestLink, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := New(0, 19).Solve(p, solver.Budget{Nodes: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without := &Solver{ClusterK: 0, Seed: 19, DisableDegreeFilter: true}
+	wo, err := without.Solve(p, solver.Budget{Nodes: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !with.Optimal || !wo.Optimal {
+		t.Fatal("optimality not proven in both configurations")
+	}
+	if with.Cost != wo.Cost {
+		t.Fatalf("degree filter changed the optimum: %g vs %g", with.Cost, wo.Cost)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g, err := core.Mesh2D(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := solvertest.Realistic(g, 14, solver.LongestLink, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(10, 23).Solve(p, solver.Budget{Nodes: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(10, 23).Solve(p, solver.Budget{Nodes: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost {
+		t.Fatalf("CP not deterministic: %g vs %g", a.Cost, b.Cost)
+	}
+}
+
+func TestBitset(t *testing.T) {
+	b := newBitset(130)
+	b.set(0)
+	b.set(64)
+	b.set(129)
+	if !b.has(0) || !b.has(64) || !b.has(129) || b.has(1) {
+		t.Fatal("set/has broken")
+	}
+	if b.count() != 3 {
+		t.Fatalf("count = %d, want 3", b.count())
+	}
+	var got []int
+	b.forEach(func(i int) bool { got = append(got, i); return true })
+	if len(got) != 3 || got[0] != 0 || got[1] != 64 || got[2] != 129 {
+		t.Fatalf("forEach = %v", got)
+	}
+	c := b.clone()
+	c.clear(64)
+	if !b.has(64) || c.has(64) {
+		t.Fatal("clone shares storage")
+	}
+	other := newBitset(130)
+	other.set(0)
+	b.intersect(other)
+	if b.count() != 1 || !b.has(0) {
+		t.Fatal("intersect broken")
+	}
+	if other.empty() {
+		t.Fatal("empty() wrong")
+	}
+	if !newBitset(130).empty() {
+		t.Fatal("fresh bitset not empty")
+	}
+}
+
+func TestBitsetForEachEarlyStop(t *testing.T) {
+	b := newBitset(10)
+	for i := 0; i < 10; i++ {
+		b.set(i)
+	}
+	n := 0
+	b.forEach(func(i int) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}

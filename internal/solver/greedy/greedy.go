@@ -1,0 +1,305 @@
+// Package greedy implements the paper's two lightweight greedy algorithms
+// for the Longest Link Node Deployment Problem (Sect. 4.3.2): G1 (Algorithm
+// 1), which grows a partial deployment by repeatedly taking the cheapest
+// available link, and G2 (Algorithm 2), which additionally charges each
+// candidate for the implicit links it would add between the new instance and
+// the already-deployed neighbours. For LPNDP, the greedy solution to LLNDP
+// over the same graph serves as a heuristic (Sect. 4.5.2).
+package greedy
+
+import (
+	"math"
+
+	"cloudia/internal/core"
+	"cloudia/internal/solver"
+)
+
+// Variant selects between Algorithm 1 and Algorithm 2.
+type Variant int
+
+// The two greedy variants.
+const (
+	G1 Variant = 1
+	G2 Variant = 2
+)
+
+// Solver is a deterministic greedy solver.
+type Solver struct {
+	Variant Variant
+}
+
+// New returns a greedy solver for the given variant.
+func New(v Variant) *Solver { return &Solver{Variant: v} }
+
+// Name implements solver.Solver.
+func (s *Solver) Name() string {
+	if s.Variant == G1 {
+		return "G1"
+	}
+	return "G2"
+}
+
+// Solve implements solver.Solver. Greedy construction is single-pass, so the
+// budget is consulted only as a node counter; both variants always complete
+// on any practical budget.
+func (s *Solver) Solve(p *solver.Problem, budget solver.Budget) (*solver.Result, error) {
+	clock := solver.NewClock(budget)
+	st := newState(p)
+	st.seedFirstEdge()
+	for st.mapped < p.NumNodes() {
+		clock.Tick()
+		var ok bool
+		if s.Variant == G1 {
+			ok = st.stepG1()
+		} else {
+			ok = st.stepG2()
+		}
+		if !ok {
+			// No mapped node has unmatched neighbours: remaining nodes are
+			// in other connected components (or isolated). Seed the next
+			// component and continue.
+			st.seedComponent()
+		}
+	}
+	d := core.Deployment(st.deploy)
+	cost := p.Cost(d)
+	res := &solver.Result{
+		Deployment: d,
+		Cost:       cost,
+		Nodes:      clock.Nodes(),
+		Elapsed:    clock.Elapsed(),
+	}
+	res.Trace = []solver.TracePoint{{Elapsed: res.Elapsed, Nodes: res.Nodes, Cost: cost}}
+	return res, nil
+}
+
+// state is the partial deployment shared by both variants.
+type state struct {
+	p      *solver.Problem
+	deploy []int // node -> instance, -1 if unmapped
+	inv    []int // instance -> node, -1 if unused
+	mapped int
+}
+
+func newState(p *solver.Problem) *state {
+	st := &state{
+		p:      p,
+		deploy: make([]int, p.NumNodes()),
+		inv:    make([]int, p.NumInstances()),
+	}
+	for i := range st.deploy {
+		st.deploy[i] = -1
+	}
+	for i := range st.inv {
+		st.inv[i] = -1
+	}
+	return st
+}
+
+func (st *state) assign(node, inst int) {
+	st.deploy[node] = inst
+	st.inv[inst] = node
+	st.mapped++
+}
+
+// neighbours iterates node's undirected neighbourhood (out then in).
+func (st *state) unmatchedNeighbour(node int) (int, bool) {
+	for _, w := range st.p.Graph.Out(node) {
+		if st.deploy[w] < 0 {
+			return w, true
+		}
+	}
+	for _, w := range st.p.Graph.In(node) {
+		if st.deploy[w] < 0 {
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+func (st *state) hasUnmatchedNeighbour(node int) bool {
+	_, ok := st.unmatchedNeighbour(node)
+	return ok
+}
+
+// seedFirstEdge performs lines 1-3 of both algorithms: map an arbitrary edge
+// (the first) onto the cheapest instance pair. Graphs without edges are
+// seeded as a bare component instead.
+func (st *state) seedFirstEdge() {
+	g := st.p.Graph
+	if g.NumEdges() == 0 {
+		st.seedComponent()
+		return
+	}
+	m := st.p.Costs
+	n := m.Size()
+	bu, bv, best := -1, -1, math.Inf(1)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && m.At(u, v) < best {
+				bu, bv, best = u, v, m.At(u, v)
+			}
+		}
+	}
+	e := g.Edges()[0]
+	st.assign(e.From, bu)
+	st.assign(e.To, bv)
+}
+
+// seedComponent maps one still-unmapped node. If that node has an unmapped
+// neighbour, the pair is placed on the cheapest unused instance pair (a
+// fresh copy of lines 1-3 restricted to unused instances); otherwise the
+// isolated node takes the lowest-numbered unused instance, since no link
+// constrains it.
+func (st *state) seedComponent() {
+	node := -1
+	for v, inst := range st.deploy {
+		if inst < 0 {
+			node = v
+			break
+		}
+	}
+	if node < 0 {
+		return
+	}
+	if nb, ok := st.unmatchedNeighbour(node); ok {
+		m := st.p.Costs
+		bu, bv, best := -1, -1, math.Inf(1)
+		for u := 0; u < m.Size(); u++ {
+			if st.inv[u] >= 0 {
+				continue
+			}
+			for v := 0; v < m.Size(); v++ {
+				if u == v || st.inv[v] >= 0 {
+					continue
+				}
+				if m.At(u, v) < best {
+					bu, bv, best = u, v, m.At(u, v)
+				}
+			}
+		}
+		st.assign(node, bu)
+		st.assign(nb, bv)
+		return
+	}
+	for inst, occupant := range st.inv {
+		if occupant < 0 {
+			st.assign(node, inst)
+			return
+		}
+	}
+}
+
+// stepG1 performs one iteration of Algorithm 1: take the cheapest link
+// (u, v) from a mapped instance with unmatched neighbours to an unused
+// instance, and map one unmatched neighbour onto v.
+func (st *state) stepG1() bool {
+	m := st.p.Costs
+	n := m.Size()
+	cmin := math.Inf(1)
+	umin, vmin := -1, -1
+	for u := 0; u < n; u++ {
+		node := st.inv[u]
+		if node < 0 || !st.hasUnmatchedNeighbour(node) {
+			continue
+		}
+		for v := 0; v < n; v++ {
+			if u == v || st.inv[v] >= 0 {
+				continue
+			}
+			if c := m.At(u, v); c < cmin {
+				cmin = c
+				umin, vmin = u, v
+			}
+		}
+	}
+	if umin < 0 {
+		return false
+	}
+	w, _ := st.unmatchedNeighbour(st.inv[umin])
+	st.assign(w, vmin)
+	return true
+}
+
+// stepG2 performs one iteration of Algorithm 2: cost each candidate (v, w)
+// by the worst among the explicit link (u, v) and every implicit link that
+// mapping w onto v would create towards already-mapped neighbours of w, and
+// take the candidate minimizing that worst cost.
+func (st *state) stepG2() bool {
+	g := st.p.Graph
+	m := st.p.Costs
+	n := m.Size()
+	cmin := math.Inf(1)
+	vmin, wmin := -1, -1
+	for u := 0; u < n; u++ {
+		node := st.inv[u]
+		if node < 0 {
+			continue
+		}
+		for v := 0; v < n; v++ {
+			if u == v || st.inv[v] >= 0 {
+				continue
+			}
+			// Each unmatched neighbour w of D^-1(u) is a candidate for
+			// instance v; charge it for all implicit links to mapped nodes.
+			// Edge weights scale each link's cost (the weighted-graph
+			// extension); the explicit link additionally honours edge
+			// direction, a small refinement over the paper's CL(u,v).
+			for _, w := range undirectedNeighbours(g, node) {
+				if st.deploy[w] >= 0 {
+					continue
+				}
+				cuv := edgeCost(g, m, node, w, u, v)
+				for _, x := range g.Out(w) {
+					if dx := st.deploy[x]; dx >= 0 {
+						if c := g.Weight(w, x) * m.At(v, dx); c > cuv {
+							cuv = c
+						}
+					}
+				}
+				for _, x := range g.In(w) {
+					if dx := st.deploy[x]; dx >= 0 {
+						if c := g.Weight(x, w) * m.At(dx, v); c > cuv {
+							cuv = c
+						}
+					}
+				}
+				if cuv < cmin {
+					cmin = cuv
+					vmin, wmin = v, w
+				}
+			}
+		}
+	}
+	if wmin < 0 {
+		return false
+	}
+	st.assign(wmin, vmin)
+	return true
+}
+
+// edgeCost returns the worst weighted link cost the explicit edge(s) between
+// nodes a and b would pay when deployed on instances ia and ib respectively.
+func edgeCost(g *core.Graph, m *core.CostMatrix, a, b, ia, ib int) float64 {
+	cost := 0.0
+	if g.HasEdge(a, b) {
+		cost = g.Weight(a, b) * m.At(ia, ib)
+	}
+	if g.HasEdge(b, a) {
+		if c := g.Weight(b, a) * m.At(ib, ia); c > cost {
+			cost = c
+		}
+	}
+	return cost
+}
+
+// undirectedNeighbours returns node's neighbours in either direction,
+// without deduplication (duplicates only cost a second evaluation).
+func undirectedNeighbours(g *core.Graph, node int) []int {
+	out := g.Out(node)
+	in := g.In(node)
+	all := make([]int, 0, len(out)+len(in))
+	all = append(all, out...)
+	all = append(all, in...)
+	return all
+}

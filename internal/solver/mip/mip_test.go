@@ -1,0 +1,180 @@
+package mip
+
+import (
+	"testing"
+
+	"cloudia/internal/core"
+	"cloudia/internal/solver"
+	"cloudia/internal/solver/solvertest"
+)
+
+func TestFindsPlantedLLOptimum(t *testing.T) {
+	p, optCeil, err := solvertest.PlantedLL(2, 3, 3, 0.1, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(0, 2).Solve(p, solver.Budget{Nodes: 20_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Deployment.Validate(p.NumInstances()); err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > optCeil {
+		t.Fatalf("cost %g, want <= %g", res.Cost, optCeil)
+	}
+	if !res.Optimal {
+		t.Fatal("optimality not proven on a tiny instance")
+	}
+}
+
+func TestFindsPlantedLPOptimum(t *testing.T) {
+	p, optCeil, err := solvertest.PlantedLP(5, 3, 0.1, 1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(0, 4).Solve(p, solver.Budget{Nodes: 20_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > optCeil {
+		t.Fatalf("LP cost %g, want <= %g", res.Cost, optCeil)
+	}
+	if !res.Optimal {
+		t.Fatal("optimality not proven")
+	}
+}
+
+func TestMatchesBruteForceLL(t *testing.T) {
+	g, err := core.Mesh2D(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := solvertest.Realistic(g, 6, solver.LongestLink, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(0, 6).Solve(p, solver.Budget{Nodes: 50_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteForce(p)
+	if !res.Optimal || res.Cost != want {
+		t.Fatalf("MIP %g (optimal=%v) != brute force %g", res.Cost, res.Optimal, want)
+	}
+}
+
+func TestMatchesBruteForceLP(t *testing.T) {
+	g, err := core.TwoLevelAggregation(2, 3) // 6 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := solvertest.Realistic(g, 7, solver.LongestPath, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(0, 8).Solve(p, solver.Budget{Nodes: 50_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteForce(p)
+	if !res.Optimal || res.Cost != want {
+		t.Fatalf("MIP %g (optimal=%v) != brute force %g", res.Cost, res.Optimal, want)
+	}
+}
+
+func bruteForce(p *solver.Problem) float64 {
+	n, s := p.NumNodes(), p.NumInstances()
+	d := make(core.Deployment, n)
+	used := make([]bool, s)
+	best := -1.0
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			c := p.Cost(d)
+			if best < 0 || c < best {
+				best = c
+			}
+			return
+		}
+		for j := 0; j < s; j++ {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			d[i] = j
+			rec(i + 1)
+			used[j] = false
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestBudgetTruncationStillValid(t *testing.T) {
+	g, err := core.Mesh2D(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := solvertest.Realistic(g, 20, solver.LongestLink, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(0, 10).Solve(p, solver.Budget{Nodes: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Deployment.Validate(p.NumInstances()); err != nil {
+		t.Fatal(err)
+	}
+	if res.Optimal {
+		t.Fatal("claimed optimality under 500-node budget")
+	}
+}
+
+func TestClusteringDoesNotBreakLP(t *testing.T) {
+	p, _, err := solvertest.PlantedLP(5, 3, 0.1, 1.0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(5, 12).Solve(p, solver.Budget{Nodes: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Deployment.Validate(p.NumInstances()); err != nil {
+		t.Fatal(err)
+	}
+	// Reported cost must be under the original matrix.
+	if got := p.Cost(res.Deployment); got != res.Cost {
+		t.Fatalf("reported %g, actual %g", res.Cost, got)
+	}
+}
+
+func TestTraceMonotone(t *testing.T) {
+	g, err := core.Mesh2D(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := solvertest.Realistic(g, 12, solver.LongestLink, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(0, 14).Solve(p, solver.Budget{Nodes: 300_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].Cost > res.Trace[i-1].Cost+1e-12 {
+			t.Fatalf("trace not monotone: %v", res.Trace)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if New(0, 1).Name() != "MIP" {
+		t.Fatal("name")
+	}
+	if New(20, 1).Name() != "MIP(k=20)" {
+		t.Fatal("clustered name")
+	}
+}

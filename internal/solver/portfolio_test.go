@@ -1,0 +1,171 @@
+package solver_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cloudia/internal/core"
+	"cloudia/internal/solver"
+	"cloudia/internal/solver/anneal"
+	"cloudia/internal/solver/cp"
+	"cloudia/internal/solver/greedy"
+	"cloudia/internal/solver/mip"
+	"cloudia/internal/solver/random"
+)
+
+// Cross-solver consistency properties: on instances small enough for the
+// systematic solvers to prove optimality, their optima must agree with each
+// other and lower-bound every lightweight technique.
+
+func randomLLProblem(t *testing.T, seed int64, nodes, instances int) *solver.Problem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := core.NewGraph(nodes)
+	// Random connected-ish graph: a spanning path plus random extra edges.
+	for v := 0; v+1 < nodes; v++ {
+		if err := g.AddEdge(v, v+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < nodes; k++ {
+		a, b := rng.Intn(nodes), rng.Intn(nodes)
+		if a != b && !g.HasEdge(a, b) {
+			if err := g.AddEdge(a, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	m := core.NewCostMatrix(instances)
+	for i := 0; i < instances; i++ {
+		for j := 0; j < instances; j++ {
+			if i != j {
+				m.Set(i, j, 0.1+rng.Float64())
+			}
+		}
+	}
+	p, err := solver.NewProblem(g, m, solver.LongestLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProvenOptimaAgreeCPvsMIP(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		p := randomLLProblem(t, seed, 5, 7)
+		cpRes, err := cp.New(0, seed).Solve(p, solver.Budget{Nodes: 50_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pure := &mip.Solver{Seed: seed, LPNodeCost: -1}
+		mipRes, err := pure.Solve(p, solver.Budget{Nodes: 50_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cpRes.Optimal || !mipRes.Optimal {
+			t.Fatalf("seed %d: optimality not proven (cp=%v mip=%v)", seed, cpRes.Optimal, mipRes.Optimal)
+		}
+		if cpRes.Cost != mipRes.Cost {
+			t.Fatalf("seed %d: CP optimum %g != MIP optimum %g", seed, cpRes.Cost, mipRes.Cost)
+		}
+	}
+}
+
+func TestProvenOptimumLowerBoundsLightweights(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		p := randomLLProblem(t, seed*17, 5, 7)
+		opt, err := cp.New(0, seed).Solve(p, solver.Budget{Nodes: 50_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !opt.Optimal {
+			t.Fatalf("seed %d: CP did not prove optimality", seed)
+		}
+		lightweights := []solver.Solver{
+			greedy.New(greedy.G1),
+			greedy.New(greedy.G2),
+			random.NewR1(300, seed),
+			anneal.New(seed),
+		}
+		for _, s := range lightweights {
+			res, err := s.Solve(p, solver.Budget{Nodes: 50_000})
+			if err != nil {
+				t.Fatalf("%s: %v", s.Name(), err)
+			}
+			if res.Cost < opt.Cost-1e-12 {
+				t.Fatalf("seed %d: %s cost %g beats proven optimum %g", seed, s.Name(), res.Cost, opt.Cost)
+			}
+		}
+	}
+}
+
+func TestAllSolversTracesMonotone(t *testing.T) {
+	p := randomLLProblem(t, 99, 9, 12)
+	solvers := []solver.Solver{
+		greedy.New(greedy.G1),
+		greedy.New(greedy.G2),
+		random.NewR1(500, 3),
+		anneal.New(3),
+		cp.New(10, 3),
+		&mip.Solver{Seed: 3, LPNodeCost: -1},
+	}
+	for _, s := range solvers {
+		res, err := s.Solve(p, solver.Budget{Nodes: 100_000})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if len(res.Trace) == 0 {
+			t.Fatalf("%s: empty trace", s.Name())
+		}
+		for i := 1; i < len(res.Trace); i++ {
+			if res.Trace[i].Cost > res.Trace[i-1].Cost+1e-12 {
+				t.Fatalf("%s: trace not monotone: %v", s.Name(), res.Trace)
+			}
+		}
+		if last := res.Trace[len(res.Trace)-1].Cost; last != res.Cost {
+			t.Fatalf("%s: trace ends at %g, result cost %g", s.Name(), last, res.Cost)
+		}
+	}
+}
+
+func TestAllSolversHonourReportedCost(t *testing.T) {
+	p := randomLLProblem(t, 123, 8, 11)
+	solvers := []solver.Solver{
+		greedy.New(greedy.G1),
+		greedy.New(greedy.G2),
+		random.NewR1(300, 5),
+		anneal.New(5),
+		cp.New(10, 5),
+		mip.New(10, 5),
+	}
+	for _, s := range solvers {
+		res, err := s.Solve(p, solver.Budget{Nodes: 50_000})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := res.Deployment.Validate(p.NumInstances()); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if got := p.Cost(res.Deployment); got != res.Cost {
+			t.Fatalf("%s: reported %g, actual %g", s.Name(), res.Cost, got)
+		}
+	}
+}
+
+func TestCPNeverWorseThanBootstrapAcrossSeeds(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		p := randomLLProblem(t, seed*31+7, 12, 16)
+		rng := rand.New(rand.NewSource(seed))
+		_, bootCost := solver.Bootstrap(p, 10, rng)
+		res, err := cp.New(15, seed).Solve(p, solver.Budget{Nodes: 30_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// CP bootstraps with the same protocol (best of 10), so even under
+		// a tiny budget the result can't be drastically worse than an
+		// independent bootstrap; allow slack for the different RNG stream.
+		if res.Cost > bootCost*1.5 {
+			t.Fatalf("seed %d: CP %g vs independent bootstrap %g", seed, res.Cost, bootCost)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package random implements the paper's randomized search baselines
+// (Sects. 4.3.1 and 4.5.1): R1 draws a fixed number of uniformly random
+// deployments and keeps the best; R2 draws random deployments in parallel
+// across all CPUs for a wall-clock budget, matching the hardware budget
+// given to the CP/MIP solvers (Sect. 6.5). Both work unchanged for the
+// longest-link and longest-path objectives.
+package random
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"cloudia/internal/core"
+	"cloudia/internal/solver"
+)
+
+// R1 is the fixed-sample-count randomized solver. The paper uses 1,000
+// samples.
+type R1 struct {
+	Samples int
+	Seed    int64
+}
+
+// NewR1 returns an R1 solver drawing the given number of samples.
+func NewR1(samples int, seed int64) *R1 { return &R1{Samples: samples, Seed: seed} }
+
+// Name implements solver.Solver.
+func (s *R1) Name() string { return "R1" }
+
+// Solve implements solver.Solver: sequential, fully deterministic sampling.
+// The node budget, if smaller than Samples, truncates the run.
+func (s *R1) Solve(p *solver.Problem, budget solver.Budget) (*solver.Result, error) {
+	if s.Samples <= 0 {
+		return nil, fmt.Errorf("random: R1 needs positive sample count, got %d", s.Samples)
+	}
+	clock := solver.NewClock(budget)
+	rng := rand.New(rand.NewSource(s.Seed))
+	res := &solver.Result{}
+	for i := 0; i < s.Samples; i++ {
+		d := solver.RandomDeployment(p, rng)
+		c := p.Cost(d)
+		if res.Deployment == nil || c < res.Cost {
+			res.Deployment, res.Cost = d, c
+			res.Trace = append(res.Trace, solver.TracePoint{
+				Elapsed: clock.Elapsed(), Nodes: clock.Nodes(), Cost: c,
+			})
+		}
+		if clock.Tick() {
+			break
+		}
+	}
+	res.Nodes = clock.Nodes()
+	res.Elapsed = clock.Elapsed()
+	return res, nil
+}
+
+// R2 is the budget-driven parallel randomized solver.
+type R2 struct {
+	Seed int64
+	// Workers overrides the worker count; zero selects GOMAXPROCS.
+	Workers int
+}
+
+// NewR2 returns an R2 solver.
+func NewR2(seed int64) *R2 { return &R2{Seed: seed} }
+
+// Name implements solver.Solver.
+func (s *R2) Name() string { return "R2" }
+
+// Solve implements solver.Solver: workers sample independently until the
+// budget expires, then the global best is returned. With a pure node budget
+// the total sample count is deterministic, though the winning sample may
+// depend on scheduling when several workers tie.
+func (s *R2) Solve(p *solver.Problem, budget solver.Budget) (*solver.Result, error) {
+	if budget.Unlimited() {
+		return nil, fmt.Errorf("random: R2 requires a bounded budget")
+	}
+	overall := solver.NewClock(budget)
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	perWorker := solver.Budget{Time: budget.Time}
+	if budget.Nodes > 0 {
+		perWorker.Nodes = (budget.Nodes + int64(workers) - 1) / int64(workers)
+	}
+
+	type best struct {
+		d     core.Deployment
+		cost  float64
+		nodes int64
+		trace []solver.TracePoint
+	}
+	results := make([]best, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			clock := solver.NewClock(perWorker)
+			rng := rand.New(rand.NewSource(s.Seed + int64(w)*0x9e37))
+			b := best{}
+			for {
+				d := solver.RandomDeployment(p, rng)
+				c := p.Cost(d)
+				if b.d == nil || c < b.cost {
+					b.d, b.cost = d, c
+					b.trace = append(b.trace, solver.TracePoint{
+						Elapsed: clock.Elapsed(), Nodes: clock.Nodes(), Cost: c,
+					})
+				}
+				if clock.Tick() {
+					break
+				}
+			}
+			b.nodes = clock.Nodes()
+			results[w] = b
+		}()
+	}
+	wg.Wait()
+
+	res := &solver.Result{}
+	for _, b := range results {
+		res.Nodes += b.nodes
+		if b.d != nil && (res.Deployment == nil || b.cost < res.Cost) {
+			res.Deployment, res.Cost = b.d, b.cost
+			res.Trace = b.trace
+		}
+	}
+	res.Elapsed = overall.Elapsed()
+	return res, nil
+}

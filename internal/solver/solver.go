@@ -1,0 +1,200 @@
+// Package solver defines the optimization framework for the node deployment
+// problem (Sect. 3.3): a Problem couples a communication graph, a measured
+// cost matrix, and one of the two deployment cost objectives; Solver
+// implementations search the space of injective node-to-instance mappings.
+// Sub-packages provide the paper's search techniques: greedy (G1/G2),
+// random (R1/R2), constraint programming (CP), branch-and-bound MIP, and a
+// simulated-annealing extension.
+package solver
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cloudia/internal/core"
+)
+
+// Objective selects the deployment cost function.
+type Objective string
+
+// The two deployment cost classes of Sect. 3.3.
+const (
+	LongestLink Objective = "longest-link" // Class 1: max edge cost (LLNDP)
+	LongestPath Objective = "longest-path" // Class 2: max path cost sum (LPNDP)
+)
+
+// Problem is one node deployment problem instance.
+type Problem struct {
+	Graph     *core.Graph
+	Costs     *core.CostMatrix
+	Objective Objective
+
+	order []core.NodeID // topological order, cached for LongestPath
+}
+
+// NewProblem validates and packages a problem instance. The instance set
+// must be at least as large as the node set, and LongestPath requires an
+// acyclic communication graph.
+func NewProblem(g *core.Graph, m *core.CostMatrix, obj Objective) (*Problem, error) {
+	if g == nil || m == nil {
+		return nil, fmt.Errorf("solver: nil graph or cost matrix")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if g.NumNodes() > m.Size() {
+		return nil, fmt.Errorf("solver: %d nodes exceed %d instances", g.NumNodes(), m.Size())
+	}
+	p := &Problem{Graph: g, Costs: m, Objective: obj}
+	switch obj {
+	case LongestLink:
+	case LongestPath:
+		order, err := g.TopoOrder()
+		if err != nil {
+			return nil, err
+		}
+		p.order = order
+	default:
+		return nil, fmt.Errorf("solver: unknown objective %q", obj)
+	}
+	return p, nil
+}
+
+// NumNodes reports |N|, the number of application nodes.
+func (p *Problem) NumNodes() int { return p.Graph.NumNodes() }
+
+// NumInstances reports |S|, the number of allocated instances.
+func (p *Problem) NumInstances() int { return p.Costs.Size() }
+
+// Cost evaluates the deployment cost of d under the problem's objective.
+func (p *Problem) Cost(d core.Deployment) float64 {
+	switch p.Objective {
+	case LongestLink:
+		return core.LongestLink(d, p.Graph, p.Costs)
+	case LongestPath:
+		return core.LongestPathWithOrder(d, p.Graph, p.Costs, p.order)
+	}
+	panic("solver: unreachable objective")
+}
+
+// TopoOrder returns the cached topological order for LongestPath problems,
+// or nil for LongestLink problems.
+func (p *Problem) TopoOrder() []core.NodeID { return p.order }
+
+// Budget bounds a solver run. A zero field means unlimited on that axis; at
+// least one axis must be bounded for solvers that search exhaustively.
+type Budget struct {
+	// Time is the wall-clock limit.
+	Time time.Duration
+	// Nodes caps search-tree node expansions (or candidate evaluations for
+	// sampling solvers), making runs deterministic regardless of machine
+	// speed.
+	Nodes int64
+}
+
+// Unlimited reports whether the budget bounds nothing.
+func (b Budget) Unlimited() bool { return b.Time == 0 && b.Nodes == 0 }
+
+// TracePoint records a solution improvement during search, for the
+// convergence plots of Figs. 6, 7, and 9.
+type TracePoint struct {
+	Elapsed time.Duration
+	Nodes   int64 // search nodes expanded when the improvement was found
+	Cost    float64
+}
+
+// Result is the outcome of one solver run.
+type Result struct {
+	Deployment core.Deployment
+	Cost       float64
+	// Optimal is true when the solver proved no better deployment exists
+	// (exhaustive search completed within budget).
+	Optimal bool
+	// Nodes is the number of search nodes expanded (or candidates tried).
+	Nodes int64
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// Trace records each improvement, ending with the final solution.
+	Trace []TracePoint
+}
+
+// Solver searches for low-cost deployments.
+type Solver interface {
+	// Name identifies the technique (G1, G2, R1, R2, CP, MIP, SA).
+	Name() string
+	// Solve searches within budget, starting from scratch. Implementations
+	// must return a valid deployment even on a tiny budget (falling back to
+	// a random or identity deployment) and must never return an error for a
+	// well-formed problem.
+	Solve(p *Problem, budget Budget) (*Result, error)
+}
+
+// RandomDeployment returns a uniformly random injective deployment of the
+// problem's nodes onto its instances.
+func RandomDeployment(p *Problem, rng *rand.Rand) core.Deployment {
+	perm := rng.Perm(p.NumInstances())
+	d := make(core.Deployment, p.NumNodes())
+	copy(d, perm[:p.NumNodes()])
+	return d
+}
+
+// Bootstrap generates k random deployments and returns the best, the paper's
+// initial-solution strategy for the solvers (Sect. 6.3.1, best of 10).
+func Bootstrap(p *Problem, k int, rng *rand.Rand) (core.Deployment, float64) {
+	if k < 1 {
+		k = 1
+	}
+	var best core.Deployment
+	bestCost := 0.0
+	for i := 0; i < k; i++ {
+		d := RandomDeployment(p, rng)
+		c := p.Cost(d)
+		if best == nil || c < bestCost {
+			best, bestCost = d, c
+		}
+	}
+	return best, bestCost
+}
+
+// Clock tracks a solver run's budget.
+type Clock struct {
+	start  time.Time
+	budget Budget
+	nodes  int64
+}
+
+// NewClock starts tracking a run against budget.
+func NewClock(budget Budget) *Clock {
+	return &Clock{start: time.Now(), budget: budget}
+}
+
+// Tick consumes one search node and reports whether the budget is exhausted.
+// The wall clock is consulted only every 1024 ticks to keep it cheap.
+func (c *Clock) Tick() bool {
+	c.nodes++
+	if c.budget.Nodes > 0 && c.nodes >= c.budget.Nodes {
+		return true
+	}
+	if c.budget.Time > 0 && c.nodes%1024 == 0 && time.Since(c.start) >= c.budget.Time {
+		return true
+	}
+	return false
+}
+
+// Expired reports whether the budget is exhausted without consuming a node.
+func (c *Clock) Expired() bool {
+	if c.budget.Nodes > 0 && c.nodes >= c.budget.Nodes {
+		return true
+	}
+	return c.budget.Time > 0 && time.Since(c.start) >= c.budget.Time
+}
+
+// Nodes reports the nodes consumed so far.
+func (c *Clock) Nodes() int64 { return c.nodes }
+
+// Elapsed reports wall-clock time since the run started.
+func (c *Clock) Elapsed() time.Duration { return time.Since(c.start) }

@@ -1,0 +1,105 @@
+// Package solvertest provides shared problem-instance builders for testing
+// the solver implementations: planted instances with a known optimal cost,
+// and realistic instances drawn from the simulated datacenter.
+package solvertest
+
+import (
+	"math/rand"
+
+	"cloudia/internal/cloud"
+	"cloudia/internal/core"
+	"cloudia/internal/solver"
+	"cloudia/internal/topology"
+)
+
+// PlantedLL builds a LLNDP instance with a known optimum: a hidden clique of
+// rows*cols instances is interconnected at ~lowCost, every other link costs
+// ~highCost, and the communication graph is a rows x cols mesh. Any
+// deployment confined to the clique has cost below lowCost*1.01; any other
+// deployment pays at least highCost. It returns the problem and the
+// optimal-cost ceiling.
+func PlantedLL(rows, cols, extra int, lowCost, highCost float64, seed int64) (*solver.Problem, float64, error) {
+	g, err := core.Mesh2D(rows, cols)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := rows * cols
+	s := n + extra
+	rng := rand.New(rand.NewSource(seed))
+	good := rng.Perm(s)[:n]
+	isGood := make([]bool, s)
+	for _, j := range good {
+		isGood[j] = true
+	}
+	m := core.NewCostMatrix(s)
+	for i := 0; i < s; i++ {
+		for j := 0; j < s; j++ {
+			if i == j {
+				continue
+			}
+			if isGood[i] && isGood[j] {
+				m.Set(i, j, lowCost*(1+rng.Float64()*0.01))
+			} else {
+				m.Set(i, j, highCost*(1+rng.Float64()*0.01))
+			}
+		}
+	}
+	p, err := solver.NewProblem(g, m, solver.LongestLink)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, lowCost * 1.01, nil
+}
+
+// PlantedLP builds an LPNDP instance with a planted cheap chain: the
+// communication graph is a directed path over n nodes, instances 0..n-1
+// consecutively linked at ~lowCost, everything else at ~highCost, plus extra
+// decoy instances. The optimal longest-path cost is below
+// (n-1)*lowCost*1.01.
+func PlantedLP(n, extra int, lowCost, highCost float64, seed int64) (*solver.Problem, float64, error) {
+	g := core.NewGraph(n)
+	for v := 0; v+1 < n; v++ {
+		if err := g.AddEdge(v, v+1); err != nil {
+			return nil, 0, err
+		}
+	}
+	s := n + extra
+	rng := rand.New(rand.NewSource(seed))
+	m := core.NewCostMatrix(s)
+	for i := 0; i < s; i++ {
+		for j := 0; j < s; j++ {
+			if i == j {
+				continue
+			}
+			if j == i+1 && j < n {
+				m.Set(i, j, lowCost*(1+rng.Float64()*0.01))
+			} else {
+				m.Set(i, j, highCost*(1+rng.Float64()*0.01))
+			}
+		}
+	}
+	p, err := solver.NewProblem(g, m, solver.LongestPath)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, float64(n-1) * lowCost * 1.01, nil
+}
+
+// Realistic builds a problem over a simulated EC2 allocation: nodes nodes,
+// an over-allocated instance pool, and ground-truth mean RTTs as costs.
+func Realistic(g *core.Graph, instances int, obj solver.Objective, seed int64) (*solver.Problem, error) {
+	dc, err := topology.New(topology.EC2Profile(), seed)
+	if err != nil {
+		return nil, err
+	}
+	prov, err := cloud.NewProvider(dc, 0.6, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	insts, err := prov.RunInstances(instances)
+	if err != nil {
+		return nil, err
+	}
+	m := cloud.MeanRTTMatrix(dc, insts)
+	return solver.NewProblem(g, m, obj)
+}

@@ -1,0 +1,213 @@
+package solver_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cloudia/internal/core"
+	"cloudia/internal/solver"
+	"cloudia/internal/solver/anneal"
+	"cloudia/internal/solver/cp"
+	"cloudia/internal/solver/greedy"
+	"cloudia/internal/solver/mip"
+	"cloudia/internal/solver/random"
+)
+
+// Weighted-graph extension: all solvers must solve weighted problems and the
+// systematic solvers must find the weighted optimum, which generally differs
+// from the unweighted one.
+
+// weightedInstance builds a 4-node star where the heavy edge must land on
+// the cheapest link: node 0 talks to 1, 2, 3; edge (0,1) has weight 10.
+// Instance pair (4, 5) is the unique cheap link.
+func weightedInstance(t *testing.T) (*solver.Problem, float64) {
+	t.Helper()
+	g := core.NewGraph(4)
+	for _, to := range []int{1, 2, 3} {
+		if err := g.AddEdge(0, to); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.SetWeight(0, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	const s = 6
+	rng := rand.New(rand.NewSource(11))
+	m := core.NewCostMatrix(s)
+	for i := 0; i < s; i++ {
+		for j := 0; j < s; j++ {
+			if i != j {
+				m.Set(i, j, 0.9+0.2*rng.Float64())
+			}
+		}
+	}
+	m.Set(4, 5, 0.1) // the one cheap link
+	p, err := solver.NewProblem(g, m, solver.LongestLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimum: node 0 on instance 4, node 1 on instance 5 -> heavy edge
+	// costs 10*0.1 = 1.0; other edges cost ~1.1 at most => cost ~1.1.
+	// Any deployment with the heavy edge elsewhere costs >= 10*0.9 = 9.
+	return p, 2.0
+}
+
+func TestWeightedOptimumCP(t *testing.T) {
+	p, ceil := weightedInstance(t)
+	res, err := cp.New(0, 3).Solve(p, solver.Budget{Nodes: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > ceil {
+		t.Fatalf("CP weighted cost %g, want <= %g (heavy edge not placed on cheap link)", res.Cost, ceil)
+	}
+	if !res.Optimal {
+		t.Fatal("CP did not prove weighted optimality")
+	}
+	// The heavy edge must occupy the cheap (4,5) link.
+	if !(res.Deployment[0] == 4 && res.Deployment[1] == 5) {
+		t.Fatalf("heavy edge deployed on (%d,%d), want (4,5)", res.Deployment[0], res.Deployment[1])
+	}
+}
+
+func TestWeightedOptimumMIP(t *testing.T) {
+	p, ceil := weightedInstance(t)
+	s := &mip.Solver{Seed: 5, LPNodeCost: -1} // pure search: no LP emulation
+	res, err := s.Solve(p, solver.Budget{Nodes: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > ceil {
+		t.Fatalf("MIP weighted cost %g, want <= %g", res.Cost, ceil)
+	}
+	if !res.Optimal {
+		t.Fatal("MIP did not prove weighted optimality")
+	}
+}
+
+func TestWeightedLPNDPMIP(t *testing.T) {
+	// Chain 0->1->2 with the first edge weighted 5: the optimum routes that
+	// edge over the cheapest link.
+	g := core.NewGraph(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetWeight(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewCostMatrix(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j {
+				m.Set(i, j, 1.0)
+			}
+		}
+	}
+	m.Set(2, 3, 0.1)
+	p, err := solver.NewProblem(g, m, solver.LongestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &mip.Solver{Seed: 7, LPNodeCost: -1}
+	res, err := s.Solve(p, solver.Budget{Nodes: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimum: heavy edge on (2,3): 5*0.1 + 1*1 = 1.5.
+	if res.Cost > 1.5+1e-9 {
+		t.Fatalf("weighted LPNDP cost %g, want <= 1.5", res.Cost)
+	}
+	if !res.Optimal {
+		t.Fatal("optimality not proven")
+	}
+}
+
+func TestWeightedLightweightSolversValid(t *testing.T) {
+	p, _ := weightedInstance(t)
+	solvers := []solver.Solver{
+		greedy.New(greedy.G1),
+		greedy.New(greedy.G2),
+		random.NewR1(2000, 9),
+		anneal.New(9),
+	}
+	for _, s := range solvers {
+		res, err := s.Solve(p, solver.Budget{Nodes: 100_000})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := res.Deployment.Validate(p.NumInstances()); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if got := p.Cost(res.Deployment); got != res.Cost {
+			t.Fatalf("%s reported %g, actual %g", s.Name(), res.Cost, got)
+		}
+	}
+}
+
+func TestWeightedG2PrefersCheapLinkForHeavyEdge(t *testing.T) {
+	p, ceil := weightedInstance(t)
+	res, err := greedy.New(greedy.G2).Solve(p, solver.Budget{Nodes: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// G2's weighted implicit-cost refinement should avoid paying 10x a
+	// regular link for the heavy edge.
+	if res.Cost > ceil {
+		t.Fatalf("G2 weighted cost %g, want <= %g", res.Cost, ceil)
+	}
+}
+
+// Property: all solvers produce valid deployments on random weighted
+// problems.
+func TestWeightedRandomProblemsAllSolvers(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) * 131))
+		n := 4 + rng.Intn(6)
+		s := n + 2 + rng.Intn(4)
+		g, err := core.RandomDAG(n, 0.5, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range g.Edges() {
+			if rng.Intn(2) == 0 {
+				if err := g.SetWeight(e.From, e.To, 1+rng.Float64()*4); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		m := core.NewCostMatrix(s)
+		for i := 0; i < s; i++ {
+			for j := 0; j < s; j++ {
+				if i != j {
+					m.Set(i, j, 0.1+rng.Float64())
+				}
+			}
+		}
+		for _, obj := range []solver.Objective{solver.LongestLink, solver.LongestPath} {
+			p, err := solver.NewProblem(g, m, obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var solvers []solver.Solver
+			solvers = append(solvers,
+				greedy.New(greedy.G1), greedy.New(greedy.G2),
+				random.NewR1(200, 3), anneal.New(3),
+				&mip.Solver{Seed: 3, LPNodeCost: -1})
+			if obj == solver.LongestLink {
+				solvers = append(solvers, cp.New(0, 3))
+			}
+			for _, sol := range solvers {
+				res, err := sol.Solve(p, solver.Budget{Nodes: 30_000})
+				if err != nil {
+					t.Fatalf("trial %d %s %s: %v", trial, obj, sol.Name(), err)
+				}
+				if err := res.Deployment.Validate(s); err != nil {
+					t.Fatalf("trial %d %s %s: %v", trial, obj, sol.Name(), err)
+				}
+			}
+		}
+	}
+}

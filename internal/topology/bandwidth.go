@@ -1,0 +1,54 @@
+package topology
+
+import "math"
+
+// Pairwise available bandwidth, the "other criteria" the paper names as
+// future work (Sect. 8). Bandwidth follows the same physical structure as
+// latency — full line rate inside a rack, oversubscribed aggregation and
+// core layers, badly connected hosts throttled — so the deployment problem
+// transfers: maximize the bottleneck bandwidth over communication edges by
+// minimizing a cost matrix of inverse bandwidths with the longest-link
+// objective.
+
+// Bandwidth tiers in MB/s by the highest layer a pair's path crosses. These
+// are deliberately profile-independent: oversubscription ratios, unlike
+// latencies, are similar across the providers the paper measures.
+const (
+	rackBWMBps = 1000 // line rate through the ToR
+	aggBWMBps  = 400  // 2.5:1 oversubscription at the aggregation layer
+	coreBWMBps = 150  // heavier oversubscription across the core
+	// badHostBWFactor throttles every flow touching a badly connected host
+	// (shared with the latency penalty; the same congested uplink causes
+	// both).
+	badHostBWFactor = 0.35
+	// bwSpread is the relative stable per-pair variation.
+	bwSpread = 0.25
+)
+
+// BandwidthMBps returns the stable available bandwidth between two hosts in
+// MB/s. Same-host pairs share memory, modelled as 4x line rate.
+func (dc *Datacenter) BandwidthMBps(a, b int) float64 {
+	if a == b {
+		return 4 * rackBWMBps
+	}
+	var base float64
+	switch {
+	case dc.Rack(a) == dc.Rack(b):
+		base = rackBWMBps
+	case dc.AggGroup(a) == dc.AggGroup(b):
+		base = aggBWMBps
+	default:
+		base = coreBWMBps
+	}
+	// Stable per-pair variation, symmetric-ish but direction-dependent like
+	// the latency offsets.
+	h := pairHash(dc.seed^0xb3, a, b)
+	base *= 1 - bwSpread*unit(h)
+	if dc.HostPenalty(a) > 0 {
+		base *= badHostBWFactor
+	}
+	if dc.HostPenalty(b) > 0 {
+		base *= badHostBWFactor
+	}
+	return math.Max(base, 1)
+}

@@ -1,0 +1,85 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBandwidthLayerOrdering(t *testing.T) {
+	dc := newDC(t, 21)
+	p := dc.Profile()
+	// Find a well-connected (penalty-free) host trio spanning layers.
+	base := -1
+	for h := 0; h < dc.NumHosts(); h++ {
+		sameRack := h + 1
+		sameAgg := h + p.HostsPerRack
+		cross := h + p.HostsPerRack*p.RacksPerAgg
+		if cross >= dc.NumHosts() {
+			break
+		}
+		if dc.HostPenalty(h) == 0 && dc.HostPenalty(sameRack) == 0 &&
+			dc.HostPenalty(sameAgg) == 0 && dc.HostPenalty(cross) == 0 &&
+			dc.Rack(h) == dc.Rack(sameRack) && dc.AggGroup(h) == dc.AggGroup(sameAgg) &&
+			dc.Rack(h) != dc.Rack(sameAgg) && dc.AggGroup(h) != dc.AggGroup(cross) {
+			base = h
+			break
+		}
+	}
+	if base < 0 {
+		t.Fatal("no clean host trio found")
+	}
+	rack := dc.BandwidthMBps(base, base+1)
+	agg := dc.BandwidthMBps(base, base+p.HostsPerRack)
+	cross := dc.BandwidthMBps(base, base+p.HostsPerRack*p.RacksPerAgg)
+	if !(rack > agg && agg > cross) {
+		t.Fatalf("bandwidth not decreasing with layer: rack=%.0f agg=%.0f cross=%.0f", rack, agg, cross)
+	}
+	if same := dc.BandwidthMBps(base, base); same <= rack {
+		t.Fatalf("same-host bandwidth %.0f not above rack %.0f", same, rack)
+	}
+}
+
+func TestBandwidthBadHostThrottled(t *testing.T) {
+	dc := newDC(t, 23)
+	// Find a bad host and a clean host in different agg groups.
+	bad, clean, probe := -1, -1, -1
+	for h := 0; h < dc.NumHosts(); h++ {
+		if dc.HostPenalty(h) > 0 && bad < 0 {
+			bad = h
+		}
+		if dc.HostPenalty(h) == 0 {
+			if clean < 0 {
+				clean = h
+			} else if probe < 0 && dc.AggGroup(h) != dc.AggGroup(clean) {
+				probe = h
+			}
+		}
+	}
+	if bad < 0 || clean < 0 || probe < 0 {
+		t.Skip("host mix not found at this seed")
+	}
+	// Compare cross-core links with and without a bad endpoint. The stable
+	// per-pair variation is at most bwSpread, far below the bad-host factor.
+	if dc.AggGroup(bad) == dc.AggGroup(probe) {
+		t.Skip("bad host shares agg group with probe")
+	}
+	badBW := dc.BandwidthMBps(bad, probe)
+	cleanBW := dc.BandwidthMBps(clean, probe)
+	if badBW >= cleanBW {
+		t.Fatalf("bad host bandwidth %.0f not below clean %.0f", badBW, cleanBW)
+	}
+}
+
+// Property: bandwidth is always at least 1 MB/s, finite, and deterministic.
+func TestBandwidthBoundsProperty(t *testing.T) {
+	dc := newDC(t, 29)
+	f := func(rawA, rawB uint16) bool {
+		a := int(rawA) % dc.NumHosts()
+		b := int(rawB) % dc.NumHosts()
+		bw := dc.BandwidthMBps(a, b)
+		return bw >= 1 && bw <= 4000 && bw == dc.BandwidthMBps(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,25 @@
+package topology
+
+import "math/rand"
+
+// SampleRTT draws one round-trip latency observation (ms) for a 1 KB message
+// between hosts a and b at the given absolute time in hours. The sample is
+// the (drifting) pair mean plus exponential jitter, plus an occasional
+// hypervisor scheduling spike. Samples therefore sit above the stable mean
+// by a uniform expected amount across all pairs, which measurement
+// normalization cancels (Sect. 6.2.2).
+func (dc *Datacenter) SampleRTT(a, b int, hours float64, rng *rand.Rand) float64 {
+	p := dc.prof
+	s := dc.MeanRTTAt(a, b, hours) + rng.ExpFloat64()*p.JitterScale
+	if p.SpikeProb > 0 && rng.Float64() < p.SpikeProb {
+		s += rng.ExpFloat64() * p.SpikeScale
+	}
+	return s
+}
+
+// SampleOneWay draws a one-way latency observation (ms), modeled as half of
+// an RTT sample. The network simulator composes these with NIC serialization
+// delays to form full message timings.
+func (dc *Datacenter) SampleOneWay(a, b int, hours float64, rng *rand.Rand) float64 {
+	return dc.SampleRTT(a, b, hours, rng) / 2
+}

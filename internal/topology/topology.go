@@ -1,0 +1,396 @@
+// Package topology models the physical network of a public-cloud datacenter:
+// hosts grouped into racks, racks into aggregation groups, all joined by a
+// core layer. It is the substrate substituting for Amazon EC2 (and the GCE /
+// Rackspace clouds of Appendix 3) in this reproduction.
+//
+// The model is calibrated to reproduce the two empirical properties ClouDiA
+// relies on:
+//
+//  1. Latency heterogeneity (Fig. 1): pairwise mean RTTs spread roughly
+//     0.2–1.4 ms for an EC2-like profile, with ~10% of pairs above 0.7 ms
+//     and ~10% below 0.4 ms, driven by how many switch layers a pair
+//     crosses plus stable per-pair offsets (path asymmetries, oversubscribed
+//     uplinks).
+//  2. Mean-latency stability (Fig. 2): each pair's mean RTT holds steady
+//     over simulated days up to small drift, while individual samples jitter
+//     (virtualization noise, occasional spikes).
+//
+// Pairwise mean RTT is a pure function of (seed, host pair), computed by
+// hashing — no O(hosts^2) storage — so large datacenters are cheap.
+package topology
+
+import (
+	"fmt"
+	"math"
+)
+
+// Profile holds the latency calibration for one cloud provider. All
+// latencies are round-trip milliseconds for a 1 KB message, matching the
+// paper's probe methodology.
+type Profile struct {
+	Name string
+
+	// Shape of the datacenter.
+	Racks        int // total racks
+	HostsPerRack int // physical hosts per rack
+	RacksPerAgg  int // racks per aggregation group
+	SlotsPerHost int // VM slots per physical host
+
+	// Base RTT by the highest layer a pair's path crosses.
+	SameHostRTT float64 // two VMs on one physical host (hypervisor path)
+	RackBase    float64 // same rack (through the ToR switch)
+	AggBase     float64 // same aggregation group
+	CoreBase    float64 // across the core
+
+	// Stable per-pair spread added to the base, |N(0, sigma)| within
+	// rack/agg and Exp(scale) across the core (heavy tail from
+	// oversubscription).
+	RackSpread float64
+	AggSpread  float64
+	CoreSpread float64
+
+	// Per-host badness: with probability HostBadProb a host is "badly
+	// connected" — an oversubscribed uplink or noisy-neighbour hypervisor —
+	// and every cross-host link touching it pays HostPenaltyBase plus an
+	// Exp(HostPenaltySpread) stable extra. This instance-level
+	// heterogeneity (Farley et al., SOCC'12, cited by the paper) is what
+	// makes over-allocating and discarding badly connected instances pay
+	// off (Fig. 13).
+	HostBadProb       float64
+	HostPenaltyBase   float64
+	HostPenaltySpread float64
+
+	// Per-message jitter: every sample adds Exp(JitterScale), and with
+	// probability SpikeProb adds a further Exp(SpikeScale) (hypervisor
+	// scheduling spike).
+	JitterScale float64
+	SpikeProb   float64
+	SpikeScale  float64
+
+	// Slow drift of the per-pair mean over time: a sinusoid of amplitude
+	// DriftAmp (ms) and period DriftPeriodHours, phase-shifted per pair.
+	// Small relative to heterogeneity, so means remain "stable" in the
+	// paper's sense.
+	DriftAmp         float64
+	DriftPeriodHours float64
+
+	// RegimeHours, when positive, makes the network non-stationary at long
+	// timescales: every RegimeHours the stable per-pair offsets and the set
+	// of badly connected hosts are re-drawn (prior tenants leave, new noisy
+	// neighbours arrive, traffic shifts). Zero — the default for all
+	// built-in profiles — keeps the paper's stable-mean regime. The switch
+	// exists for the Sect. 2.2.1 re-deployment extension: under changing
+	// conditions the optimal plan changes over time and ClouDiA must
+	// iterate measure -> search -> re-deploy.
+	RegimeHours float64
+}
+
+// EC2Profile returns a profile calibrated against the paper's EC2 m1.large
+// measurements (Figs. 1 and 2).
+func EC2Profile() Profile {
+	return Profile{
+		Name:              "ec2",
+		Racks:             64,
+		HostsPerRack:      20,
+		RacksPerAgg:       12,
+		SlotsPerHost:      4,
+		SameHostRTT:       0.25,
+		RackBase:          0.30,
+		AggBase:           0.36,
+		CoreBase:          0.42,
+		RackSpread:        0.04,
+		AggSpread:         0.05,
+		CoreSpread:        0.05,
+		HostBadProb:       0.08,
+		HostPenaltyBase:   0.20,
+		HostPenaltySpread: 0.15,
+		JitterScale:       0.04,
+		SpikeProb:         0.002,
+		SpikeScale:        0.6,
+		DriftAmp:          0.015,
+		DriftPeriodHours:  31,
+	}
+}
+
+// GCEProfile returns a profile calibrated against the paper's Google Compute
+// Engine n1-standard-1 measurements (Figs. 18 and 19): narrower
+// heterogeneity than EC2 (5% of pairs below 0.32 ms, top 5% above 0.5 ms)
+// but the same stability.
+func GCEProfile() Profile {
+	return Profile{
+		Name:              "gce",
+		Racks:             48,
+		HostsPerRack:      20,
+		RacksPerAgg:       8,
+		SlotsPerHost:      4,
+		SameHostRTT:       0.22,
+		RackBase:          0.28,
+		AggBase:           0.34,
+		CoreBase:          0.38,
+		RackSpread:        0.03,
+		AggSpread:         0.04,
+		CoreSpread:        0.035,
+		HostBadProb:       0.08,
+		HostPenaltyBase:   0.08,
+		HostPenaltySpread: 0.05,
+		JitterScale:       0.03,
+		SpikeProb:         0.0015,
+		SpikeScale:        0.5,
+		DriftAmp:          0.012,
+		DriftPeriodHours:  23,
+	}
+}
+
+// RackspaceProfile returns a profile calibrated against the paper's
+// Rackspace Cloud Server performance 1-1 measurements (Figs. 20 and 21): 5%
+// of pairs below 0.24 ms, top 5% above 0.38 ms.
+func RackspaceProfile() Profile {
+	return Profile{
+		Name:              "rackspace",
+		Racks:             40,
+		HostsPerRack:      16,
+		RacksPerAgg:       8,
+		SlotsPerHost:      4,
+		SameHostRTT:       0.18,
+		RackBase:          0.21,
+		AggBase:           0.26,
+		CoreBase:          0.29,
+		RackSpread:        0.025,
+		AggSpread:         0.035,
+		CoreSpread:        0.03,
+		HostBadProb:       0.08,
+		HostPenaltyBase:   0.06,
+		HostPenaltySpread: 0.05,
+		JitterScale:       0.025,
+		SpikeProb:         0.0015,
+		SpikeScale:        0.45,
+		DriftAmp:          0.01,
+		DriftPeriodHours:  19,
+	}
+}
+
+// Validate rejects profiles with non-positive shape parameters or a latency
+// ordering that violates the layer hierarchy.
+func (p Profile) Validate() error {
+	if p.Racks <= 0 || p.HostsPerRack <= 0 || p.RacksPerAgg <= 0 || p.SlotsPerHost <= 0 {
+		return fmt.Errorf("topology: non-positive shape in profile %q", p.Name)
+	}
+	if !(p.SameHostRTT < p.RackBase && p.RackBase < p.AggBase && p.AggBase < p.CoreBase) {
+		return fmt.Errorf("topology: base latencies must increase with layer in profile %q", p.Name)
+	}
+	if p.RackSpread < 0 || p.AggSpread < 0 || p.CoreSpread < 0 ||
+		p.JitterScale < 0 || p.SpikeScale < 0 || p.DriftAmp < 0 ||
+		p.HostPenaltyBase < 0 || p.HostPenaltySpread < 0 {
+		return fmt.Errorf("topology: negative spread in profile %q", p.Name)
+	}
+	if p.SpikeProb < 0 || p.SpikeProb > 1 {
+		return fmt.Errorf("topology: spike probability %g out of range", p.SpikeProb)
+	}
+	if p.HostBadProb < 0 || p.HostBadProb > 1 {
+		return fmt.Errorf("topology: host badness probability %g out of range", p.HostBadProb)
+	}
+	if p.DriftPeriodHours <= 0 {
+		return fmt.Errorf("topology: non-positive drift period in profile %q", p.Name)
+	}
+	return nil
+}
+
+// Datacenter is one instantiation of a profile with a fixed seed. Host ids
+// run 0..NumHosts()-1, assigned rack-by-rack.
+type Datacenter struct {
+	prof Profile
+	seed int64
+	// ipBlock[rack] is the /24 block index a rack's hosts draw IPs from.
+	// Blocks are deliberately aliased across racks (two racks share each
+	// block) so that IP distance is a poor latency predictor, reproducing
+	// the Appendix 2 negative result.
+	ipBlock []int
+}
+
+// New builds a datacenter from a profile and a seed. The seed fixes the
+// per-pair stable offsets, drift phases, and IP block assignment.
+func New(prof Profile, seed int64) (*Datacenter, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	dc := &Datacenter{prof: prof, seed: seed}
+	nBlocks := prof.Racks/2 + 1
+	perm := permute(prof.Racks, seed^0x1b1b)
+	dc.ipBlock = make([]int, prof.Racks)
+	for r := 0; r < prof.Racks; r++ {
+		dc.ipBlock[r] = perm[r] % nBlocks
+	}
+	return dc, nil
+}
+
+// Profile returns the datacenter's profile.
+func (dc *Datacenter) Profile() Profile { return dc.prof }
+
+// Seed returns the datacenter's seed.
+func (dc *Datacenter) Seed() int64 { return dc.seed }
+
+// NumHosts reports the number of physical hosts.
+func (dc *Datacenter) NumHosts() int { return dc.prof.Racks * dc.prof.HostsPerRack }
+
+// Rack returns the rack index of host h.
+func (dc *Datacenter) Rack(h int) int { return h / dc.prof.HostsPerRack }
+
+// AggGroup returns the aggregation-group index of host h.
+func (dc *Datacenter) AggGroup(h int) int { return dc.Rack(h) / dc.prof.RacksPerAgg }
+
+// Hops returns the number of switching elements on the path between two
+// hosts: 0 within one host, 1 within a rack (ToR), 3 within an aggregation
+// group (ToR-agg-ToR), 5 across the core. Note the gap at 2 and 4 — the
+// paper likewise observes only a sparse set of hop counts (Fig. 17).
+func (dc *Datacenter) Hops(a, b int) int {
+	switch {
+	case a == b:
+		return 0
+	case dc.Rack(a) == dc.Rack(b):
+		return 1
+	case dc.AggGroup(a) == dc.AggGroup(b):
+		return 3
+	default:
+		return 5
+	}
+}
+
+// MeanRTT returns the stable mean round-trip latency (ms) between hosts a
+// and b at time 0 (no drift). Values are mildly asymmetric: the stable
+// offset differs per direction, reflecting real path asymmetries.
+func (dc *Datacenter) MeanRTT(a, b int) float64 {
+	return dc.MeanRTTAt(a, b, 0)
+}
+
+// MeanRTTAt returns the mean RTT between hosts a and b at the given absolute
+// time in hours, including slow drift.
+func (dc *Datacenter) MeanRTTAt(a, b int, hours float64) float64 {
+	p := dc.prof
+	if a == b {
+		return p.SameHostRTT
+	}
+	epochSeed := dc.seed ^ int64(splitmix(dc.Epoch(hours)+0x1ce))
+	var base, offset float64
+	h := pairHash(epochSeed, a, b)
+	switch {
+	case dc.Rack(a) == dc.Rack(b):
+		base = p.RackBase
+		offset = math.Abs(gauss(h)) * p.RackSpread
+	case dc.AggGroup(a) == dc.AggGroup(b):
+		base = p.AggBase
+		offset = math.Abs(gauss(h)) * p.AggSpread
+	default:
+		base = p.CoreBase
+		offset = expo(h) * p.CoreSpread
+	}
+	penalty := dc.HostPenaltyAt(a, hours) + dc.HostPenaltyAt(b, hours)
+	phase := unit(pairHash(dc.seed^0x5eed, a, b)) * 2 * math.Pi
+	drift := p.DriftAmp * math.Sin(2*math.Pi*hours/p.DriftPeriodHours+phase)
+	return base + offset + penalty + drift
+}
+
+// Epoch returns the network regime index at the given time: 0 forever for
+// stationary profiles, advancing every RegimeHours otherwise.
+func (dc *Datacenter) Epoch(hours float64) uint64 {
+	if dc.prof.RegimeHours <= 0 || hours <= 0 {
+		return 0
+	}
+	return uint64(hours / dc.prof.RegimeHours)
+}
+
+// HostPenalty returns the stable extra latency every cross-host link
+// touching host h pays at time 0: zero for well-connected hosts,
+// HostPenaltyBase + Exp(HostPenaltySpread) for badly connected ones.
+func (dc *Datacenter) HostPenalty(h int) float64 { return dc.HostPenaltyAt(h, 0) }
+
+// HostPenaltyAt is HostPenalty at an arbitrary time; under a non-stationary
+// profile the set of badly connected hosts is re-drawn each regime epoch.
+func (dc *Datacenter) HostPenaltyAt(h int, hours float64) float64 {
+	p := dc.prof
+	if p.HostBadProb == 0 {
+		return 0
+	}
+	seed := uint64(dc.seed) + splitmix(dc.Epoch(hours)+0x9a7)
+	hh := splitmix(seed ^ uint64(h)*0x8e9b5bdb1d3c2e4f)
+	if unit(hh) >= p.HostBadProb {
+		return 0
+	}
+	return p.HostPenaltyBase + expo(splitmix(hh))*p.HostPenaltySpread
+}
+
+// IP returns the internal IPv4 address of host h as 4 octets in 10.0.0.0/8.
+// Hosts in one rack share a /24 block, but each block is aliased across two
+// racks from unrelated parts of the datacenter, so sharing a /24 does not
+// reliably mean low latency (Appendix 2).
+func (dc *Datacenter) IP(h int) [4]byte {
+	block := dc.ipBlock[dc.Rack(h)]
+	hostOctet := byte(h%dc.prof.HostsPerRack + 4)
+	return [4]byte{10, byte(block >> 8), byte(block & 0xff), hostOctet}
+}
+
+// IPDistance returns the paper's dissimilarity measure between two hosts'
+// IPs at 8-bit granularity: 1 if they share a /24 but differ in the last
+// octet, 2 if they share a /16 only, 3 if they share only the /8.
+func (dc *Datacenter) IPDistance(a, b int) int {
+	ipa, ipb := dc.IP(a), dc.IP(b)
+	switch {
+	case ipa == ipb:
+		return 0
+	case ipa[0] == ipb[0] && ipa[1] == ipb[1] && ipa[2] == ipb[2]:
+		return 1
+	case ipa[0] == ipb[0] && ipa[1] == ipb[1]:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// pairHash derives a 64-bit hash from a seed and an ordered host pair, used
+// to make per-pair offsets stable across calls without O(n^2) storage.
+func pairHash(seed int64, a, b int) uint64 {
+	x := uint64(seed)
+	x ^= uint64(a)*0x9e3779b97f4a7c15 + uint64(b)*0xc2b2ae3d27d4eb4f
+	return splitmix(x)
+}
+
+// splitmix is the SplitMix64 finalizer, a fast high-quality bit mixer.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps a hash to (0,1).
+func unit(h uint64) float64 {
+	return (float64(h>>11) + 0.5) / float64(1<<53)
+}
+
+// gauss maps a hash to an approximately standard normal variate using the
+// Box-Muller transform over two derived uniforms.
+func gauss(h uint64) float64 {
+	u1 := unit(splitmix(h ^ 0xa5a5a5a5a5a5a5a5))
+	u2 := unit(splitmix(h ^ 0x5a5a5a5a5a5a5a5a))
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// expo maps a hash to a standard exponential variate.
+func expo(h uint64) float64 {
+	return -math.Log(unit(splitmix(h ^ 0x0f0f0f0f0f0f0f0f)))
+}
+
+// permute returns a deterministic permutation of 0..n-1 derived from seed
+// via a Fisher-Yates shuffle over splitmix-generated indices.
+func permute(n int, seed int64) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	state := uint64(seed)
+	for i := n - 1; i > 0; i-- {
+		state = splitmix(state)
+		j := int(state % uint64(i+1))
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}

@@ -1,0 +1,265 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestProfilesValidate(t *testing.T) {
+	for _, p := range []Profile{EC2Profile(), GCEProfile(), RackspaceProfile()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestProfileValidateRejects(t *testing.T) {
+	p := EC2Profile()
+	p.Racks = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("zero racks accepted")
+	}
+	p = EC2Profile()
+	p.RackBase = p.CoreBase + 1
+	if err := p.Validate(); err == nil {
+		t.Fatal("inverted layer latencies accepted")
+	}
+	p = EC2Profile()
+	p.SpikeProb = 1.5
+	if err := p.Validate(); err == nil {
+		t.Fatal("spike probability > 1 accepted")
+	}
+}
+
+func newDC(t *testing.T, seed int64) *Datacenter {
+	t.Helper()
+	dc, err := New(EC2Profile(), seed)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return dc
+}
+
+func TestRackAndAggStructure(t *testing.T) {
+	dc := newDC(t, 1)
+	p := dc.Profile()
+	if dc.NumHosts() != p.Racks*p.HostsPerRack {
+		t.Fatalf("NumHosts = %d", dc.NumHosts())
+	}
+	// First and last host of rack 0.
+	if dc.Rack(0) != 0 || dc.Rack(p.HostsPerRack-1) != 0 || dc.Rack(p.HostsPerRack) != 1 {
+		t.Fatal("rack boundaries wrong")
+	}
+	if dc.AggGroup(0) != 0 || dc.AggGroup(p.HostsPerRack*p.RacksPerAgg) != 1 {
+		t.Fatal("agg boundaries wrong")
+	}
+}
+
+func TestHops(t *testing.T) {
+	dc := newDC(t, 1)
+	p := dc.Profile()
+	if dc.Hops(5, 5) != 0 {
+		t.Fatal("same host hops != 0")
+	}
+	if dc.Hops(0, 1) != 1 {
+		t.Fatal("same rack hops != 1")
+	}
+	sameAgg := p.HostsPerRack // first host of rack 1, same agg as host 0
+	if dc.Hops(0, sameAgg) != 3 {
+		t.Fatal("same agg hops != 3")
+	}
+	crossCore := p.HostsPerRack * p.RacksPerAgg // first host of agg group 1
+	if dc.Hops(0, crossCore) != 5 {
+		t.Fatal("cross core hops != 5")
+	}
+}
+
+func TestMeanRTTLayerOrderingOnAverage(t *testing.T) {
+	// Individual pairs overlap across layers (that is the point of the
+	// spreads), but layer averages must be ordered.
+	dc := newDC(t, 7)
+	p := dc.Profile()
+	var rack, agg, core float64
+	var nr, na, nc int
+	// Stride across the datacenter so all layers are represented.
+	hosts := make([]int, 0, 200)
+	for h := 0; h < dc.NumHosts(); h += dc.NumHosts()/200 + 1 {
+		hosts = append(hosts, h)
+	}
+	// Add dense runs inside one rack and one agg group too.
+	for h := 0; h < 30; h++ {
+		hosts = append(hosts, h)
+	}
+	for ai := 0; ai < len(hosts); ai++ {
+		for bi := ai + 1; bi < len(hosts); bi++ {
+			a, b := hosts[ai], hosts[bi]
+			if a == b {
+				continue
+			}
+			rtt := dc.MeanRTT(a, b)
+			switch dc.Hops(a, b) {
+			case 1:
+				rack += rtt
+				nr++
+			case 3:
+				agg += rtt
+				na++
+			case 5:
+				core += rtt
+				nc++
+			}
+		}
+	}
+	if nr == 0 || na == 0 || nc == 0 {
+		t.Fatalf("missing layer samples: %d %d %d", nr, na, nc)
+	}
+	rack /= float64(nr)
+	agg /= float64(na)
+	core /= float64(nc)
+	if !(rack < agg && agg < core) {
+		t.Fatalf("layer means not ordered: rack=%.3f agg=%.3f core=%.3f", rack, agg, core)
+	}
+	if rack < p.RackBase || core < p.CoreBase {
+		t.Fatalf("means below base: rack=%.3f core=%.3f", rack, core)
+	}
+}
+
+func TestMeanRTTDeterministic(t *testing.T) {
+	dc1 := newDC(t, 42)
+	dc2 := newDC(t, 42)
+	for i := 0; i < 50; i++ {
+		a, b := i, (i*37+11)%dc1.NumHosts()
+		if dc1.MeanRTT(a, b) != dc2.MeanRTT(a, b) {
+			t.Fatalf("MeanRTT not deterministic for (%d,%d)", a, b)
+		}
+	}
+	dc3 := newDC(t, 43)
+	diff := 0
+	for i := 0; i < 50; i++ {
+		a, b := i, (i*37+11)%dc1.NumHosts()
+		if dc1.MeanRTT(a, b) != dc3.MeanRTT(a, b) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical matrices")
+	}
+}
+
+func TestMeanRTTDriftBounded(t *testing.T) {
+	dc := newDC(t, 3)
+	p := dc.Profile()
+	base := dc.MeanRTT(0, 999)
+	for h := 0.0; h <= 200; h += 7 {
+		d := math.Abs(dc.MeanRTTAt(0, 999, h) - base)
+		if d > 2*p.DriftAmp+1e-9 {
+			t.Fatalf("drift %g at hour %g exceeds 2*amp", d, h)
+		}
+	}
+}
+
+func TestSampleRTTAboveMean(t *testing.T) {
+	dc := newDC(t, 5)
+	rng := rand.New(rand.NewSource(1))
+	mean := dc.MeanRTT(0, 500)
+	var sum float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		s := dc.SampleRTT(0, 500, 0, rng)
+		if s < mean-2*dc.Profile().DriftAmp {
+			t.Fatalf("sample %g below mean %g minus drift", s, mean)
+		}
+		sum += s
+	}
+	avg := sum / n
+	expectedShift := dc.Profile().JitterScale + dc.Profile().SpikeProb*dc.Profile().SpikeScale
+	if math.Abs(avg-mean-expectedShift) > 0.03 {
+		t.Fatalf("sample mean %g, want ~%g", avg, mean+expectedShift)
+	}
+}
+
+func TestSampleOneWayIsHalfRTTScale(t *testing.T) {
+	dc := newDC(t, 5)
+	rng := rand.New(rand.NewSource(2))
+	var rtt, ow float64
+	const n = 3000
+	for i := 0; i < n; i++ {
+		rtt += dc.SampleRTT(0, 700, 0, rng)
+		ow += dc.SampleOneWay(0, 700, 0, rng)
+	}
+	if math.Abs(ow*2-rtt)/rtt > 0.05 {
+		t.Fatalf("one-way mean %g not ~half of RTT mean %g", ow/n, rtt/n)
+	}
+}
+
+func TestIPDistanceValuesAndAliasing(t *testing.T) {
+	dc := newDC(t, 11)
+	p := dc.Profile()
+	// Same rack: same /24 (distance 1 at most).
+	if d := dc.IPDistance(0, 1); d > 1 {
+		t.Fatalf("same-rack IP distance = %d, want <= 1", d)
+	}
+	// Two racks alias each /24 block, so there exist cross-rack pairs at IP
+	// distance <= 1.
+	aliased := false
+	for r := 1; r < p.Racks && !aliased; r++ {
+		if dc.IPDistance(0, r*p.HostsPerRack) <= 1 {
+			aliased = true
+		}
+	}
+	if !aliased {
+		t.Fatal("no cross-rack /24 aliasing found; IP distance would be a perfect predictor")
+	}
+}
+
+func TestIPDeterministicAndInTenSlashEight(t *testing.T) {
+	dc := newDC(t, 11)
+	for h := 0; h < dc.NumHosts(); h += 97 {
+		ip := dc.IP(h)
+		if ip[0] != 10 {
+			t.Fatalf("IP %v not in 10/8", ip)
+		}
+		if ip != dc.IP(h) {
+			t.Fatal("IP not deterministic")
+		}
+	}
+}
+
+// Property: MeanRTT is positive, finite, and exceeds the same-host RTT for
+// distinct hosts under all profile/seed combinations.
+func TestMeanRTTPositiveProperty(t *testing.T) {
+	profiles := []Profile{EC2Profile(), GCEProfile(), RackspaceProfile()}
+	f := func(seed int64, rawA, rawB uint16, pIdx uint8) bool {
+		prof := profiles[int(pIdx)%len(profiles)]
+		dc, err := New(prof, seed)
+		if err != nil {
+			return false
+		}
+		a := int(rawA) % dc.NumHosts()
+		b := int(rawB) % dc.NumHosts()
+		rtt := dc.MeanRTT(a, b)
+		if math.IsNaN(rtt) || math.IsInf(rtt, 0) || rtt <= 0 {
+			return false
+		}
+		if a != b && rtt <= prof.SameHostRTT {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermuteIsPermutation(t *testing.T) {
+	p := permute(100, 77)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+
+	"cloudia/internal/cloud"
+	"cloudia/internal/core"
+	"cloudia/internal/netsim"
+	"cloudia/internal/topology"
+)
+
+// AggregationQuery is the synthetic top-k aggregation workload of
+// Sect. 6.1.2: a two-level aggregation tree in which each leaf computes a
+// partial result and forwards it to its aggregator, aggregators combine and
+// forward to the root, and the query completes when the root has heard from
+// every aggregator. Response time is therefore the slowest leaf-to-root
+// path — the longest-path deployment cost in action.
+type AggregationQuery struct {
+	Mids   int // intermediate aggregators
+	Leaves int // leaf nodes (>= Mids)
+	// Queries is the number of queries to run back-to-back; the report is
+	// the mean response time.
+	Queries int
+	// MsgBytes is the forwarded partial-result size; zero selects the
+	// paper's 4 KB average.
+	MsgBytes int
+	// ComputeMS is the per-hop ranking/aggregation time; zero selects
+	// 0.02 ms (the paper hides ranking computation).
+	ComputeMS float64
+}
+
+// Name implements Workload.
+func (w *AggregationQuery) Name() string { return "aggregation-query" }
+
+// Graph implements Workload: a two-level aggregation tree with edges
+// pointing child -> parent; node 0 is the root.
+func (w *AggregationQuery) Graph() (*core.Graph, error) {
+	return core.TwoLevelAggregation(w.Mids, w.Leaves)
+}
+
+// Run implements Workload, returning the mean query response time.
+func (w *AggregationQuery) Run(dc *topology.Datacenter, instances []cloud.Instance, d core.Deployment, seed int64) (float64, error) {
+	if w.Queries <= 0 {
+		return 0, fmt.Errorf("workload: non-positive query count %d", w.Queries)
+	}
+	g, err := w.Graph()
+	if err != nil {
+		return 0, err
+	}
+	if err := validateDeployment(d, g.NumNodes(), len(instances)); err != nil {
+		return 0, err
+	}
+	msg := w.MsgBytes
+	if msg == 0 {
+		msg = 4096
+	}
+	compute := w.ComputeMS
+	if compute == 0 {
+		compute = 0.02
+	}
+	sim, err := newSim(dc, instances, seed)
+	if err != nil {
+		return 0, err
+	}
+
+	// Children of each internal node, from the child->parent edges.
+	children := make([][]int, g.NumNodes())
+	for _, e := range g.Edges() {
+		children[e.To] = append(children[e.To], e.From)
+	}
+
+	var totalResp float64
+	var runQuery func(q int)
+	runQuery = func(q int) {
+		if q == w.Queries {
+			return
+		}
+		start := sim.Now()
+		pending := make([]int, g.NumNodes())
+		var sendUp func(v int)
+		sendUp = func(v int) {
+			// v has all its inputs: aggregate, then forward to the parent
+			// (or finish at the root).
+			sim.After(compute, func() {
+				if v == 0 {
+					totalResp += sim.Now() - start
+					runQuery(q + 1)
+					return
+				}
+				parent := g.Out(v)[0]
+				sim.Send(d[v], d[parent], msg, func(netsim.Time) {
+					pending[parent]++
+					if pending[parent] == len(children[parent]) {
+						sendUp(parent)
+					}
+				})
+			})
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			if len(children[v]) == 0 {
+				sendUp(v) // leaves fire immediately
+			}
+		}
+	}
+	runQuery(0)
+	sim.Run()
+	return totalResp / float64(w.Queries), nil
+}

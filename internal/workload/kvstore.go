@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cloudia/internal/cloud"
+	"cloudia/internal/core"
+	"cloudia/internal/netsim"
+	"cloudia/internal/topology"
+)
+
+// KVStore is the distributed key-value store workload of Sect. 6.1.3:
+// front-end servers query random subsets of storage nodes; a query completes
+// when the slowest touched storage node has replied. Neither longest link
+// nor longest path matches this average-response-time objective exactly —
+// the paper optimizes it with longest link as a proxy and still observes
+// 15-31% improvements.
+type KVStore struct {
+	Frontends int
+	Storage   int
+	// Queries is the number of queries to run back-to-back.
+	Queries int
+	// TouchK is the number of storage nodes each query reads; zero selects
+	// Storage/4 (at least 1).
+	TouchK int
+	// ReqBytes and RespBytes are the request/reply sizes; zeros select
+	// 512 B requests and 2 KB replies.
+	ReqBytes  int
+	RespBytes int
+	// ComputeMS is the storage-side lookup time; zero selects 0.02 ms.
+	ComputeMS float64
+}
+
+// Name implements Workload.
+func (w *KVStore) Name() string { return "key-value-store" }
+
+// Graph implements Workload: a complete bipartite graph, front-ends 0..F-1
+// and storage nodes F..F+S-1.
+func (w *KVStore) Graph() (*core.Graph, error) { return core.Bipartite(w.Frontends, w.Storage) }
+
+// Run implements Workload, returning the mean query response time.
+func (w *KVStore) Run(dc *topology.Datacenter, instances []cloud.Instance, d core.Deployment, seed int64) (float64, error) {
+	if w.Queries <= 0 {
+		return 0, fmt.Errorf("workload: non-positive query count %d", w.Queries)
+	}
+	g, err := w.Graph()
+	if err != nil {
+		return 0, err
+	}
+	if err := validateDeployment(d, g.NumNodes(), len(instances)); err != nil {
+		return 0, err
+	}
+	touch := w.TouchK
+	if touch == 0 {
+		touch = w.Storage / 4
+		if touch < 1 {
+			touch = 1
+		}
+	}
+	if touch > w.Storage {
+		return 0, fmt.Errorf("workload: TouchK %d exceeds storage count %d", touch, w.Storage)
+	}
+	req := w.ReqBytes
+	if req == 0 {
+		req = 512
+	}
+	resp := w.RespBytes
+	if resp == 0 {
+		resp = 2048
+	}
+	compute := w.ComputeMS
+	if compute == 0 {
+		compute = 0.02
+	}
+	sim, err := newSim(dc, instances, seed)
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x6b76))
+
+	var totalResp float64
+	var runQuery func(q int)
+	runQuery = func(q int) {
+		if q == w.Queries {
+			return
+		}
+		fe := rng.Intn(w.Frontends)
+		targets := rng.Perm(w.Storage)[:touch]
+		start := sim.Now()
+		remaining := touch
+		for _, s := range targets {
+			node := w.Frontends + s
+			sim.Send(d[fe], d[node], req, func(netsim.Time) {
+				sim.After(compute, func() {
+					sim.Send(d[node], d[fe], resp, func(netsim.Time) {
+						remaining--
+						if remaining == 0 {
+							totalResp += sim.Now() - start
+							runQuery(q + 1)
+						}
+					})
+				})
+			})
+		}
+	}
+	runQuery(0)
+	sim.Run()
+	return totalResp / float64(w.Queries), nil
+}
