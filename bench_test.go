@@ -9,7 +9,9 @@ package cloudia_test
 import (
 	"math/rand"
 	"testing"
+	"time"
 
+	"cloudia/internal/advisor"
 	"cloudia/internal/bench"
 	"cloudia/internal/cloud"
 	"cloudia/internal/cluster"
@@ -174,6 +176,192 @@ func BenchmarkMIPPerNodeBudget(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mip.New(20, int64(i)).Solve(p, solver.Budget{Nodes: 20_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Delta-evaluator micro-benchmarks (100 nodes, 150 instances) ---
+//
+// BenchmarkDeltaEval* measure ns per local-search move evaluation at the
+// quick scale: the DeltaEvaluator variants price a swap through incremental
+// O(deg) bookkeeping, while the FullRecompute baselines pay the O(E) or
+// O(V+E) full cost evaluation the SA inner loop used before. The move
+// schedule is pre-generated outside the timed loop so both sides measure
+// pure move evaluation. Run with -benchmem: the delta variants must stay at
+// 0 allocs/op.
+
+const deltaBenchInstances = 150
+
+// deltaBenchMatrix builds the 150-instance cost matrix shared by the
+// evaluator benchmarks.
+func deltaBenchMatrix(rng *rand.Rand) *core.CostMatrix {
+	m := core.NewCostMatrix(deltaBenchInstances)
+	for i := 0; i < deltaBenchInstances; i++ {
+		for j := 0; j < deltaBenchInstances; j++ {
+			if i != j {
+				m.Set(i, j, 0.2+rng.Float64())
+			}
+		}
+	}
+	return m
+}
+
+// deltaBenchProblem builds the default 100-node LL benchmark problem: a
+// sparse random communication graph (spanning path plus 4n random edges,
+// the shape of the paper's solver experiments) over 150 instances.
+func deltaBenchProblem(b *testing.B, obj solver.Objective) *solver.Problem {
+	b.Helper()
+	const nodes = 100
+	rng := rand.New(rand.NewSource(17))
+	g := core.NewGraph(nodes)
+	for v := 0; v+1 < nodes; v++ {
+		if err := g.AddEdge(v, v+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for k := 0; k < 4*nodes; k++ {
+		x, y := rng.Intn(nodes), rng.Intn(nodes)
+		if x > y {
+			x, y = y, x
+		}
+		if x != y && !g.HasEdge(x, y) {
+			if err := g.AddEdge(x, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	p, err := solver.NewProblem(g, deltaBenchMatrix(rng), obj)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// kvstoreBenchProblem is the paper's key-value store workload (Sect.
+// 6.1.3): a dense complete-bipartite graph between 30 front-ends and 70
+// storage nodes.
+func kvstoreBenchProblem(b *testing.B) *solver.Problem {
+	b.Helper()
+	g, err := core.Bipartite(30, 70)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	p, err := solver.NewProblem(g, deltaBenchMatrix(rng), solver.LongestLink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// aggregationBenchProblem is the paper's Class-2 aggregation workload: a
+// 100-node two-level aggregation tree (Sect. 6.1.2) under the longest-path
+// objective.
+func aggregationBenchProblem(b *testing.B) *solver.Problem {
+	b.Helper()
+	g, err := core.TwoLevelAggregation(10, 89)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	p, err := solver.NewProblem(g, deltaBenchMatrix(rng), solver.LongestPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// benchSwapSchedule pre-generates the swap move schedule so the timed loops
+// measure move evaluation, not random number generation.
+func benchSwapSchedule(n int) [][2]int {
+	rng := rand.New(rand.NewSource(23))
+	moves := make([][2]int, 8192)
+	for i := range moves {
+		x := rng.Intn(n)
+		y := rng.Intn(n - 1)
+		if y >= x {
+			y++
+		}
+		moves[i] = [2]int{x, y}
+	}
+	return moves
+}
+
+// benchDeltaSwap prices b.N swap proposals through the evaluator with the
+// local-search acceptance pattern (commit non-worsening moves, reject the
+// rest).
+func benchDeltaSwap(b *testing.B, p *solver.Problem) {
+	rng := rand.New(rand.NewSource(29))
+	ev := solver.NewDeltaEvaluator(p, solver.RandomDeployment(p, rng))
+	moves := benchSwapSchedule(p.NumNodes())
+	cur := ev.Cost()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mv := moves[i%len(moves)]
+		if cand := ev.SwapCost(mv[0], mv[1]); cand <= cur {
+			cur = cand
+			ev.Commit()
+		} else {
+			ev.Reject()
+		}
+	}
+}
+
+// benchFullSwap is the pre-evaluator baseline: mutate the deployment, fully
+// recompute the cost, and swap back on rejection.
+func benchFullSwap(b *testing.B, p *solver.Problem) {
+	rng := rand.New(rand.NewSource(29))
+	d := solver.RandomDeployment(p, rng)
+	moves := benchSwapSchedule(p.NumNodes())
+	cur := p.Cost(d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mv := moves[i%len(moves)]
+		d[mv[0]], d[mv[1]] = d[mv[1]], d[mv[0]]
+		if cand := p.Cost(d); cand <= cur {
+			cur = cand
+		} else {
+			d[mv[0]], d[mv[1]] = d[mv[1]], d[mv[0]]
+		}
+	}
+}
+
+func BenchmarkDeltaEvalLLSwap(b *testing.B) {
+	benchDeltaSwap(b, deltaBenchProblem(b, solver.LongestLink))
+}
+
+func BenchmarkDeltaEvalLLFullRecompute(b *testing.B) {
+	benchFullSwap(b, deltaBenchProblem(b, solver.LongestLink))
+}
+
+func BenchmarkDeltaEvalLLKVStoreSwap(b *testing.B) {
+	benchDeltaSwap(b, kvstoreBenchProblem(b))
+}
+
+func BenchmarkDeltaEvalLLKVStoreFullRecompute(b *testing.B) {
+	benchFullSwap(b, kvstoreBenchProblem(b))
+}
+
+func BenchmarkDeltaEvalLPSwap(b *testing.B) {
+	benchDeltaSwap(b, aggregationBenchProblem(b))
+}
+
+func BenchmarkDeltaEvalLPFullRecompute(b *testing.B) {
+	benchFullSwap(b, aggregationBenchProblem(b))
+}
+
+// BenchmarkDeltaEvalPortfolio runs one full parallel portfolio search under
+// a wall-clock budget, exercising the goroutine-per-member runner end to
+// end.
+func BenchmarkDeltaEvalPortfolio(b *testing.B) {
+	p := deltaBenchProblem(b, solver.LongestLink)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pf := advisor.NewPortfolio(20, int64(i))
+		if _, err := pf.Solve(p, solver.Budget{Time: 50 * time.Millisecond}); err != nil {
 			b.Fatal(err)
 		}
 	}

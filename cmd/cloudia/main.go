@@ -47,7 +47,7 @@ func main() {
 		overalloc = flag.Float64("overalloc", 0.1, "over-allocation ratio")
 		metric    = flag.String("metric", "mean", "latency metric: mean, mean+sd, p99")
 		scheme    = flag.String("scheme", "staged", "measurement scheme: token, uncoordinated, staged")
-		solverFlg = flag.String("solver", "", "solver: cp, mip, g1, g2, r1, r2, sa (default: cp for LL, mip for LP)")
+		solverFlg = flag.String("solver", "", "solver: cp, mip, g1, g2, r1, r2, r2l, sa, portfolio (default: cp for LL, mip for LP)")
 		clusterK  = flag.Int("clusterk", 0, "cost clusters for cp/mip (0 = paper default)")
 		budgetMS  = flag.Int("budget-ms", 2000, "solver wall-clock budget in milliseconds")
 		profile   = flag.String("profile", "ec2", "simulated cloud profile: ec2, gce, rackspace")

@@ -1,0 +1,3 @@
+module cloudia
+
+go 1.24

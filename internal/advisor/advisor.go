@@ -51,9 +51,10 @@ type Config struct {
 	// paper's rule of 5 minutes per 100 instances down to simulator scale:
 	// 20 ms of staged measurement per instance.
 	MeasureDurationMS float64
-	// SolverName picks the search technique: cp, mip, g1, g2, r1, r2, sa.
-	// Empty selects cp for longest link and mip for longest path, the
-	// paper's choices (Sect. 6.3).
+	// SolverName picks the search technique: cp, mip, g1, g2, r1, r2, r2l,
+	// sa, or portfolio (every technique plus multi-seed SA restarts racing
+	// concurrently, one goroutine each). Empty selects cp for longest link
+	// and mip for longest path, the paper's choices (Sect. 6.3).
 	SolverName string
 	// ClusterK rounds costs into k clusters for cp/mip; zero selects the
 	// paper's k=20 for CP and no clustering for MIP (Sect. 6.3).
@@ -111,10 +112,34 @@ func NewSolver(name string, clusterK int, seed int64) (solver.Solver, error) {
 		return random.NewR1(1000, seed), nil
 	case "r2":
 		return random.NewR2(seed), nil
+	case "r2l":
+		return random.NewLocal(seed), nil
 	case "sa":
 		return anneal.New(seed), nil
+	case "portfolio":
+		return NewPortfolio(clusterK, seed), nil
 	}
 	return nil, fmt.Errorf("advisor: unknown solver %q", name)
+}
+
+// NewPortfolio builds the default parallel solver portfolio: the systematic
+// solvers, both greedies, the local searches, and three differently-seeded
+// simulated-annealing restarts, all racing on their own goroutine under one
+// shared deployment-time budget. Members that do not apply to the problem's
+// objective (CP on longest-path) drop out by erroring; the portfolio keeps
+// the best of the rest. The R2L member is capped at two workers so a single
+// member does not oversubscribe the CPU the other members share.
+func NewPortfolio(clusterK int, seed int64) *solver.Portfolio {
+	return solver.NewPortfolio(
+		cp.New(clusterK, seed),
+		mip.New(clusterK, seed),
+		greedy.New(greedy.G1),
+		greedy.New(greedy.G2),
+		&random.Local{Seed: seed, Workers: 2},
+		anneal.New(seed),
+		anneal.New(seed+0x51ed),
+		anneal.New(seed+2*0x51ed),
+	)
 }
 
 // Advise runs the full ClouDiA pipeline against the provider: allocate,
@@ -191,8 +216,8 @@ func Advise(prov *cloud.Provider, cfg Config) (rep *Report, err error) {
 		}
 	}
 	clusterK := cfg.ClusterK
-	if clusterK == 0 && name == "cp" {
-		clusterK = 20 // the paper's sweet spot (Fig. 6)
+	if clusterK == 0 && (name == "cp" || name == "portfolio") {
+		clusterK = 20 // the paper's sweet spot (Fig. 6); also CP-in-portfolio
 	}
 	sol, err := NewSolver(name, clusterK, cfg.Seed)
 	if err != nil {

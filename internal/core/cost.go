@@ -65,20 +65,19 @@ func (m *CostMatrix) OffDiagonal() []float64 {
 // solver iterates over these thresholds (Sect. 4.2), so their count bounds
 // its iteration count.
 func (m *CostMatrix) DistinctValues() []float64 {
-	seen := make(map[float64]struct{})
-	for i := 0; i < m.n; i++ {
-		for j := 0; j < m.n; j++ {
-			if i != j {
-				seen[m.At(i, j)] = struct{}{}
-			}
-		}
-	}
-	out := make([]float64, 0, len(seen))
-	for v := range seen {
-		out = append(out, v)
+	out := m.OffDiagonal()
+	if len(out) == 0 {
+		return nil
 	}
 	sort.Float64s(out)
-	return out
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
 }
 
 // MaxValue returns the largest off-diagonal cost, or 0 for matrices smaller

@@ -35,6 +35,11 @@ type Graph struct {
 	weights map[Edge]float64
 	edgeW   []float64   // cache: weight per Edges() index
 	outW    [][]float64 // cache: weight per out-adjacency slot
+
+	// Incidence caches (see buildIncidence): per-node lists of edge indices,
+	// used by the delta evaluators to touch only O(deg) edges per move.
+	incident [][]int32 // edges with either endpoint == v
+	inIdx    [][]int32 // edges with To == v
 }
 
 // NewGraph returns an empty communication graph over n application nodes.
@@ -74,12 +79,50 @@ func (g *Graph) AddEdge(from, to NodeID) error {
 	g.out[from] = append(g.out[from], to)
 	g.in[to] = append(g.in[to], from)
 	g.edges = append(g.edges, e)
+	g.incident, g.inIdx = nil, nil // invalidate incidence caches
 	if len(g.weights) > 0 {
 		// Keep the weight caches aligned with the new edge.
 		g.rebuildWeightCaches()
 	}
 	return nil
 }
+
+// EnsureIncidence builds the per-node incidence caches if they are stale.
+// It is not safe to call concurrently with itself or with AddEdge; callers
+// that share a graph across goroutines (the parallel solvers) must build the
+// caches once up front — solver.NewProblem does so.
+func (g *Graph) EnsureIncidence() {
+	if g.incident != nil {
+		return
+	}
+	incident := make([][]int32, g.n)
+	inIdx := make([][]int32, g.n)
+	for k, e := range g.edges {
+		incident[e.From] = append(incident[e.From], int32(k))
+		incident[e.To] = append(incident[e.To], int32(k))
+		inIdx[e.To] = append(inIdx[e.To], int32(k))
+	}
+	g.inIdx = inIdx
+	g.incident = incident
+}
+
+// IncidentEdgeIDs returns the indices (into Edges()) of every edge with v as
+// either endpoint. Callers must not modify the returned slice.
+func (g *Graph) IncidentEdgeIDs(v NodeID) []int32 {
+	g.EnsureIncidence()
+	return g.incident[v]
+}
+
+// InEdgeIDs returns the indices (into Edges()) of every edge into v. Callers
+// must not modify the returned slice.
+func (g *Graph) InEdgeIDs(v NodeID) []int32 {
+	g.EnsureIncidence()
+	return g.inIdx[v]
+}
+
+// EdgeWeight reports the weight of the k-th edge in Edges() order (1 for
+// unweighted graphs), without a map lookup.
+func (g *Graph) EdgeWeight(k int) float64 { return g.edgeWeight(k) }
 
 // AddBiEdge inserts both (a,b) and (b,a). It is a convenience for mesh-like
 // templates where communication is symmetric.

@@ -172,3 +172,61 @@ func mustEdge(t *testing.T, g *Graph, from, to NodeID) {
 		t.Fatalf("AddEdge(%d,%d): %v", from, to, err)
 	}
 }
+
+func TestIncidenceCaches(t *testing.T) {
+	g := NewGraph(4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}, {0, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Edge ids follow insertion order: 0:(0,1) 1:(1,2) 2:(2,0) 3:(0,3).
+	wantIncident := map[int][]int32{0: {0, 2, 3}, 1: {0, 1}, 2: {1, 2}, 3: {3}}
+	for v, want := range wantIncident {
+		got := g.IncidentEdgeIDs(v)
+		if len(got) != len(want) {
+			t.Fatalf("IncidentEdgeIDs(%d) = %v, want %v", v, got, want)
+		}
+		seen := map[int32]bool{}
+		for _, k := range got {
+			seen[k] = true
+		}
+		for _, k := range want {
+			if !seen[k] {
+				t.Fatalf("IncidentEdgeIDs(%d) = %v, missing edge %d", v, got, k)
+			}
+		}
+	}
+	if got := g.InEdgeIDs(0); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("InEdgeIDs(0) = %v, want [2]", got)
+	}
+	// AddEdge must invalidate the caches.
+	if err := g.AddEdge(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.InEdgeIDs(1); len(got) != 2 {
+		t.Fatalf("InEdgeIDs(1) after AddEdge = %v, want two edges", got)
+	}
+}
+
+func TestEdgeWeightByIndex(t *testing.T) {
+	g := NewGraph(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if w := g.EdgeWeight(0); w != 1 {
+		t.Fatalf("EdgeWeight(0) = %g, want 1 (unweighted)", w)
+	}
+	if err := g.SetWeight(1, 2, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if w := g.EdgeWeight(1); w != 2.5 {
+		t.Fatalf("EdgeWeight(1) = %g, want 2.5", w)
+	}
+	if w := g.EdgeWeight(0); w != 1 {
+		t.Fatalf("EdgeWeight(0) = %g, want 1", w)
+	}
+}

@@ -6,10 +6,13 @@
 //
 // Moves either swap the instances of two deployed nodes or relocate a node
 // to an unused (over-allocated) instance. Temperature decays geometrically
-// from an initial value calibrated to the cost scale.
+// from an initial value calibrated to the cost scale. Move evaluation goes
+// through solver.DeltaEvaluator, so each step costs ~O(deg) instead of a
+// full O(E) or O(V+E) recomputation, and the inner loop is allocation-free.
 package anneal
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -38,14 +41,19 @@ func (s *Solver) Name() string { return "SA" }
 
 // Solve implements solver.Solver.
 func (s *Solver) Solve(p *solver.Problem, budget solver.Budget) (*solver.Result, error) {
+	return s.SolveContext(context.Background(), p, budget)
+}
+
+// SolveContext implements solver.ContextSolver.
+func (s *Solver) SolveContext(ctx context.Context, p *solver.Problem, budget solver.Budget) (*solver.Result, error) {
 	if budget.Unlimited() {
 		return nil, fmt.Errorf("anneal: requires a bounded budget")
 	}
-	clock := solver.NewClock(budget)
+	clock := solver.NewClockCtx(ctx, budget)
 	rng := rand.New(rand.NewSource(s.Seed))
 
 	cur, curCost := solver.Bootstrap(p, 10, rng)
-	cur = cur.Clone()
+	ev := solver.NewDeltaEvaluator(p, cur)
 	best := cur.Clone()
 	bestCost := curCost
 
@@ -72,9 +80,20 @@ func (s *Solver) Solve(p *solver.Problem, budget solver.Budget) (*solver.Result,
 
 	n := p.NumNodes()
 	m := p.NumInstances()
-	usedBy := make([]int, m) // instance -> node + 1, 0 if free
-	for node, inst := range cur {
-		usedBy[inst] = node + 1
+	free := make([]int, 0, m-n)
+	for inst := 0; inst < m; inst++ {
+		if ev.InstanceNode(inst) < 0 {
+			free = append(free, inst)
+		}
+	}
+	if n < 2 {
+		// No swap exists and relocating a single edgeless node cannot
+		// change the cost: the bootstrap deployment is final.
+		res.Deployment = best
+		res.Cost = bestCost
+		res.Nodes = clock.Nodes()
+		res.Elapsed = clock.Elapsed()
+		return res, nil
 	}
 
 	step := int64(0)
@@ -83,52 +102,40 @@ func (s *Solver) Solve(p *solver.Problem, budget solver.Budget) (*solver.Result,
 		temp := t0 * math.Exp(-decay*float64(step))
 
 		// Propose: swap two nodes, or move one node to a free instance.
-		var apply, undo func()
-		if m > n && rng.Intn(2) == 0 {
-			node := rng.Intn(n)
-			target := randFreeInstance(usedBy, rng)
-			old := cur[node]
-			apply = func() {
-				usedBy[old] = 0
-				usedBy[target] = node + 1
-				cur[node] = target
-			}
-			undo = func() {
-				usedBy[target] = 0
-				usedBy[old] = node + 1
-				cur[node] = old
-			}
+		// The evaluator prices the move in ~O(deg); no full recomputation.
+		var cand float64
+		relocate := len(free) > 0 && rng.Intn(2) == 0
+		var node, fi, vacated int
+		if relocate {
+			node = rng.Intn(n)
+			fi = rng.Intn(len(free))
+			vacated = ev.Deployment()[node]
+			cand = ev.RelocateCost(node, free[fi])
 		} else {
 			a := rng.Intn(n)
-			bn := rng.Intn(n - 1)
-			if bn >= a {
-				bn++
+			b := rng.Intn(n - 1)
+			if b >= a {
+				b++
 			}
-			ia, ib := cur[a], cur[bn]
-			apply = func() {
-				cur[a], cur[bn] = ib, ia
-				usedBy[ia], usedBy[ib] = bn+1, a+1
-			}
-			undo = func() {
-				cur[a], cur[bn] = ia, ib
-				usedBy[ia], usedBy[ib] = a+1, bn+1
-			}
+			cand = ev.SwapCost(a, b)
 		}
 
-		apply()
-		cand := p.Cost(cur)
 		delta := cand - curCost
 		if delta <= 0 || rng.Float64() < math.Exp(-delta/math.Max(temp, 1e-12)) {
+			ev.Commit()
+			if relocate {
+				free[fi] = vacated
+			}
 			curCost = cand
 			if curCost < bestCost {
 				bestCost = curCost
-				copy(best, cur)
+				copy(best, ev.Deployment())
 				res.Trace = append(res.Trace, solver.TracePoint{
 					Elapsed: clock.Elapsed(), Nodes: clock.Nodes(), Cost: bestCost,
 				})
 			}
 		} else {
-			undo()
+			ev.Reject()
 		}
 	}
 
@@ -137,15 +144,4 @@ func (s *Solver) Solve(p *solver.Problem, budget solver.Budget) (*solver.Result,
 	res.Nodes = clock.Nodes()
 	res.Elapsed = clock.Elapsed()
 	return res, nil
-}
-
-// randFreeInstance picks a uniformly random free instance. usedBy must have
-// at least one zero entry.
-func randFreeInstance(usedBy []int, rng *rand.Rand) int {
-	for {
-		j := rng.Intn(len(usedBy))
-		if usedBy[j] == 0 {
-			return j
-		}
-	}
 }

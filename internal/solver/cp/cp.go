@@ -16,6 +16,7 @@
 package cp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -58,10 +59,16 @@ func (s *Solver) Name() string {
 // subgraph isomorphism feasibility problems (Sect. 4.4), so LPNDP is handled
 // by the MIP solver instead.
 func (s *Solver) Solve(p *solver.Problem, budget solver.Budget) (*solver.Result, error) {
+	return s.SolveContext(context.Background(), p, budget)
+}
+
+// SolveContext implements solver.ContextSolver: the search additionally
+// stops once ctx is cancelled, reporting the incumbent.
+func (s *Solver) SolveContext(ctx context.Context, p *solver.Problem, budget solver.Budget) (*solver.Result, error) {
 	if p.Objective != solver.LongestLink {
 		return nil, fmt.Errorf("cp: unsupported objective %q (use mip for longest-path)", p.Objective)
 	}
-	clock := solver.NewClock(budget)
+	clock := solver.NewClockCtx(ctx, budget)
 
 	search := p.Costs
 	if s.ClusterK > 0 {

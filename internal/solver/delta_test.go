@@ -1,0 +1,196 @@
+package solver_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cloudia/internal/core"
+	"cloudia/internal/solver"
+)
+
+// buildDeltaProblem constructs a random problem for the evaluator property
+// tests: a random DAG-shaped graph (so the same graph works for both
+// objectives), a random cost matrix with many duplicate values (exercising
+// the witness logic's rescans and ties), and optional edge weights. With
+// multiSink, the DAG's last two nodes have no out-edges, forcing the LP
+// evaluator off its single-sink fast path.
+func buildDeltaProblem(t testing.TB, obj solver.Objective, weighted, multiSink bool, nodes, instances int, seed int64) *solver.Problem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := core.NewGraph(nodes)
+	// Edges only from lower to higher node id: acyclic by construction.
+	srcMax := nodes // one past the largest node allowed to have out-edges
+	if multiSink {
+		srcMax = nodes - 2
+		if err := g.AddEdge(nodes-3, nodes-1); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddEdge(nodes-3, nodes-2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v := 0; v+1 < srcMax; v++ {
+		if err := g.AddEdge(v, v+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < 2*nodes; k++ {
+		a, b := rng.Intn(srcMax), rng.Intn(nodes)
+		if a > b {
+			a, b = b, a
+		}
+		if a != b && a < srcMax && !g.HasEdge(a, b) {
+			if err := g.AddEdge(a, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if weighted {
+		for _, e := range g.Edges() {
+			if rng.Intn(2) == 0 {
+				if err := g.SetWeight(e.From, e.To, 0.5+rng.Float64()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	m := core.NewCostMatrix(instances)
+	for i := 0; i < instances; i++ {
+		for j := 0; j < instances; j++ {
+			if i != j {
+				// Quantized costs: plenty of exact duplicates.
+				m.Set(i, j, float64(1+rng.Intn(40))/8)
+			}
+		}
+	}
+	p, err := solver.NewProblem(g, m, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestDeltaEvaluatorMatchesFullRecompute drives 10k random swap/relocate
+// moves through the evaluator, randomly committing or rejecting each, and
+// checks after every move that the proposed cost and the committed cost are
+// bit-for-bit equal to a full Problem.Cost recomputation on a shadow
+// deployment.
+func TestDeltaEvaluatorMatchesFullRecompute(t *testing.T) {
+	const moves = 10_000
+	for _, tc := range []struct {
+		name      string
+		obj       solver.Objective
+		weighted  bool
+		multiSink bool
+	}{
+		{"LL-unweighted", solver.LongestLink, false, false},
+		{"LL-weighted", solver.LongestLink, true, false},
+		{"LP-unweighted", solver.LongestPath, false, false},
+		{"LP-weighted", solver.LongestPath, true, false},
+		{"LP-unweighted-multisink", solver.LongestPath, false, true},
+		{"LP-weighted-multisink", solver.LongestPath, true, true},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			const n, m = 24, 31
+			p := buildDeltaProblem(t, tc.obj, tc.weighted, tc.multiSink, n, m, 0xC10D1A)
+			rng := rand.New(rand.NewSource(99))
+			shadow := solver.RandomDeployment(p, rng)
+			ev := solver.NewDeltaEvaluator(p, shadow)
+			if got, want := ev.Cost(), p.Cost(shadow); got != want {
+				t.Fatalf("initial cost %v != full recompute %v", got, want)
+			}
+			inv := make([]int, m)
+			for i := range inv {
+				inv[i] = -1
+			}
+			for node, inst := range shadow {
+				inv[inst] = node
+			}
+			free := make([]int, 0, m-n)
+			for inst, occ := range inv {
+				if occ < 0 {
+					free = append(free, inst)
+				}
+			}
+			for i := 0; i < moves; i++ {
+				var cand float64
+				var apply func()
+				if len(free) > 0 && rng.Intn(2) == 0 {
+					node := rng.Intn(n)
+					fi := rng.Intn(len(free))
+					inst, old := free[fi], shadow[node]
+					cand = ev.RelocateCost(node, inst)
+					apply = func() {
+						shadow[node] = inst
+						inv[old], inv[inst] = -1, node
+						free[fi] = old
+					}
+				} else {
+					a := rng.Intn(n)
+					b := rng.Intn(n - 1)
+					if b >= a {
+						b++
+					}
+					cand = ev.SwapCost(a, b)
+					apply = func() {
+						shadow[a], shadow[b] = shadow[b], shadow[a]
+						inv[shadow[a]], inv[shadow[b]] = a, b
+					}
+				}
+				if rng.Intn(2) == 0 {
+					ev.Commit()
+					apply()
+					if want := p.Cost(shadow); cand != want {
+						t.Fatalf("move %d: committed proposal cost %v != full recompute %v", i, cand, want)
+					}
+				} else {
+					// Verify the proposal priced the would-be deployment
+					// correctly even though we discard it: the evaluator's
+					// internal deployment currently reflects the proposal.
+					if want := p.Cost(ev.Deployment()); cand != want {
+						t.Fatalf("move %d: proposal cost %v != full recompute %v", i, cand, want)
+					}
+					ev.Reject()
+				}
+				if got, want := ev.Cost(), p.Cost(shadow); got != want {
+					t.Fatalf("move %d: evaluator cost %v != full recompute %v", i, got, want)
+				}
+				for node, inst := range ev.Deployment() {
+					if shadow[node] != inst {
+						t.Fatalf("move %d: evaluator deployment diverged at node %d", i, node)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDeltaEvaluatorReset checks that Reset reloads arbitrary deployments.
+func TestDeltaEvaluatorReset(t *testing.T) {
+	for _, obj := range []solver.Objective{solver.LongestLink, solver.LongestPath} {
+		p := buildDeltaProblem(t, obj, true, false, 12, 17, 5)
+		rng := rand.New(rand.NewSource(7))
+		d := solver.RandomDeployment(p, rng)
+		ev := solver.NewDeltaEvaluator(p, d)
+		for i := 0; i < 50; i++ {
+			d2 := solver.RandomDeployment(p, rng)
+			if got, want := ev.Reset(d2), p.Cost(d2); got != want {
+				t.Fatalf("%s reset %d: cost %v != %v", obj, i, got, want)
+			}
+		}
+	}
+}
+
+// TestDeltaEvaluatorRelocatePanicsOnOccupied locks in the injectivity guard.
+func TestDeltaEvaluatorRelocatePanicsOnOccupied(t *testing.T) {
+	p := buildDeltaProblem(t, solver.LongestLink, false, false, 6, 9, 11)
+	ev := solver.NewDeltaEvaluator(p, core.Identity(6))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("relocating onto an occupied instance did not panic")
+		}
+	}()
+	ev.RelocateCost(0, 1) // instance 1 is occupied by node 1
+}

@@ -5,10 +5,19 @@
 // candidate for the implicit links it would add between the new instance and
 // the already-deployed neighbours. For LPNDP, the greedy solution to LLNDP
 // over the same graph serves as a heuristic (Sect. 4.5.2).
+//
+// Neither variant rescans all |S|^2 instance pairs per step. G1 keeps one
+// sorted cheapest-free-instance cursor per mapped instance: instances only
+// ever become used during a run, so each cursor advances monotonically and a
+// step costs O(|S|) plus amortized cursor movement instead of O(|S|^2). G2
+// scores each (frontier node, free instance) candidate directly — the score
+// depends only on the candidate, not on which mapped neighbour proposed it,
+// so the old mapped-instance outer loop was pure rework.
 package greedy
 
 import (
 	"math"
+	"sort"
 
 	"cloudia/internal/core"
 	"cloudia/internal/solver"
@@ -79,6 +88,13 @@ type state struct {
 	deploy []int // node -> instance, -1 if unmapped
 	inv    []int // instance -> node, -1 if unused
 	mapped int
+
+	// G1 candidate frontier: rows[u] lists the instances != u sorted by
+	// (cost from u, index), and cursor[u] points at the cheapest entry not
+	// yet ruled out. Instances only become used during a run, so cursors
+	// move forward only.
+	rows   [][]int32
+	cursor []int
 }
 
 func newState(p *solver.Problem) *state {
@@ -96,13 +112,44 @@ func newState(p *solver.Problem) *state {
 	return st
 }
 
+// ensureRows builds the per-instance sorted candidate rows for G1 on first
+// use.
+func (st *state) ensureRows() {
+	if st.rows != nil {
+		return
+	}
+	m := st.p.Costs
+	n := m.Size()
+	st.rows = make([][]int32, n)
+	st.cursor = make([]int, n)
+	flat := make([]int32, 0, n*(n-1))
+	for u := 0; u < n; u++ {
+		row := flat[len(flat) : len(flat) : len(flat)+n-1]
+		for v := 0; v < n; v++ {
+			if v != u {
+				row = append(row, int32(v))
+			}
+		}
+		flat = flat[:len(flat)+len(row)]
+		cu := m.Row(u)
+		sort.Slice(row, func(i, j int) bool {
+			ci, cj := cu[row[i]], cu[row[j]]
+			if ci != cj {
+				return ci < cj
+			}
+			return row[i] < row[j]
+		})
+		st.rows[u] = row
+	}
+}
+
 func (st *state) assign(node, inst int) {
 	st.deploy[node] = inst
 	st.inv[inst] = node
 	st.mapped++
 }
 
-// neighbours iterates node's undirected neighbourhood (out then in).
+// unmatchedNeighbour iterates node's undirected neighbourhood (out then in).
 func (st *state) unmatchedNeighbour(node int) (int, bool) {
 	for _, w := range st.p.Graph.Out(node) {
 		if st.deploy[w] < 0 {
@@ -120,6 +167,22 @@ func (st *state) unmatchedNeighbour(node int) (int, bool) {
 func (st *state) hasUnmatchedNeighbour(node int) bool {
 	_, ok := st.unmatchedNeighbour(node)
 	return ok
+}
+
+// hasMappedNeighbour reports whether any neighbour of node (either
+// direction) is already deployed.
+func (st *state) hasMappedNeighbour(node int) bool {
+	for _, w := range st.p.Graph.Out(node) {
+		if st.deploy[w] >= 0 {
+			return true
+		}
+	}
+	for _, w := range st.p.Graph.In(node) {
+		if st.deploy[w] >= 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // seedFirstEdge performs lines 1-3 of both algorithms: map an arbitrary edge
@@ -192,8 +255,10 @@ func (st *state) seedComponent() {
 
 // stepG1 performs one iteration of Algorithm 1: take the cheapest link
 // (u, v) from a mapped instance with unmatched neighbours to an unused
-// instance, and map one unmatched neighbour onto v.
+// instance, and map one unmatched neighbour onto v. Each mapped instance's
+// candidate comes from its sorted cursor instead of a row rescan.
 func (st *state) stepG1() bool {
+	st.ensureRows()
 	m := st.p.Costs
 	n := m.Size()
 	cmin := math.Inf(1)
@@ -203,14 +268,19 @@ func (st *state) stepG1() bool {
 		if node < 0 || !st.hasUnmatchedNeighbour(node) {
 			continue
 		}
-		for v := 0; v < n; v++ {
-			if u == v || st.inv[v] >= 0 {
-				continue
-			}
-			if c := m.At(u, v); c < cmin {
-				cmin = c
-				umin, vmin = u, v
-			}
+		row := st.rows[u]
+		cur := st.cursor[u]
+		for cur < len(row) && st.inv[row[cur]] >= 0 {
+			cur++
+		}
+		st.cursor[u] = cur
+		if cur == len(row) {
+			continue
+		}
+		v := int(row[cur])
+		if c := m.At(u, v); c < cmin {
+			cmin = c
+			umin, vmin = u, v
 		}
 	}
 	if umin < 0 {
@@ -221,53 +291,46 @@ func (st *state) stepG1() bool {
 	return true
 }
 
-// stepG2 performs one iteration of Algorithm 2: cost each candidate (v, w)
-// by the worst among the explicit link (u, v) and every implicit link that
-// mapping w onto v would create towards already-mapped neighbours of w, and
-// take the candidate minimizing that worst cost.
+// stepG2 performs one iteration of Algorithm 2: cost each candidate (w, v) —
+// a frontier node w placed on a free instance v — by the worst link it would
+// create towards w's already-mapped neighbours (weighted and
+// direction-aware), and take the candidate minimizing that worst cost. The
+// score depends only on (w, v), so candidates are enumerated once each
+// rather than once per mapped neighbour as in a literal reading of the
+// paper's pseudocode.
 func (st *state) stepG2() bool {
 	g := st.p.Graph
 	m := st.p.Costs
-	n := m.Size()
+	edges := g.Edges()
 	cmin := math.Inf(1)
 	vmin, wmin := -1, -1
-	for u := 0; u < n; u++ {
-		node := st.inv[u]
-		if node < 0 {
+	for w := 0; w < g.NumNodes(); w++ {
+		if st.deploy[w] >= 0 || !st.hasMappedNeighbour(w) {
 			continue
 		}
-		for v := 0; v < n; v++ {
-			if u == v || st.inv[v] >= 0 {
+		inc := g.IncidentEdgeIDs(w)
+		for v := 0; v < m.Size(); v++ {
+			if st.inv[v] >= 0 {
 				continue
 			}
-			// Each unmatched neighbour w of D^-1(u) is a candidate for
-			// instance v; charge it for all implicit links to mapped nodes.
-			// Edge weights scale each link's cost (the weighted-graph
-			// extension); the explicit link additionally honours edge
-			// direction, a small refinement over the paper's CL(u,v).
-			for _, w := range undirectedNeighbours(g, node) {
-				if st.deploy[w] >= 0 {
-					continue
-				}
-				cuv := edgeCost(g, m, node, w, u, v)
-				for _, x := range g.Out(w) {
-					if dx := st.deploy[x]; dx >= 0 {
-						if c := g.Weight(w, x) * m.At(v, dx); c > cuv {
-							cuv = c
+			worst := 0.0
+			for _, k := range inc {
+				e := edges[k]
+				if e.From == w {
+					if dx := st.deploy[e.To]; dx >= 0 {
+						if c := g.EdgeWeight(int(k)) * m.At(v, dx); c > worst {
+							worst = c
 						}
 					}
-				}
-				for _, x := range g.In(w) {
-					if dx := st.deploy[x]; dx >= 0 {
-						if c := g.Weight(x, w) * m.At(dx, v); c > cuv {
-							cuv = c
-						}
+				} else if dx := st.deploy[e.From]; dx >= 0 {
+					if c := g.EdgeWeight(int(k)) * m.At(dx, v); c > worst {
+						worst = c
 					}
 				}
-				if cuv < cmin {
-					cmin = cuv
-					vmin, wmin = v, w
-				}
+			}
+			if worst < cmin {
+				cmin = worst
+				vmin, wmin = v, w
 			}
 		}
 	}
@@ -276,30 +339,4 @@ func (st *state) stepG2() bool {
 	}
 	st.assign(wmin, vmin)
 	return true
-}
-
-// edgeCost returns the worst weighted link cost the explicit edge(s) between
-// nodes a and b would pay when deployed on instances ia and ib respectively.
-func edgeCost(g *core.Graph, m *core.CostMatrix, a, b, ia, ib int) float64 {
-	cost := 0.0
-	if g.HasEdge(a, b) {
-		cost = g.Weight(a, b) * m.At(ia, ib)
-	}
-	if g.HasEdge(b, a) {
-		if c := g.Weight(b, a) * m.At(ib, ia); c > cost {
-			cost = c
-		}
-	}
-	return cost
-}
-
-// undirectedNeighbours returns node's neighbours in either direction,
-// without deduplication (duplicates only cost a second evaluation).
-func undirectedNeighbours(g *core.Graph, node int) []int {
-	out := g.Out(node)
-	in := g.In(node)
-	all := make([]int, 0, len(out)+len(in))
-	all = append(all, out...)
-	all = append(all, in...)
-	return all
 }

@@ -17,6 +17,7 @@
 package mip
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -65,7 +66,13 @@ func (s *Solver) Name() string {
 
 // Solve implements solver.Solver.
 func (s *Solver) Solve(p *solver.Problem, budget solver.Budget) (*solver.Result, error) {
-	clock := solver.NewClock(budget)
+	return s.SolveContext(context.Background(), p, budget)
+}
+
+// SolveContext implements solver.ContextSolver: the search additionally
+// stops once ctx is cancelled, reporting the incumbent.
+func (s *Solver) SolveContext(ctx context.Context, p *solver.Problem, budget solver.Budget) (*solver.Result, error) {
+	clock := solver.NewClockCtx(ctx, budget)
 
 	search := p.Costs
 	if s.ClusterK > 0 {
@@ -142,7 +149,11 @@ func (s *Solver) Solve(p *solver.Problem, budget solver.Budget) (*solver.Result,
 		b.prepareLP()
 		b.branchLP(0, make([]float64, p.NumNodes()))
 	}
-	res.Optimal = !b.limitHit
+	// Clustering rounds the objective, so an exhausted search proves
+	// optimality only for the rounded costs — never claim it for the true
+	// problem (CP applies the same guard). A stray claim would also make
+	// the portfolio runner cancel its other members on a false proof.
+	res.Optimal = !b.limitHit && s.ClusterK <= 0
 	res.Nodes = clock.Nodes()
 	res.Elapsed = clock.Elapsed()
 	return res, nil

@@ -1,0 +1,125 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// ContextSolver is a Solver that can additionally be cancelled early through
+// a context: its budget reads as exhausted once ctx is done. All solvers in
+// this repository implement it; third-party solvers that don't are still
+// usable in a Portfolio, they just run to their own budget.
+type ContextSolver interface {
+	Solver
+	SolveContext(ctx context.Context, p *Problem, budget Budget) (*Result, error)
+}
+
+// Portfolio runs member solvers concurrently on the same problem — one
+// goroutine per member — and returns the best result found. Every member
+// receives the full budget, so on a k-core machine a k-member portfolio
+// matches the paper's deployment-time budget while exploring k search
+// strategies at once; under a node budget the result is never worse than
+// the best member run sequentially with the same seeds (under a wall-clock
+// budget on fewer cores than members, CPU time-sharing trades single-member
+// depth for strategy diversity). Members that error (e.g. CP on a
+// longest-path problem) are skipped; members that prove optimality cancel
+// the rest through the shared context.
+type Portfolio struct {
+	Members []Solver
+}
+
+// NewPortfolio returns a portfolio over the given members.
+func NewPortfolio(members ...Solver) *Portfolio { return &Portfolio{Members: members} }
+
+// Name implements Solver.
+func (pf *Portfolio) Name() string {
+	names := make([]string, len(pf.Members))
+	for i, s := range pf.Members {
+		names[i] = s.Name()
+	}
+	return "portfolio(" + strings.Join(names, "+") + ")"
+}
+
+// Solve implements Solver.
+func (pf *Portfolio) Solve(p *Problem, budget Budget) (*Result, error) {
+	return pf.SolveContext(context.Background(), p, budget)
+}
+
+// SolveContext implements ContextSolver. The returned result carries the
+// winner's deployment, cost, and trace; Nodes sums every member's expansions
+// and Optimal is set when any member proved optimality.
+func (pf *Portfolio) SolveContext(ctx context.Context, p *Problem, budget Budget) (*Result, error) {
+	if len(pf.Members) == 0 {
+		return nil, fmt.Errorf("solver: empty portfolio")
+	}
+	if budget.Unlimited() {
+		return nil, fmt.Errorf("solver: portfolio requires a bounded budget")
+	}
+	clock := NewClockCtx(ctx, budget)
+	ctx, cancel := context.WithCancel(ctx)
+	if budget.Time > 0 {
+		var cancelTimeout context.CancelFunc
+		ctx, cancelTimeout = context.WithTimeout(ctx, budget.Time)
+		defer cancelTimeout()
+	}
+	defer cancel()
+
+	var (
+		mu      sync.Mutex
+		best    *Result
+		winner  string
+		nodes   int64
+		optimal bool
+		lastErr error
+	)
+	var wg sync.WaitGroup
+	for _, member := range pf.Members {
+		member := member
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var res *Result
+			var err error
+			if cs, ok := member.(ContextSolver); ok {
+				res, err = cs.SolveContext(ctx, p, budget)
+			} else {
+				res, err = member.Solve(p, budget)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				lastErr = fmt.Errorf("solver: portfolio member %s: %w", member.Name(), err)
+				return
+			}
+			nodes += res.Nodes
+			if res.Optimal {
+				optimal = true
+			}
+			if res.Deployment != nil && (best == nil || res.Cost < best.Cost) {
+				best, winner = res, member.Name()
+			}
+			if res.Optimal {
+				cancel() // a proven optimum makes further search pointless
+			}
+		}()
+	}
+	wg.Wait()
+
+	if best == nil {
+		if lastErr != nil {
+			return nil, lastErr
+		}
+		return nil, fmt.Errorf("solver: no portfolio member produced a deployment")
+	}
+	return &Result{
+		Deployment: best.Deployment,
+		Cost:       best.Cost,
+		Optimal:    optimal,
+		Nodes:      nodes,
+		Elapsed:    clock.Elapsed(),
+		Trace:      best.Trace,
+		Winner:     winner,
+	}, nil
+}

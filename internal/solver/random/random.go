@@ -2,11 +2,15 @@
 // (Sects. 4.3.1 and 4.5.1): R1 draws a fixed number of uniformly random
 // deployments and keeps the best; R2 draws random deployments in parallel
 // across all CPUs for a wall-clock budget, matching the hardware budget
-// given to the CP/MIP solvers (Sect. 6.5). Both work unchanged for the
-// longest-link and longest-path objectives.
+// given to the CP/MIP solvers (Sect. 6.5). Local ("R2L") upgrades R2 from
+// blind sampling to restarted hill climbing: each worker repeatedly samples
+// a start and then walks swap/relocate moves priced by solver.DeltaEvaluator
+// in ~O(deg) per move. All three work unchanged for the longest-link and
+// longest-path objectives.
 package random
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -32,17 +36,28 @@ func (s *R1) Name() string { return "R1" }
 // Solve implements solver.Solver: sequential, fully deterministic sampling.
 // The node budget, if smaller than Samples, truncates the run.
 func (s *R1) Solve(p *solver.Problem, budget solver.Budget) (*solver.Result, error) {
+	return s.SolveContext(context.Background(), p, budget)
+}
+
+// SolveContext implements solver.ContextSolver.
+func (s *R1) SolveContext(ctx context.Context, p *solver.Problem, budget solver.Budget) (*solver.Result, error) {
 	if s.Samples <= 0 {
 		return nil, fmt.Errorf("random: R1 needs positive sample count, got %d", s.Samples)
 	}
-	clock := solver.NewClock(budget)
+	clock := solver.NewClockCtx(ctx, budget)
 	rng := rand.New(rand.NewSource(s.Seed))
+	smp := solver.NewSampler(p)
+	cand := make(core.Deployment, p.NumNodes())
 	res := &solver.Result{}
 	for i := 0; i < s.Samples; i++ {
-		d := solver.RandomDeployment(p, rng)
-		c := p.Cost(d)
+		smp.Sample(rng, cand)
+		c := p.Cost(cand)
 		if res.Deployment == nil || c < res.Cost {
-			res.Deployment, res.Cost = d, c
+			if res.Deployment == nil {
+				res.Deployment = make(core.Deployment, len(cand))
+			}
+			copy(res.Deployment, cand)
+			res.Cost = c
 			res.Trace = append(res.Trace, solver.TracePoint{
 				Elapsed: clock.Elapsed(), Nodes: clock.Nodes(), Cost: c,
 			})
@@ -74,11 +89,194 @@ func (s *R2) Name() string { return "R2" }
 // the total sample count is deterministic, though the winning sample may
 // depend on scheduling when several workers tie.
 func (s *R2) Solve(p *solver.Problem, budget solver.Budget) (*solver.Result, error) {
+	return s.SolveContext(context.Background(), p, budget)
+}
+
+// SolveContext implements solver.ContextSolver.
+func (s *R2) SolveContext(ctx context.Context, p *solver.Problem, budget solver.Budget) (*solver.Result, error) {
 	if budget.Unlimited() {
 		return nil, fmt.Errorf("random: R2 requires a bounded budget")
 	}
-	overall := solver.NewClock(budget)
-	workers := s.Workers
+	return parallelWorkers(ctx, p, budget, s.Workers, func(w int, perWorker solver.Budget) workerBest {
+		clock := solver.NewClockCtx(ctx, perWorker)
+		rng := rand.New(rand.NewSource(s.Seed + int64(w)*0x9e37))
+		smp := solver.NewSampler(p)
+		cand := make(core.Deployment, p.NumNodes())
+		b := workerBest{}
+		for {
+			smp.Sample(rng, cand)
+			c := p.Cost(cand)
+			if b.d == nil || c < b.cost {
+				if b.d == nil {
+					b.d = make(core.Deployment, len(cand))
+				}
+				copy(b.d, cand)
+				b.cost = c
+				b.trace = append(b.trace, solver.TracePoint{
+					Elapsed: clock.Elapsed(), Nodes: clock.Nodes(), Cost: c,
+				})
+			}
+			if clock.Tick() {
+				break
+			}
+		}
+		b.nodes = clock.Nodes()
+		return b
+	})
+}
+
+// Local is the R2-style local-search solver ("R2L"): parallel workers, each
+// running random-restart hill climbing over swap/relocate moves priced
+// incrementally by a per-worker solver.DeltaEvaluator. It keeps R2's budget
+// protocol — wall-clock or node budget split across GOMAXPROCS workers —
+// but spends each evaluation on a neighbour of a good deployment instead of
+// an independent uniform sample.
+type Local struct {
+	Seed int64
+	// Workers overrides the worker count; zero selects GOMAXPROCS.
+	Workers int
+	// Patience is the number of consecutive non-improving moves before a
+	// restart from a fresh random deployment; zero selects 60*|N|.
+	Patience int
+}
+
+// NewLocal returns a Local solver.
+func NewLocal(seed int64) *Local { return &Local{Seed: seed} }
+
+// Name implements solver.Solver.
+func (s *Local) Name() string { return "R2L" }
+
+// Solve implements solver.Solver.
+func (s *Local) Solve(p *solver.Problem, budget solver.Budget) (*solver.Result, error) {
+	return s.SolveContext(context.Background(), p, budget)
+}
+
+// SolveContext implements solver.ContextSolver.
+func (s *Local) SolveContext(ctx context.Context, p *solver.Problem, budget solver.Budget) (*solver.Result, error) {
+	if budget.Unlimited() {
+		return nil, fmt.Errorf("random: R2L requires a bounded budget")
+	}
+	n := p.NumNodes()
+	m := p.NumInstances()
+	patience := s.Patience
+	if patience <= 0 {
+		patience = 60 * n
+	}
+	if n < 2 {
+		// No swap exists and relocating a single edgeless node cannot
+		// change the cost: any deployment is optimal.
+		clock := solver.NewClockCtx(ctx, budget)
+		rng := rand.New(rand.NewSource(s.Seed))
+		d := solver.RandomDeployment(p, rng)
+		clock.Tick()
+		res := &solver.Result{Deployment: d, Cost: p.Cost(d), Nodes: clock.Nodes(), Elapsed: clock.Elapsed()}
+		res.Trace = []solver.TracePoint{{Elapsed: res.Elapsed, Nodes: res.Nodes, Cost: res.Cost}}
+		return res, nil
+	}
+	return parallelWorkers(ctx, p, budget, s.Workers, func(w int, perWorker solver.Budget) workerBest {
+		clock := solver.NewClockCtx(ctx, perWorker)
+		rng := rand.New(rand.NewSource(s.Seed + int64(w)*0x9e37))
+		smp := solver.NewSampler(p)
+		start := make(core.Deployment, n)
+		free := make([]int, 0, m-n)
+		b := workerBest{}
+		var ev solver.DeltaEvaluator
+		done := false
+		for !done {
+			// Restart: fresh random start, rebuilt free-instance list.
+			smp.Sample(rng, start)
+			var cur float64
+			if ev == nil {
+				ev = solver.NewDeltaEvaluator(p, start)
+				cur = ev.Cost()
+			} else {
+				cur = ev.Reset(start)
+			}
+			free = free[:0]
+			for inst := 0; inst < m; inst++ {
+				if ev.InstanceNode(inst) < 0 {
+					free = append(free, inst)
+				}
+			}
+			if b.d == nil || cur < b.cost {
+				if b.d == nil {
+					b.d = make(core.Deployment, n)
+				}
+				copy(b.d, ev.Deployment())
+				b.cost = cur
+				b.trace = append(b.trace, solver.TracePoint{
+					Elapsed: clock.Elapsed(), Nodes: clock.Nodes(), Cost: cur,
+				})
+			}
+			if clock.Tick() {
+				break
+			}
+			// Hill climb: accept any non-worsening move; restart after
+			// `patience` consecutive failures to strictly improve.
+			streak := 0
+			for streak < patience {
+				var cand float64
+				relocate := len(free) > 0 && n < m && rng.Intn(4) == 0
+				var fi, vacated int
+				if relocate {
+					node := rng.Intn(n)
+					fi = rng.Intn(len(free))
+					vacated = ev.Deployment()[node]
+					cand = ev.RelocateCost(node, free[fi])
+				} else {
+					a := rng.Intn(n)
+					c := rng.Intn(n - 1)
+					if c >= a {
+						c++
+					}
+					cand = ev.SwapCost(a, c)
+				}
+				if cand <= cur {
+					ev.Commit()
+					if relocate {
+						free[fi] = vacated
+					}
+					if cand < cur {
+						streak = 0
+					} else {
+						streak++
+					}
+					cur = cand
+					if cur < b.cost {
+						copy(b.d, ev.Deployment())
+						b.cost = cur
+						b.trace = append(b.trace, solver.TracePoint{
+							Elapsed: clock.Elapsed(), Nodes: clock.Nodes(), Cost: cur,
+						})
+					}
+				} else {
+					ev.Reject()
+					streak++
+				}
+				if clock.Tick() {
+					done = true
+					break
+				}
+			}
+		}
+		b.nodes = clock.Nodes()
+		return b
+	})
+}
+
+// workerBest is one worker's reduction state.
+type workerBest struct {
+	d     core.Deployment
+	cost  float64
+	nodes int64
+	trace []solver.TracePoint
+}
+
+// parallelWorkers runs one goroutine per worker with R2's budget-splitting
+// protocol (full time budget each, node budget divided) and reduces to the
+// global best.
+func parallelWorkers(ctx context.Context, p *solver.Problem, budget solver.Budget, workers int, run func(w int, perWorker solver.Budget) workerBest) (*solver.Result, error) {
+	overall := solver.NewClockCtx(ctx, budget)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -87,37 +285,14 @@ func (s *R2) Solve(p *solver.Problem, budget solver.Budget) (*solver.Result, err
 		perWorker.Nodes = (budget.Nodes + int64(workers) - 1) / int64(workers)
 	}
 
-	type best struct {
-		d     core.Deployment
-		cost  float64
-		nodes int64
-		trace []solver.TracePoint
-	}
-	results := make([]best, workers)
+	results := make([]workerBest, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			clock := solver.NewClock(perWorker)
-			rng := rand.New(rand.NewSource(s.Seed + int64(w)*0x9e37))
-			b := best{}
-			for {
-				d := solver.RandomDeployment(p, rng)
-				c := p.Cost(d)
-				if b.d == nil || c < b.cost {
-					b.d, b.cost = d, c
-					b.trace = append(b.trace, solver.TracePoint{
-						Elapsed: clock.Elapsed(), Nodes: clock.Nodes(), Cost: c,
-					})
-				}
-				if clock.Tick() {
-					break
-				}
-			}
-			b.nodes = clock.Nodes()
-			results[w] = b
+			results[w] = run(w, perWorker)
 		}()
 	}
 	wg.Wait()

@@ -8,6 +8,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -49,6 +50,10 @@ func NewProblem(g *core.Graph, m *core.CostMatrix, obj Objective) (*Problem, err
 	if g.NumNodes() > m.Size() {
 		return nil, fmt.Errorf("solver: %d nodes exceed %d instances", g.NumNodes(), m.Size())
 	}
+	// Build the incidence caches up front: the delta evaluators and the
+	// parallel solvers read them from multiple goroutines, so the lazy
+	// build must not race.
+	g.EnsureIncidence()
 	p := &Problem{Graph: g, Costs: m, Objective: obj}
 	switch obj {
 	case LongestLink:
@@ -120,6 +125,9 @@ type Result struct {
 	Elapsed time.Duration
 	// Trace records each improvement, ending with the final solution.
 	Trace []TracePoint
+	// Winner names the member that produced the deployment when the result
+	// comes from a portfolio run; empty otherwise.
+	Winner string
 }
 
 // Solver searches for low-cost deployments.
@@ -133,54 +141,112 @@ type Solver interface {
 	Solve(p *Problem, budget Budget) (*Result, error)
 }
 
+// Sampler draws uniformly random injective deployments without allocating:
+// it owns a permutation buffer that is partially re-shuffled (Fisher-Yates on
+// the first |N| slots) per sample. A Sampler is not safe for concurrent use;
+// parallel solvers hold one per worker.
+type Sampler struct {
+	n    int
+	perm []int
+}
+
+// NewSampler returns a sampler for the problem's node and instance counts.
+func NewSampler(p *Problem) *Sampler {
+	s := &Sampler{n: p.NumNodes(), perm: make([]int, p.NumInstances())}
+	for i := range s.perm {
+		s.perm[i] = i
+	}
+	return s
+}
+
+// Sample fills d (which must have length NumNodes) with a uniformly random
+// injective deployment.
+func (s *Sampler) Sample(rng *rand.Rand, d core.Deployment) {
+	m := len(s.perm)
+	for i := 0; i < s.n; i++ {
+		j := i + rng.Intn(m-i)
+		s.perm[i], s.perm[j] = s.perm[j], s.perm[i]
+		d[i] = s.perm[i]
+	}
+}
+
 // RandomDeployment returns a uniformly random injective deployment of the
-// problem's nodes onto its instances.
+// problem's nodes onto its instances. Loops drawing many samples should hold
+// a Sampler instead to reuse its permutation buffer.
 func RandomDeployment(p *Problem, rng *rand.Rand) core.Deployment {
-	perm := rng.Perm(p.NumInstances())
 	d := make(core.Deployment, p.NumNodes())
-	copy(d, perm[:p.NumNodes()])
+	NewSampler(p).Sample(rng, d)
 	return d
 }
 
 // Bootstrap generates k random deployments and returns the best, the paper's
-// initial-solution strategy for the solvers (Sect. 6.3.1, best of 10).
+// initial-solution strategy for the solvers (Sect. 6.3.1, best of 10). Only
+// two deployments are ever allocated regardless of k.
 func Bootstrap(p *Problem, k int, rng *rand.Rand) (core.Deployment, float64) {
 	if k < 1 {
 		k = 1
 	}
-	var best core.Deployment
-	bestCost := 0.0
-	for i := 0; i < k; i++ {
-		d := RandomDeployment(p, rng)
-		c := p.Cost(d)
-		if best == nil || c < bestCost {
-			best, bestCost = d, c
+	s := NewSampler(p)
+	best := make(core.Deployment, p.NumNodes())
+	cand := make(core.Deployment, p.NumNodes())
+	s.Sample(rng, best)
+	bestCost := p.Cost(best)
+	for i := 1; i < k; i++ {
+		s.Sample(rng, cand)
+		if c := p.Cost(cand); c < bestCost {
+			best, cand = cand, best
+			bestCost = c
 		}
 	}
 	return best, bestCost
 }
 
-// Clock tracks a solver run's budget.
+// Clock tracks a solver run's budget, optionally tied to a context so a
+// portfolio runner can cancel members early.
 type Clock struct {
-	start  time.Time
-	budget Budget
-	nodes  int64
+	start     time.Time
+	budget    Budget
+	nodes     int64
+	nextCheck int64
+	ctx       context.Context
 }
 
 // NewClock starts tracking a run against budget.
 func NewClock(budget Budget) *Clock {
-	return &Clock{start: time.Now(), budget: budget}
+	return &Clock{start: time.Now(), budget: budget, nextCheck: 1}
+}
+
+// NewClockCtx starts tracking a run against budget and the context: the
+// budget reads as exhausted once ctx is cancelled. A nil ctx behaves like
+// NewClock.
+func NewClockCtx(ctx context.Context, budget Budget) *Clock {
+	return &Clock{start: time.Now(), budget: budget, nextCheck: 1, ctx: ctx}
 }
 
 // Tick consumes one search node and reports whether the budget is exhausted.
-// The wall clock is consulted only every 1024 ticks to keep it cheap.
+// The wall clock and context are consulted on an exponential warm-up
+// schedule (ticks 1, 2, 4, ... 1024) and every 1024 ticks thereafter: cheap
+// for solvers that tick millions of times per second, yet solvers whose
+// nodes cost milliseconds (CP/MIP propagation) still notice an expired time
+// budget within a few nodes instead of overshooting by three orders of
+// magnitude.
 func (c *Clock) Tick() bool {
 	c.nodes++
 	if c.budget.Nodes > 0 && c.nodes >= c.budget.Nodes {
 		return true
 	}
-	if c.budget.Time > 0 && c.nodes%1024 == 0 && time.Since(c.start) >= c.budget.Time {
-		return true
+	if c.nodes >= c.nextCheck {
+		if c.nextCheck <= 512 {
+			c.nextCheck <<= 1
+		} else {
+			c.nextCheck = c.nodes + 1024
+		}
+		if c.budget.Time > 0 && time.Since(c.start) >= c.budget.Time {
+			return true
+		}
+		if c.ctx != nil && c.ctx.Err() != nil {
+			return true
+		}
 	}
 	return false
 }
@@ -188,6 +254,9 @@ func (c *Clock) Tick() bool {
 // Expired reports whether the budget is exhausted without consuming a node.
 func (c *Clock) Expired() bool {
 	if c.budget.Nodes > 0 && c.nodes >= c.budget.Nodes {
+		return true
+	}
+	if c.ctx != nil && c.ctx.Err() != nil {
 		return true
 	}
 	return c.budget.Time > 0 && time.Since(c.start) >= c.budget.Time
