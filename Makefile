@@ -1,0 +1,29 @@
+GO ?= go
+
+# Solver benchmarks recorded in the perf trajectory. Keep the pattern in
+# sync with README's benchmark tables.
+BENCH_PATTERN ?= BenchmarkCPPerNodeBudget|BenchmarkCPThresholdDescent|BenchmarkCPSearchNode|BenchmarkCPTighten|BenchmarkDeltaEval|BenchmarkKMeans1D
+BENCH_OUT ?= BENCH_PR2.json
+
+.PHONY: build vet test bench bench-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# bench runs the solver benchmarks and records them as JSON so the perf
+# trajectory is tracked across PRs (BENCH_PR<N>.json per PR).
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=5x ./... | tee /tmp/cloudia-bench.out
+	scripts/benchjson.sh /tmp/cloudia-bench.out > $(BENCH_OUT)
+	@echo "wrote $(BENCH_OUT)"
+
+# bench-smoke is the CI guard: one iteration of every recorded benchmark,
+# just proving they still run (and that CPSearchNode still reports).
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=1x ./...

@@ -66,6 +66,7 @@ func BenchmarkAblationDegreeFilter(b *testing.B) { benchFigure(b, "ablation-degr
 func BenchmarkAblationContention(b *testing.B)   { benchFigure(b, "ablation-contention") }
 func BenchmarkAblationSA(b *testing.B)           { benchFigure(b, "ablation-sa") }
 func BenchmarkAblationClusterK(b *testing.B)     { benchFigure(b, "ablation-clusterk") }
+func BenchmarkAblationCPWorkers(b *testing.B)    { benchFigure(b, "ablation-cpworkers") }
 
 func BenchmarkExtensionRedeploy(b *testing.B)  { benchFigure(b, "extension-redeploy") }
 func BenchmarkExtensionOverlap(b *testing.B)   { benchFigure(b, "extension-overlap") }
@@ -166,6 +167,22 @@ func BenchmarkCPPerNodeBudget(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cp.New(20, int64(i)).Solve(p, solver.Budget{Nodes: 20_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCPThresholdDescent runs one full CP threshold descent at the
+// paper's solver-experiment scale (100 nodes on 150 instances, k=20 cost
+// clusters) under a fixed node budget. This is the headline benchmark for the
+// persistent descent engine: incremental threshold-graph tightening plus the
+// zero-alloc search arena.
+func BenchmarkCPThresholdDescent(b *testing.B) {
+	p := deltaBenchProblem(b, solver.LongestLink)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cp.New(20, int64(i)).Solve(p, solver.Budget{Nodes: 50_000}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -127,11 +127,12 @@ func NewSolver(name string, clusterK int, seed int64) (solver.Solver, error) {
 // simulated-annealing restarts, all racing on their own goroutine under one
 // shared deployment-time budget. Members that do not apply to the problem's
 // objective (CP on longest-path) drop out by erroring; the portfolio keeps
-// the best of the rest. The R2L member is capped at two workers so a single
-// member does not oversubscribe the CPU the other members share.
+// the best of the rest. The R2L member and CP's parallel embedding search
+// are each capped at two workers so a single member does not oversubscribe
+// the CPU the other members share.
 func NewPortfolio(clusterK int, seed int64) *solver.Portfolio {
 	return solver.NewPortfolio(
-		cp.New(clusterK, seed),
+		&cp.Solver{ClusterK: clusterK, Seed: seed, Workers: 2},
 		mip.New(clusterK, seed),
 		greedy.New(greedy.G1),
 		greedy.New(greedy.G2),

@@ -9,14 +9,10 @@ import "cloudia/internal/core"
 // values (and hence CP threshold iterations) at the price of objective
 // precision. k <= 0 disables clustering and returns a plain clone.
 func RoundCostMatrix(m *core.CostMatrix, k int) (*core.CostMatrix, error) {
-	if k <= 0 {
+	if k <= 0 || m.Size() < 2 {
 		return m.Clone(), nil
 	}
-	vals := m.OffDiagonal()
-	if len(vals) == 0 {
-		return m.Clone(), nil
-	}
-	r, err := KMeans1D(vals, k)
+	r, err := KMeans1D(m.OffDiagonal(), k)
 	if err != nil {
 		return nil, err
 	}
@@ -30,4 +26,32 @@ func RoundCostMatrix(m *core.CostMatrix, k int) (*core.CostMatrix, error) {
 		}
 	}
 	return out, nil
+}
+
+// RoundCostMatrixPairs is RoundCostMatrix plus the instance-pair order sorted
+// ascending by rounded cost. Cluster assignment is monotone in the original
+// cost, so the pair order is derived from one sort of the original values and
+// shared with the rounded matrix; the CP solver's incremental threshold
+// graphs consume it directly instead of re-sorting m^2 pairs per solve.
+func RoundCostMatrixPairs(m *core.CostMatrix, k int) (*core.CostMatrix, []core.CostPair, error) {
+	if k <= 0 || m.Size() < 2 {
+		out := m.Clone()
+		return out, out.SortedPairs(), nil
+	}
+	pairs := m.SortedPairs()
+	vals := make([]float64, len(pairs))
+	for i, pr := range pairs {
+		vals[i] = pr.Cost
+	}
+	r, err := KMeans1D(vals, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := core.NewCostMatrix(m.Size())
+	for i := range pairs {
+		c := r.Assign(pairs[i].Cost)
+		out.Set(int(pairs[i].From), int(pairs[i].To), c)
+		pairs[i].Cost = c
+	}
+	return out, pairs, nil
 }

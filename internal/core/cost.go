@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -78,6 +79,41 @@ func (m *CostMatrix) DistinctValues() []float64 {
 		}
 	}
 	return out[:w]
+}
+
+// CostPair is one ordered instance pair (From, To) tagged with its link cost.
+// Slices of CostPair sorted ascending by cost are the backbone of the CP
+// solver's incremental threshold graphs: descending the threshold from c to
+// c' only needs to visit the pairs whose cost lies in (c', c].
+type CostPair struct {
+	From, To int32
+	Cost     float64
+}
+
+// SortedPairs returns every off-diagonal pair of the matrix sorted ascending
+// by cost. Ties keep row-major order, so the result is deterministic.
+func (m *CostMatrix) SortedPairs() []CostPair {
+	if m.n < 2 {
+		return nil
+	}
+	out := make([]CostPair, 0, m.n*(m.n-1))
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if i != j {
+				out = append(out, CostPair{From: int32(i), To: int32(j), Cost: m.At(i, j)})
+			}
+		}
+	}
+	slices.SortStableFunc(out, func(a, b CostPair) int {
+		switch {
+		case a.Cost < b.Cost:
+			return -1
+		case a.Cost > b.Cost:
+			return 1
+		}
+		return 0
+	})
+	return out
 }
 
 // MaxValue returns the largest off-diagonal cost, or 0 for matrices smaller

@@ -13,6 +13,27 @@ func newBitset(capacity int) bitset {
 	return bitset{words: make([]uint64, (capacity+63)/64)}
 }
 
+// wordsPerSet reports the backing-array length of a capacity-bit bitset, for
+// callers that slab-allocate many sets out of one flat []uint64.
+func wordsPerSet(capacity int) int { return (capacity + 63) / 64 }
+
+// view wraps words as a bitset without copying; the caller owns the slice.
+func view(words []uint64) bitset { return bitset{words: words} }
+
+// setFirst sets bits [0, n) and clears every bit from n up.
+func (b bitset) setFirst(n int) {
+	for i := range b.words {
+		switch {
+		case (i+1)*64 <= n:
+			b.words[i] = ^uint64(0)
+		case i*64 >= n:
+			b.words[i] = 0
+		default:
+			b.words[i] = (1 << (uint(n) & 63)) - 1
+		}
+	}
+}
+
 func (b bitset) set(i int)      { b.words[i>>6] |= 1 << (uint(i) & 63) }
 func (b bitset) clear(i int)    { b.words[i>>6] &^= 1 << (uint(i) & 63) }
 func (b bitset) has(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
@@ -41,14 +62,32 @@ func (b bitset) intersect(other bitset) {
 	}
 }
 
+// intersectCount performs b &= other in place and returns the resulting
+// population count in the same pass.
+func (b bitset) intersectCount(other bitset) int {
+	n := 0
+	for i := range b.words {
+		w := b.words[i] & other.words[i]
+		b.words[i] = w
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// subsetOf reports whether every member of b is also in other.
+func (b bitset) subsetOf(other bitset) bool {
+	for i := range b.words {
+		if b.words[i]&^other.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 func (b bitset) clone() bitset {
 	out := bitset{words: make([]uint64, len(b.words))}
 	copy(out.words, b.words)
 	return out
-}
-
-func (b bitset) copyFrom(other bitset) {
-	copy(b.words, other.words)
 }
 
 // forEach calls f for every member in ascending order; f returning false

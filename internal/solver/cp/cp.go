@@ -13,12 +13,22 @@
 // adjacency propagation, dynamic smallest-domain variable selection, and the
 // root-level degree/neighbourhood compatibility filtering of Zampelli et
 // al. [70] that the paper adopts.
+//
+// The engine is persistent across the descent (see descent.go): thresholds
+// only decrease, so the threshold graphs are tightened incrementally from a
+// cost-sorted pair list instead of being rebuilt per iteration, root domains
+// and the degree filter are carried forward, and the backtracking search
+// (engine.go) runs out of preallocated arenas with zero steady-state
+// allocations. Each feasibility check can additionally split the root
+// variable's branches across parallel workers.
 package cp
 
 import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"slices"
 	"sort"
 
 	"cloudia/internal/cluster"
@@ -40,6 +50,13 @@ type Solver struct {
 	// BootstrapSamples is the number of random deployments used to seed the
 	// incumbent; zero selects the paper's 10.
 	BootstrapSamples int
+	// Workers bounds the goroutines that split one feasibility check's root
+	// branches (<= 0 selects GOMAXPROCS). The feasibility verdict at every
+	// threshold is independent of the worker count. The split applies only
+	// under wall-clock or unlimited budgets: node-budgeted runs always use
+	// the sequential engine, so node budgets stay deterministic regardless
+	// of machine or worker count, exactly as before.
+	Workers int
 }
 
 // New returns a CP solver with the given cost-cluster count (<= 0 disables
@@ -70,13 +87,9 @@ func (s *Solver) SolveContext(ctx context.Context, p *solver.Problem, budget sol
 	}
 	clock := solver.NewClockCtx(ctx, budget)
 
-	search := p.Costs
-	if s.ClusterK > 0 {
-		rounded, err := cluster.RoundCostMatrix(p.Costs, s.ClusterK)
-		if err != nil {
-			return nil, err
-		}
-		search = rounded
+	search, pairs, err := cluster.RoundCostMatrixPairs(p.Costs, s.ClusterK)
+	if err != nil {
+		return nil, err
 	}
 
 	nboot := s.BootstrapSamples
@@ -91,14 +104,25 @@ func (s *Solver) SolveContext(ctx context.Context, p *solver.Problem, budget sol
 	}
 	res.Trace = append(res.Trace, solver.TracePoint{Elapsed: clock.Elapsed(), Cost: res.Cost})
 
-	thresholds := search.DistinctValues()
+	thresholds := distinctCosts(pairs)
 	if p.Graph.Weighted() {
 		// The objective values live on the weighted scale: every distinct
 		// weight class stretches the raw link costs, so the threshold
 		// ladder is the union of w*CL over all weight classes.
-		thresholds = weightedThresholds(search, p.Graph)
+		thresholds = weightedThresholds(thresholds, p.Graph)
 	}
 	bestSearchCost := core.LongestLink(best, p.Graph, search)
+
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if budget.Nodes > 0 {
+		// Node-budgeted checks always run sequentially (see
+		// descent.feasible); don't allocate engines that can never run.
+		workers = 1
+	}
+	d := newDescent(p, pairs, workers, !s.DisableDegreeFilter && !p.Graph.Weighted())
 
 	for {
 		// Next threshold: the largest distinct cost strictly below the
@@ -111,10 +135,13 @@ func (s *Solver) SolveContext(ctx context.Context, p *solver.Problem, budget sol
 			res.Optimal = s.ClusterK <= 0
 			break
 		}
+		if clock.Expired() {
+			break
+		}
 		c := thresholds[idx]
-		feasible, d, exhausted := s.feasible(p, search, c, clock)
+		feasible, dep, exhausted := d.feasible(c, clock)
 		if feasible {
-			best = d
+			best = dep
 			bestSearchCost = core.LongestLink(best, p.Graph, search)
 			res.Deployment = best
 			res.Cost = p.Cost(best)
@@ -135,355 +162,17 @@ func (s *Solver) SolveContext(ctx context.Context, p *solver.Problem, budget sol
 	return res, nil
 }
 
-// feasible searches for a deployment whose every communication edge e maps
-// to a link of weighted cost w(e)*CL <= c. For unweighted graphs there is a
-// single threshold adjacency; a weighted graph gets one adjacency per
-// distinct weight class, with edge (i, j) consulting the class of its own
-// weight (threshold c/w). It returns the deployment if found; exhausted
-// reports whether the search space was fully explored (as opposed to the
-// budget running out).
-func (s *Solver) feasible(p *solver.Problem, search *core.CostMatrix, c float64, clock *solver.Clock) (ok bool, d core.Deployment, exhausted bool) {
-	n := p.NumNodes()
-	m := p.NumInstances()
-	g := p.Graph
-
-	weights := []float64{1}
-	if g.Weighted() {
-		weights = g.DistinctWeights()
-	}
-	classOf := make(map[float64]int, len(weights))
-	for ci, w := range weights {
-		classOf[w] = ci
-	}
-
-	// Threshold graph adjacency per weight class: adjOut[ci][j] = instances
-	// reachable from j by a link of cost <= c/weights[ci].
-	adjOut := make([][]bitset, len(weights))
-	adjIn := make([][]bitset, len(weights))
-	for ci, w := range weights {
-		limit := c / w
-		adjOut[ci] = make([]bitset, m)
-		adjIn[ci] = make([]bitset, m)
-		for j := 0; j < m; j++ {
-			adjOut[ci][j] = newBitset(m)
-			adjIn[ci][j] = newBitset(m)
-		}
-		for j := 0; j < m; j++ {
-			for k := 0; k < m; k++ {
-				if j != k && search.At(j, k) <= limit {
-					adjOut[ci][j].set(k)
-					adjIn[ci][k].set(j)
-				}
-			}
-		}
-	}
-
-	// Per-adjacency-slot weight classes for the propagation loops.
-	outClass := make([][]int, n)
-	inClass := make([][]int, n)
-	for v := 0; v < n; v++ {
-		for _, w := range g.Out(v) {
-			outClass[v] = append(outClass[v], classOf[g.Weight(v, w)])
-		}
-		for _, u := range g.In(v) {
-			inClass[v] = append(inClass[v], classOf[g.Weight(u, v)])
-		}
-	}
-
-	// Root domains with compatibility filtering. The degree filter assumes
-	// a single threshold graph, so it only applies to unweighted graphs.
-	domains := make([]bitset, n)
-	for i := 0; i < n; i++ {
-		domains[i] = newBitset(m)
-		for j := 0; j < m; j++ {
-			domains[i].set(j)
-		}
-	}
-	if !s.DisableDegreeFilter && !g.Weighted() {
-		filterByDegree(g, adjOut[0], adjIn[0], domains)
-		if anyEmpty(domains) {
-			return false, nil, true
-		}
-	}
-
-	// Value-ordering heuristic: instances with more threshold-graph links
-	// (in the loosest class) first — they are likeliest to extend a partial
-	// embedding of a dense communication graph.
-	loosest := 0
-	for ci, w := range weights {
-		if w < weights[loosest] {
-			loosest = ci
-		}
-	}
-	deg := make([]int, m)
-	for j := 0; j < m; j++ {
-		deg[j] = adjOut[loosest][j].count() + adjIn[loosest][j].count()
-	}
-	e := &engine{
-		g:        g,
-		n:        n,
-		m:        m,
-		adjOut:   adjOut,
-		adjIn:    adjIn,
-		outClass: outClass,
-		inClass:  inClass,
-		instDeg:  deg,
-		domains:  domains,
-		assigned: make([]int, n),
-		clock:    clock,
-	}
-	for i := range e.assigned {
-		e.assigned[i] = -1
-	}
-	if e.search(0) {
-		return true, append(core.Deployment(nil), e.assigned...), false
-	}
-	return false, nil, !e.limitHit
-}
-
 // weightedThresholds returns the sorted distinct values of w*CL over all
-// weight classes w and raw link costs CL.
-func weightedThresholds(search *core.CostMatrix, g *core.Graph) []float64 {
-	raw := search.DistinctValues()
-	seen := make(map[float64]struct{})
-	for _, w := range g.DistinctWeights() {
+// weight classes w and the distinct raw link costs CL, by sort+compact — a
+// float-keyed map would hash-box every product and return them unordered.
+func weightedThresholds(raw []float64, g *core.Graph) []float64 {
+	ws := g.DistinctWeights()
+	out := make([]float64, 0, len(raw)*len(ws))
+	for _, w := range ws {
 		for _, v := range raw {
-			seen[w*v] = struct{}{}
+			out = append(out, w*v)
 		}
-	}
-	out := make([]float64, 0, len(seen))
-	for v := range seen {
-		out = append(out, v)
 	}
 	sort.Float64s(out)
-	return out
-}
-
-// filterByDegree removes from each node's domain every instance whose
-// threshold-graph degrees cannot host the node: the instance needs at least
-// the node's out- and in-degree, and — one refinement round, following the
-// labeling of [70] — its neighbours' degree profile must dominate the
-// node's neighbours' degree profile.
-func filterByDegree(g *core.Graph, adjOut, adjIn []bitset, domains []bitset) {
-	n := g.NumNodes()
-	m := len(adjOut)
-	// Instance degrees.
-	instOut := make([]int, m)
-	instIn := make([]int, m)
-	for j := 0; j < m; j++ {
-		instOut[j] = adjOut[j].count()
-		instIn[j] = adjIn[j].count()
-	}
-	// Node and instance neighbour-degree profiles (total degree, sorted
-	// descending) for the refinement round.
-	nodeProfile := make([][]int, n)
-	for i := 0; i < n; i++ {
-		var prof []int
-		for _, w := range g.Out(i) {
-			prof = append(prof, g.Degree(w))
-		}
-		for _, w := range g.In(i) {
-			prof = append(prof, g.Degree(w))
-		}
-		sort.Sort(sort.Reverse(sort.IntSlice(prof)))
-		nodeProfile[i] = prof
-	}
-	instProfile := make([][]int, m)
-	for j := 0; j < m; j++ {
-		var prof []int
-		adjOut[j].forEach(func(k int) bool {
-			prof = append(prof, instOut[k]+instIn[k])
-			return true
-		})
-		adjIn[j].forEach(func(k int) bool {
-			prof = append(prof, instOut[k]+instIn[k])
-			return true
-		})
-		sort.Sort(sort.Reverse(sort.IntSlice(prof)))
-		instProfile[j] = prof
-	}
-	for i := 0; i < n; i++ {
-		needOut := g.OutDegree(i)
-		needIn := g.InDegree(i)
-		domains[i].forEach(func(j int) bool {
-			if instOut[j] < needOut || instIn[j] < needIn ||
-				!dominates(instProfile[j], nodeProfile[i]) {
-				domains[i].clear(j)
-			}
-			return true
-		})
-	}
-}
-
-// dominates reports whether the instance profile can host the node profile:
-// elementwise a[k] >= b[k] over b's length (both sorted descending).
-func dominates(a, b []int) bool {
-	if len(a) < len(b) {
-		return false
-	}
-	for k := range b {
-		if a[k] < b[k] {
-			return false
-		}
-	}
-	return true
-}
-
-func anyEmpty(domains []bitset) bool {
-	for _, d := range domains {
-		if d.empty() {
-			return true
-		}
-	}
-	return false
-}
-
-// engine is the backtracking feasibility search.
-type engine struct {
-	g        *core.Graph
-	n, m     int
-	adjOut   [][]bitset // per weight class
-	adjIn    [][]bitset
-	outClass [][]int // weight class per out-adjacency slot
-	inClass  [][]int // weight class per in-adjacency slot
-	instDeg  []int
-	domains  []bitset
-	assigned []int
-	clock    *solver.Clock
-	limitHit bool
-	valBuf   [][]int // per-depth value-ordering scratch
-}
-
-// search assigns the remaining variables; depth counts assigned variables.
-func (e *engine) search(depth int) bool {
-	if depth == e.n {
-		return true
-	}
-	if e.clock.Tick() {
-		e.limitHit = true
-		return false
-	}
-	i := e.pickVar()
-	if i < 0 {
-		return false
-	}
-	// Order candidate instances by threshold-graph degree, densest first.
-	for len(e.valBuf) <= depth {
-		e.valBuf = append(e.valBuf, make([]int, 0, e.m))
-	}
-	values := e.valBuf[depth][:0]
-	e.domains[i].forEach(func(j int) bool {
-		values = append(values, j)
-		return true
-	})
-	sort.SliceStable(values, func(a, b int) bool {
-		return e.instDeg[values[a]] > e.instDeg[values[b]]
-	})
-	e.valBuf[depth] = values
-
-	for _, j := range values {
-		saved := e.assignAndPropagate(i, j)
-		if saved != nil {
-			if e.search(depth + 1) {
-				return true
-			}
-			e.undo(i, saved)
-		}
-		if e.limitHit {
-			return false
-		}
-	}
-	return false
-}
-
-// pickVar selects the unassigned variable with the smallest domain,
-// tie-breaking on higher graph degree (most constrained first).
-func (e *engine) pickVar() int {
-	best := -1
-	bestSize := 0
-	bestDeg := -1
-	for i := 0; i < e.n; i++ {
-		if e.assigned[i] >= 0 {
-			continue
-		}
-		size := e.domains[i].count()
-		deg := e.g.Degree(i)
-		if best < 0 || size < bestSize || (size == bestSize && deg > bestDeg) {
-			best, bestSize, bestDeg = i, size, deg
-		}
-	}
-	return best
-}
-
-// savedDomain is a trail entry for backtracking.
-type savedDomain struct {
-	v   int
-	dom bitset
-}
-
-// assignAndPropagate assigns node i to instance j and runs forward checking:
-// j leaves every other domain (alldifferent), and unassigned neighbours of i
-// shrink to instances adjacent to j in the right direction. It returns the
-// trail for undo, or nil if propagation wiped out a domain (the assignment
-// is rolled back internally in that case).
-func (e *engine) assignAndPropagate(i, j int) []savedDomain {
-	e.assigned[i] = j
-	var trail []savedDomain
-	touched := make(map[int]bool, 8)
-	save := func(v int) {
-		if !touched[v] {
-			touched[v] = true
-			trail = append(trail, savedDomain{v: v, dom: e.domains[v].clone()})
-		}
-	}
-	wipeout := false
-	prune := func(v int, allowed bitset) {
-		if wipeout || e.assigned[v] >= 0 {
-			return
-		}
-		save(v)
-		e.domains[v].intersect(allowed)
-		e.domains[v].clear(j)
-		if e.domains[v].empty() {
-			wipeout = true
-		}
-	}
-	// Alldifferent: remove j everywhere.
-	for v := 0; v < e.n; v++ {
-		if v == i || e.assigned[v] >= 0 || !e.domains[v].has(j) {
-			continue
-		}
-		save(v)
-		e.domains[v].clear(j)
-		if e.domains[v].empty() {
-			wipeout = true
-			break
-		}
-	}
-	if !wipeout {
-		for k, w := range e.g.Out(i) {
-			prune(w, e.adjOut[e.outClass[i][k]][j])
-		}
-	}
-	if !wipeout {
-		for k, w := range e.g.In(i) {
-			prune(w, e.adjIn[e.inClass[i][k]][j])
-		}
-	}
-	if wipeout {
-		e.undo(i, trail)
-		return nil
-	}
-	if trail == nil {
-		trail = []savedDomain{} // non-nil marker for a successful assignment
-	}
-	return trail
-}
-
-// undo rolls back an assignment and its propagation trail.
-func (e *engine) undo(i int, trail []savedDomain) {
-	e.assigned[i] = -1
-	for k := len(trail) - 1; k >= 0; k-- {
-		e.domains[trail[k].v].copyFrom(trail[k].dom)
-	}
+	return slices.Compact(out)
 }

@@ -1,0 +1,30 @@
+#!/bin/sh
+# benchjson.sh: convert `go test -bench -benchmem` output to a JSON array,
+# one object per benchmark line, for the BENCH_PR<N>.json perf trajectory.
+# Usage: scripts/benchjson.sh bench.out > BENCH_PR2.json
+set -eu
+
+awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip -GOMAXPROCS suffix
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""; extra = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        else if ($(i + 1) == "B/op") bytes = $i
+        else if ($(i + 1) == "allocs/op") allocs = $i
+        else if ($(i + 1) ~ /\/op$/) extra = sprintf("%s, \"%s\": %s", extra, $(i + 1), $i)
+    }
+    if (!first) print ","
+    first = 0
+    line = sprintf("  {\"name\": \"%s\", \"iterations\": %s", name, iters)
+    if (ns != "") line = line sprintf(", \"ns_per_op\": %s", ns)
+    if (bytes != "") line = line sprintf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+    line = line extra "}"
+    printf "%s", line
+}
+END { print ""; print "]" }
+' "$1"
