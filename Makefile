@@ -1,11 +1,24 @@
 GO ?= go
 
-# Solver benchmarks recorded in the perf trajectory. Keep the pattern in
-# sync with README's benchmark tables.
-BENCH_PATTERN ?= BenchmarkCPPerNodeBudget|BenchmarkCPThresholdDescent|BenchmarkCPSearchNode|BenchmarkCPTighten|BenchmarkDeltaEval|BenchmarkKMeans1D
-BENCH_OUT ?= BENCH_PR2.json
+# Solver benchmarks recorded in the perf trajectory. Keep the patterns in
+# sync with README's benchmark tables. (BenchmarkKMeans1D also matches
+# BenchmarkKMeans1DLarge.) The macro benchmarks run whole solver passes
+# (ms-to-seconds per op), so a handful of iterations suffices; the micro
+# benchmarks are ns-scale move evaluations where 5 iterations is timer
+# noise, so they run thousands of times.
+BENCH_PATTERN_MACRO ?= BenchmarkCPPerNodeBudget|BenchmarkCPThresholdDescent|BenchmarkCPSearchNode|BenchmarkCPTighten|BenchmarkDeltaEvalPortfolio|BenchmarkKMeans1D|BenchmarkPortfolio1000
+BENCH_PATTERN_MICRO ?= BenchmarkDeltaEvalLL|BenchmarkDeltaEvalLP
+BENCH_PATTERN ?= $(BENCH_PATTERN_MACRO)|$(BENCH_PATTERN_MICRO)
+BENCH_OUT ?= BENCH_PR3.json
 
-.PHONY: build vet test bench bench-smoke
+# The perf trajectory: BENCH_BASE is the previous PR's recorded run,
+# BENCH_NEW the current one; bench-diff flags regressions beyond
+# BENCH_THRESHOLD percent.
+BENCH_BASE ?= BENCH_PR2.json
+BENCH_NEW ?= BENCH_PR3.json
+BENCH_THRESHOLD ?= 20
+
+.PHONY: build vet test bench bench-smoke bench-diff
 
 build:
 	$(GO) build ./...
@@ -19,7 +32,8 @@ test:
 # bench runs the solver benchmarks and records them as JSON so the perf
 # trajectory is tracked across PRs (BENCH_PR<N>.json per PR).
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=5x ./... | tee /tmp/cloudia-bench.out
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN_MACRO)' -benchmem -benchtime=5x ./... | tee /tmp/cloudia-bench.out
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN_MICRO)' -benchmem -benchtime=5000x ./... | tee -a /tmp/cloudia-bench.out
 	scripts/benchjson.sh /tmp/cloudia-bench.out > $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"
 
@@ -27,3 +41,11 @@ bench:
 # just proving they still run (and that CPSearchNode still reports).
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=1x ./...
+
+# bench-diff compares the committed perf trajectory files: every benchmark
+# present in both BENCH_BASE and BENCH_NEW is checked for a ns/op
+# regression beyond BENCH_THRESHOLD percent. Informational in CI (the step
+# does not fail the build); run locally after `make bench` to see the
+# per-benchmark deltas.
+bench-diff:
+	scripts/benchdiff.sh $(BENCH_BASE) $(BENCH_NEW) $(BENCH_THRESHOLD)

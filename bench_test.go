@@ -8,6 +8,7 @@ package cloudia_test
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -307,12 +308,17 @@ func benchSwapSchedule(n int) [][2]int {
 
 // benchDeltaSwap prices b.N swap proposals through the evaluator with the
 // local-search acceptance pattern (commit non-worsening moves, reject the
-// rest).
+// rest). The explicit GC fence before the timed region keeps background
+// collection triggered by the heavy setup (the 150x150 matrix and the
+// evaluator's incidence structures) from leaking allocation bytes into the
+// tiny measured window — previously BenchmarkDeltaEvalLLKVStoreSwap
+// reported ~2.9 KB/op against 0 allocs/op from exactly that.
 func benchDeltaSwap(b *testing.B, p *solver.Problem) {
 	rng := rand.New(rand.NewSource(29))
 	ev := solver.NewDeltaEvaluator(p, solver.RandomDeployment(p, rng))
 	moves := benchSwapSchedule(p.NumNodes())
 	cur := ev.Cost()
+	runtime.GC()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -327,12 +333,14 @@ func benchDeltaSwap(b *testing.B, p *solver.Problem) {
 }
 
 // benchFullSwap is the pre-evaluator baseline: mutate the deployment, fully
-// recompute the cost, and swap back on rejection.
+// recompute the cost, and swap back on rejection. GC fence as in
+// benchDeltaSwap, so the two sides report comparable steady-state numbers.
 func benchFullSwap(b *testing.B, p *solver.Problem) {
 	rng := rand.New(rand.NewSource(29))
 	d := solver.RandomDeployment(p, rng)
 	moves := benchSwapSchedule(p.NumNodes())
 	cur := p.Cost(d)
+	runtime.GC()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -394,6 +402,94 @@ func BenchmarkKMeans1D(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := cluster.KMeans1D(xs, 20); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- 1000-instance tier (Sect. 6.3 scale x ~7) ---
+//
+// The paper's solver experiments stop at 150 instances; the benchmarks
+// below probe the preprocessing and portfolio layers at 1000 instances /
+// 500 nodes, the scale the shared Prep cache and the capped-memory k-means
+// exist for.
+
+// BenchmarkKMeans1DLarge clusters the ~10^6 off-diagonal values of a
+// 1000-instance cost matrix into the paper's k=20. (k-1)*n exceeds the
+// choice-matrix cap, so this exercises the SMAWK layer fill with
+// Hirschberg O(n)-memory boundary recovery.
+func BenchmarkKMeans1DLarge(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 1000*999)
+	for i := range xs {
+		xs[i] = 0.2 + rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.KMeans1D(xs, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// portfolio1000Problem builds the 1000-instance / 500-node LL problem: a
+// sparse random communication graph (spanning path plus 4n extra edges,
+// the shape of the paper's solver experiments) over a uniform cost matrix.
+func portfolio1000Problem(b testing.TB) *solver.Problem {
+	b.Helper()
+	const nodes = 500
+	const instances = 1000
+	rng := rand.New(rand.NewSource(17))
+	g := core.NewGraph(nodes)
+	for v := 0; v+1 < nodes; v++ {
+		if err := g.AddEdge(v, v+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for k := 0; k < 4*nodes; k++ {
+		x, y := rng.Intn(nodes), rng.Intn(nodes)
+		if x > y {
+			x, y = y, x
+		}
+		if x != y && !g.HasEdge(x, y) {
+			if err := g.AddEdge(x, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	m := core.NewCostMatrix(instances)
+	for i := 0; i < instances; i++ {
+		for j := 0; j < instances; j++ {
+			if i != j {
+				m.Set(i, j, 0.2+rng.Float64())
+			}
+		}
+	}
+	p, err := solver.NewProblem(g, m, solver.LongestLink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkPortfolio1000 races the full advisor portfolio on the
+// 1000-instance problem under a 2-second wall-clock budget. Every op must
+// stay well inside a 10-second ceiling: the first op additionally pays the
+// one-time Prep artifacts (k-means over ~10^6 link costs, pair sort,
+// cheapest rows), which later ops — like repeated advisor calls on a live
+// problem — reuse from the shared cache.
+func BenchmarkPortfolio1000(b *testing.B) {
+	p := portfolio1000Problem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pf := advisor.NewPortfolio(20, int64(i))
+		res, err := pf.Solve(p, solver.Budget{Time: 2 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Elapsed > 10*time.Second {
+			// Don't hard-fail: on a loaded shared runner this is an
+			// environment hiccup, and the recorded ns/op already exposes it.
+			b.Logf("portfolio run exceeded the 10s ceiling: %v", res.Elapsed)
 		}
 	}
 }

@@ -147,7 +147,10 @@ func RunRedeploy(prov *cloud.Provider, cfg RedeployConfig) (rep *RedeployReport,
 	}
 
 	// solveAt measures the network at the given hour and searches a plan.
-	solveAt := func(hours float64, seed int64) (*core.CostMatrix, core.Deployment, error) {
+	// The problem is returned so each period's cost evaluations reuse it —
+	// and with it the shared Prep artifacts its solver already computed —
+	// instead of rebuilding an identical problem from the same matrix.
+	solveAt := func(hours float64, seed int64) (*solver.Problem, core.Deployment, error) {
 		meas, err := measure.Run(prov.Datacenter(), instances, measure.Options{
 			Scheme:     measure.Staged,
 			DurationMS: dur,
@@ -157,8 +160,7 @@ func RunRedeploy(prov *cloud.Provider, cfg RedeployConfig) (rep *RedeployReport,
 		if err != nil {
 			return nil, nil, err
 		}
-		costs := meas.MeanMatrix()
-		prob, err := solver.NewProblem(cfg.Graph, costs, cfg.Objective)
+		prob, err := solver.NewProblem(cfg.Graph, meas.MeanMatrix(), cfg.Objective)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -170,7 +172,7 @@ func RunRedeploy(prov *cloud.Provider, cfg RedeployConfig) (rep *RedeployReport,
 		if err != nil {
 			return nil, nil, err
 		}
-		return costs, res.Deployment, nil
+		return prob, res.Deployment, nil
 	}
 
 	_, initial, err := solveAt(0, cfg.Seed)
@@ -186,11 +188,7 @@ func RunRedeploy(prov *cloud.Provider, cfg RedeployConfig) (rep *RedeployReport,
 
 	for p := 1; p <= cfg.Periods; p++ {
 		hours := float64(p) * cfg.PeriodHours
-		costs, candidate, err := solveAt(hours, cfg.Seed+int64(p)*101)
-		if err != nil {
-			return nil, err
-		}
-		prob, err := solver.NewProblem(cfg.Graph, costs, cfg.Objective)
+		prob, candidate, err := solveAt(hours, cfg.Seed+int64(p)*101)
 		if err != nil {
 			return nil, err
 		}

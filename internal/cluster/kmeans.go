@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Result describes a clustering of one-dimensional values.
@@ -28,6 +29,36 @@ type Result struct {
 // sum of squared deviations exactly via DP over the sorted distinct values.
 // Duplicate values are weighted by multiplicity. If k exceeds the number of
 // distinct values, each distinct value becomes its own cluster.
+//
+// Value storage is two rolling layers everywhere — O(n), never O(kn) — and
+// the implementation picks its layer-fill engine and boundary recovery by
+// instance size:
+//
+//   - Above choiceCap entries (e.g. the ~10^6 distinct values of a
+//     1000-instance cost matrix, where a k-layer choice matrix would dwarf
+//     the cost matrix itself), layers are filled by SMAWK row-minima in
+//     O(n) per layer — the interval sum-of-squares cost satisfies the
+//     quadrangle inequality, so each layer's cost matrix is totally
+//     monotone — for O(kn) total time, and boundaries are recovered in
+//     O(n) memory by Hirschberg-style recursion: split the cluster count
+//     in half, meet a forward prefix DP and a backward suffix DP in the
+//     middle, and recurse on the two independent sub-ranges (the geometric
+//     recursion keeps total time O(kn), down from the previous
+//     divide-and-conquer O(kn log n) and the textbook O(kn^2)). On
+//     machines with spare cores the meet passes of large splits run
+//     concurrently; the result does not depend on the schedule.
+//
+//   - Below the cap, a single sweep stores each layer's argmin row (a
+//     bounded <=16 MB allocation) and backtracks directly, filling layers
+//     by monotone divide-and-conquer narrowed with the Knuth-Yao bound
+//     (the leftmost optimal last-cluster start never moves left as the
+//     cluster budget grows, so the previous layer's argmin row bounds this
+//     layer's search from below). At these sizes its branch-predictable
+//     linear scans beat SMAWK's pointer-chasing reduce stage on real
+//     hardware, while SMAWK's O(kn) wins asymptotically above the cap.
+//
+// Both engines produce optimal clusterings and identical costs; the
+// property tests pin each against the textbook DP.
 func KMeans1D(xs []float64, k int) (*Result, error) {
 	if len(xs) == 0 {
 		return nil, errors.New("cluster: no values")
@@ -41,95 +72,25 @@ func KMeans1D(xs []float64, k int) (*Result, error) {
 		k = n
 	}
 
-	// Prefix sums for O(1) interval cost: cost(i..j) = sum w*v^2 - (sum w*v)^2 / sum w.
-	pw := make([]float64, n+1)  // prefix weights
-	pwv := make([]float64, n+1) // prefix weight*value
-	pwv2 := make([]float64, n+1)
-	for i := 0; i < n; i++ {
-		w := float64(weights[i])
-		pw[i+1] = pw[i] + w
-		pwv[i+1] = pwv[i] + w*vals[i]
-		pwv2[i+1] = pwv2[i] + w*vals[i]*vals[i]
-	}
-	intervalCost := func(i, j int) float64 { // values [i, j] inclusive
-		w := pw[j+1] - pw[i]
-		s := pwv[j+1] - pwv[i]
-		s2 := pwv2[j+1] - pwv2[i]
-		c := s2 - s*s/w
-		if c < 0 { // numeric noise
-			c = 0
-		}
-		return c
-	}
-
-	// dp[c][j] = min cost of clustering values [0..j] into c+1 clusters.
-	dp := make([][]float64, k)
-	choice := make([][]int, k)
-	for c := range dp {
-		dp[c] = make([]float64, n)
-		choice[c] = make([]int, n)
-	}
-	for j := 0; j < n; j++ {
-		dp[0][j] = intervalCost(0, j)
-	}
-	// Each layer is filled by divide-and-conquer DP optimization: the
-	// interval sum-of-squares cost is Monge, so the smallest optimal split
-	// index for the last cluster is non-decreasing in j. Solving the middle
-	// column exactly and recursing with the narrowed split range takes
-	// O(n log n) per layer instead of the textbook O(n^2) — the difference
-	// between ~10s and ~10ms of preprocessing for a 150-instance cost
-	// matrix, where every off-diagonal value is distinct. Scanning splits in
-	// ascending order with a strict improvement test picks the smallest
-	// minimizer, matching the plain DP's choices exactly.
-	var fill func(c, jlo, jhi, ilo, ihi int)
-	fill = func(c, jlo, jhi, ilo, ihi int) {
-		if jlo > jhi {
-			return
-		}
-		j := (jlo + jhi) / 2
-		// Last cluster covers [i, j]; need i >= c so earlier clusters are
-		// non-empty.
-		lo, hi := ilo, ihi
-		if lo < c {
-			lo = c
-		}
-		if hi > j {
-			hi = j
-		}
-		if hi < lo { // j < c: not enough values for c+1 clusters
-			dp[c][j] = math.Inf(1)
-			choice[c][j] = 0
-			fill(c, jlo, j-1, ilo, ihi)
-			fill(c, j+1, jhi, ilo, ihi)
-			return
-		}
-		best := math.Inf(1)
-		bestI := 0
-		for i := lo; i <= hi; i++ {
-			cost := dp[c-1][i-1] + intervalCost(i, j)
-			if cost < best {
-				best = cost
-				bestI = i
-			}
-		}
-		dp[c][j] = best
-		choice[c][j] = bestI
-		fill(c, jlo, j-1, ilo, bestI)
-		fill(c, j+1, jhi, bestI, ihi)
-	}
-	for c := 1; c < k; c++ {
-		fill(c, 0, n-1, c, n-1)
-	}
-
-	// Recover boundaries for exactly k clusters over all n values.
+	ps := newPrefixSums(vals, weights)
 	boundaries := make([]int, k)
-	j := n - 1
-	for c := k - 1; c >= 1; c-- {
-		i := choice[c][j]
-		boundaries[c] = i
-		j = i - 1
+	var cost float64
+	switch {
+	case k == n:
+		// Each distinct value is its own cluster.
+		for c := range boundaries {
+			boundaries[c] = c
+		}
+	case k == 1:
+		cost = ps.cost(0, n-1)
+	default:
+		h := newHirschberg(ps, n)
+		if (k-1)*n <= choiceCap {
+			cost = h.singlePass(n, k, boundaries)
+		} else {
+			cost = h.split(0, n-1, k, boundaries)
+		}
 	}
-	boundaries[0] = 0
 
 	centers := make([]float64, k)
 	for c := 0; c < k; c++ {
@@ -138,11 +99,636 @@ func KMeans1D(xs []float64, k int) (*Result, error) {
 		if c+1 < k {
 			hi = boundaries[c+1] - 1
 		}
-		w := pw[hi+1] - pw[lo]
-		s := pwv[hi+1] - pwv[lo]
-		centers[c] = s / w
+		centers[c] = ps.mean(lo, hi)
 	}
-	return &Result{Centers: centers, Boundaries: boundaries, Cost: dp[k-1][n-1]}, nil
+	return &Result{Centers: centers, Boundaries: boundaries, Cost: cost}, nil
+}
+
+// prefixSums provides O(1) weighted interval statistics over the sorted
+// distinct values. When every multiplicity is 1 (the common case for
+// measured cost matrices, where all off-diagonal values are distinct) the
+// interval weight is the interval length and a reciprocal table replaces
+// the division in the hot interval-cost evaluation.
+type prefixSums struct {
+	pw    []float64 // prefix weights
+	pwv   []float64 // prefix weight*value
+	pwv2  []float64 // prefix weight*value^2
+	recip []float64 // recip[m] = 1/m when all weights are 1, else nil
+}
+
+func newPrefixSums(vals []float64, weights []int) *prefixSums {
+	n := len(vals)
+	ps := &prefixSums{
+		pw:   make([]float64, n+1),
+		pwv:  make([]float64, n+1),
+		pwv2: make([]float64, n+1),
+	}
+	unit := true
+	for i := 0; i < n; i++ {
+		w := float64(weights[i])
+		unit = unit && weights[i] == 1
+		ps.pw[i+1] = ps.pw[i] + w
+		ps.pwv[i+1] = ps.pwv[i] + w*vals[i]
+		ps.pwv2[i+1] = ps.pwv2[i] + w*vals[i]*vals[i]
+	}
+	if unit {
+		ps.recip = make([]float64, n+1)
+		for m := 1; m <= n; m++ {
+			ps.recip[m] = 1 / float64(m)
+		}
+	}
+	return ps
+}
+
+// cost is the within-cluster sum of squared deviations of values [i, j]
+// (inclusive): sum w*v^2 - (sum w*v)^2 / sum w.
+func (ps *prefixSums) cost(i, j int) float64 {
+	s := ps.pwv[j+1] - ps.pwv[i]
+	s2 := ps.pwv2[j+1] - ps.pwv2[i]
+	var c float64
+	if ps.recip != nil {
+		c = s2 - s*s*ps.recip[j-i+1]
+	} else {
+		c = s2 - s*s/(ps.pw[j+1]-ps.pw[i])
+	}
+	if c < 0 { // numeric noise
+		c = 0
+	}
+	return c
+}
+
+// mean is the weighted mean of values [i, j] (inclusive).
+func (ps *prefixSums) mean(i, j int) float64 {
+	return (ps.pwv[j+1] - ps.pwv[i]) / (ps.pw[j+1] - ps.pw[i])
+}
+
+// dpScratch is one independent set of rolling-DP and SMAWK buffers, all of
+// size O(n); the forward and backward meet passes of a split each own one
+// so they can run concurrently.
+type dpScratch struct {
+	prev, curr []float64 // rolling DP layers (only two live at a time)
+	argmin     []int32   // SMAWK row-minima output, indexed by row
+	minval     []float64 // SMAWK row-minima values, indexed by row
+	colArena   []int32   // bump arena for the recursion's reduced columns
+	valArena   []float64 // cached entry value per reduce-stack slot
+	// Mirrored prefix sums of the backward pass, allocated on first use
+	// (see hirschberg.backward); the single-sweep path never needs them.
+	mpwv, mpwv2, mpw []float64
+}
+
+func newDPScratch(n int) *dpScratch {
+	// The SMAWK buffers (argmin, minval, colArena, valArena) are allocated
+	// lazily by layerMinima; the single-sweep path never touches them.
+	return &dpScratch{
+		prev: make([]float64, n),
+		curr: make([]float64, n),
+	}
+}
+
+// hirschberg carries the reusable O(n) scratch of the boundary recovery.
+// Nothing here grows with k: the DP keeps only two rolling layers per pass
+// plus the two materialized meet layers, instead of the k-layer cost and
+// choice matrices of the previous implementation.
+type hirschberg struct {
+	ps       *prefixSums
+	fwd, bwd []float64  // meet layers F_h and B_{k-h}, allocated on first split
+	sf, sb   *dpScratch // forward- and backward-pass scratch (sb lazy)
+}
+
+// parallelMin is the segment length above which a split's forward and
+// backward passes run on two goroutines. Below it the goroutine handoff
+// costs more than the pass.
+const parallelMin = 4096
+
+// choiceCap bounds the choice-matrix entries of the single-sweep path:
+// 4M int32 entries (16 MB). Below it, storing every layer's argmin row and
+// backtracking directly skips the Hirschberg meet recursion's second set of
+// DP passes — 2x fewer entry evaluations for an O(1)-bounded allocation.
+// Beyond it (e.g. the ~1M distinct values of a 1000-instance cost matrix,
+// where k*n int32 would be 80 MB) the meet recursion keeps memory at O(n).
+const choiceCap = 1 << 22
+
+func newHirschberg(ps *prefixSums, n int) *hirschberg {
+	return &hirschberg{ps: ps, sf: newDPScratch(n)}
+}
+
+// singlePass fills the DP with one forward sweep over all k layers,
+// storing each layer's argmin row for direct backtracking. The choice
+// matrix costs (k-1)*n int32 — only taken when that is at most choiceCap —
+// and the rolling value storage stays two layers as everywhere else.
+// Layers are filled by dcFill, with each stored argmin row serving as the
+// next layer's Knuth-Yao lower bounds. The final layer is a plain scan:
+// only row n-1's minimum and argmin are ever consulted.
+func (h *hirschberg) singlePass(n, k int, out []int) float64 {
+	sc := h.sf
+	le := layerEval{pwv: h.ps.pwv, pwv2: h.ps.pwv2, pw: h.ps.pw, recip: h.ps.recip}
+	prev, curr := sc.prev[:n], sc.curr[:n]
+	for j := 0; j < n; j++ {
+		prev[j] = le.interval(0, j)
+	}
+	choice := make([]int32, (k-1)*n)
+	// Layer 1's "argmin" is 0 for every row (the single cluster starts at
+	// the first value), so a zero row serves as layer 2's Knuth-Yao bound.
+	prevArg := make([]int32, n)
+	// comb folds the rolling layer and the square prefix sums into one
+	// array — comb[i] = prev[i-1] - pwv2[i] — so the hot scan loads two
+	// streams instead of three and spends one fewer fp op per entry.
+	comb := make([]float64, n)
+	var stack [4 * 64]int32
+	for c := 2; c < k; c++ {
+		for i := c - 1; i < n; i++ {
+			comb[i] = prev[i-1] - h.ps.pwv2[i]
+		}
+		curArg := choice[(c-2)*n : (c-1)*n]
+		for j := 0; j < c-1; j++ {
+			curr[j] = math.Inf(1)
+		}
+		dcLayer(&le, comb, prevArg, curArg, curr, int32(c-1), int32(n-1), stack[:])
+		prevArg = curArg
+		prev, curr = curr, prev
+	}
+	// Final layer, restricted to row n-1 (with its Knuth-Yao lower bound).
+	lastRow := choice[(k-2)*n:]
+	j := n - 1
+	{
+		lo := k - 1
+		if k > 2 {
+			if pa := int(choice[(k-3)*n+j]); pa > lo {
+				lo = pa
+			}
+		}
+		best, bi := math.Inf(1), int32(lo)
+		for i := lo; i <= j; i++ {
+			if v := le.interval(i, j) + prev[i-1]; v < best {
+				best, bi = v, int32(i)
+			}
+		}
+		lastRow[j] = bi
+	}
+	// Backtrack: out[c-1] is the first value index of cluster c. Stale
+	// argmin entries below each layer's row range are never visited, since
+	// boundaries strictly descend.
+	cost := 0.0
+	for c := k; c >= 2; c-- {
+		i := int(choice[(c-2)*n+j])
+		out[c-1] = i
+		cost += h.ps.cost(i, j)
+		j = i - 1
+	}
+	out[0] = 0
+	return cost + h.ps.cost(0, j)
+}
+
+// dcLayer computes one DP layer's row minima and argmins over rows
+// [start, end] by monotone divide-and-conquer: the layer matrix's
+// quadrangle inequality makes the leftmost argmin nondecreasing in the
+// row, so solving the middle row exactly narrows both halves ([ilo, bi]
+// and [bi, ihi]). Each row's scan is additionally clipped from below by
+// the previous layer's argmin (prevArg, the Knuth-Yao bound: granting one
+// more cluster never moves the leftmost optimal last-cluster start left),
+// which both halves' bounds preserve — parent argmins on either side are
+// themselves >= their rows' Knuth-Yao bounds, so every scan range stays
+// nonempty. Worst case O(n log n) evaluations per layer; with the
+// Knuth-Yao clip, measured counts on measured-latency-like inputs are a
+// small multiple of n. Tie-breaks take the leftmost minimizer, matching
+// the plain DP. The traversal is iterative — it walks left spines and
+// stacks right halves as (jlo, jhi, ilo, ihi) frames — because at ~n nodes
+// per layer, recursive call overhead would rival the scans themselves; the
+// stack needs one frame per spine level, so 64 frames cover any int32 n.
+func dcLayer(le *layerEval, comb []float64, prevArg, curArg []int32, curr []float64, start, end int32, stack []int32) {
+	pwv, pwv2, pw, recip := le.pwv, le.pwv2, le.pw, le.recip
+	unit := recip != nil
+	stack[0], stack[1], stack[2], stack[3] = start, end, start, end
+	sp := 4
+	for sp > 0 {
+		sp -= 4
+		jlo, jhi := int(stack[sp]), int(stack[sp+1])
+		ilo, ihi := int(stack[sp+2]), int(stack[sp+3])
+		for jlo <= jhi {
+			j := (jlo + jhi) / 2
+			lo, hi := ilo, ihi
+			if pa := int(prevArg[j]); pa > lo {
+				lo = pa
+			}
+			if hi > j {
+				hi = j
+			}
+			pj, pj2 := pwv[j+1], pwv2[j+1]
+			best := math.Inf(1)
+			bi := lo
+			if unit {
+				// Exact-length window subslices let the prove pass drop
+				// every bounds check from the scan.
+				w := hi - lo + 1
+				qv := pwv[lo : hi+1]
+				cb := comb[lo : hi+1]
+				rc := recip[j-hi+1 : j-lo+2]
+				// Two accumulators split the serial min-update chain so the
+				// independent entry computations pipeline.
+				best1, bi1 := math.Inf(1), 0
+				t := 0
+				for ; t+1 < w; t += 2 { // inlined layer entry, see layerEval.interval
+					s0 := pj - qv[t]
+					v0 := pj2 - s0*s0*rc[w-1-t] + cb[t]
+					s1 := pj - qv[t+1]
+					v1 := pj2 - s1*s1*rc[w-2-t] + cb[t+1]
+					if v0 < best {
+						best, bi = v0, lo+t
+					}
+					if v1 < best1 {
+						best1, bi1 = v1, lo+t+1
+					}
+				}
+				if t < w {
+					s := pj - qv[t]
+					if v := pj2 - s*s*rc[w-1-t] + cb[t]; v < best {
+						best, bi = v, lo+t
+					}
+				}
+				// Merge, keeping the leftmost on exact ties.
+				if best1 < best || (best1 == best && bi1 < bi) {
+					best, bi = best1, bi1
+				}
+			} else {
+				pjw := pw[j+1]
+				for i := lo; i <= hi; i++ { // inlined layer entry
+					s := pj - pwv[i]
+					v := pj2 - s*s/(pjw-pw[i]) + comb[i]
+					if v < best {
+						best, bi = v, i
+					}
+				}
+			}
+			curr[j] = best
+			curArg[j] = int32(bi)
+			if j < jhi {
+				stack[sp], stack[sp+1], stack[sp+2], stack[sp+3] = int32(j+1), int32(jhi), int32(bi), int32(ihi)
+				sp += 4
+			}
+			jhi = j - 1
+			ihi = bi
+		}
+	}
+}
+
+// split optimally clusters vals[lo..hi] into k clusters, writing the k
+// segment start indices into out (out[0] == lo) and returning the total
+// cost. Requires 1 <= k <= hi-lo+1.
+func (h *hirschberg) split(lo, hi, k int, out []int) float64 {
+	out[0] = lo
+	if k == 1 {
+		return h.ps.cost(lo, hi)
+	}
+	if k == hi-lo+1 {
+		for c := range out {
+			out[c] = lo + c
+		}
+		return 0
+	}
+	if h.fwd == nil {
+		n := len(h.sf.prev)
+		h.fwd = make([]float64, n)
+		h.bwd = make([]float64, n)
+	}
+	half := k / 2
+	var f, b []float64
+	if hi-lo+1 >= parallelMin {
+		// The two meet passes touch disjoint scratch and disjoint outputs;
+		// racing them halves the wall time of the dominant top split on
+		// multi-core machines.
+		if h.sb == nil {
+			h.sb = newDPScratch(len(h.sf.prev))
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b = h.backward(lo, hi, k-half, h.sb)
+		}()
+		f = h.forward(lo, hi, half, h.sf)
+		wg.Wait()
+	} else {
+		f = h.forward(lo, hi, half, h.sf)
+		b = h.backward(lo, hi, k-half, h.sf)
+	}
+	// Meet in the middle: cluster half+1 starts at the s minimizing
+	// F_half[s-1] + B_{k-half}[s]; ties take the smallest s, matching the
+	// plain DP's smallest-minimizer choice.
+	bestS, bestCost := -1, math.Inf(1)
+	for s := lo + half; s <= hi-(k-half)+1; s++ {
+		if c := f[s-1-lo] + b[s-lo]; c < bestCost {
+			bestCost, bestS = c, s
+		}
+	}
+	// Only bestS survives the recursion; the scratch layers are reused.
+	left := h.split(lo, bestS-1, half, out[:half])
+	right := h.split(bestS, hi, k-half, out[half:])
+	return left + right
+}
+
+// forward computes F_layers over [lo..hi]: the returned slice r (backed by
+// h.fwd) holds at r[j-lo] the optimal cost of clustering vals[lo..j] into
+// `layers` clusters (+Inf where fewer than `layers` values are available).
+func (h *hirschberg) forward(lo, hi, layers int, sc *dpScratch) []float64 {
+	m := hi - lo + 1
+	prev, curr := sc.prev[:m], sc.curr[:m]
+	le := layerEval{
+		pwv:   h.ps.pwv[lo:],
+		pwv2:  h.ps.pwv2[lo:],
+		pw:    h.ps.pw[lo:],
+		recip: h.ps.recip,
+	}
+	for j := 0; j < m; j++ {
+		prev[j] = le.interval(0, j)
+	}
+	for c := 2; c <= layers; c++ {
+		le.prev = prev
+		h.layerMinima(&le, c, m, curr, sc)
+		prev, curr = curr, prev
+	}
+	copy(h.fwd[:m], prev)
+	return h.fwd[:m]
+}
+
+// backward computes B_layers over [lo..hi]: the returned slice r (backed by
+// h.bwd) holds at r[j-lo] the optimal cost of clustering vals[j..hi] into
+// `layers` clusters (+Inf where fewer than `layers` values remain). Suffix
+// clustering of an ascending array is prefix clustering of its reversal,
+// and the interval cost's quadrangle inequality is symmetric under
+// reversal, so the pass mirrors the prefix sums once (mpwv[x] - mpwv[y] is
+// the value sum of the window's last x..y positions) and then runs through
+// exactly the forward machinery.
+func (h *hirschberg) backward(lo, hi, layers int, sc *dpScratch) []float64 {
+	m := hi - lo + 1
+	if sc.mpwv == nil {
+		n := len(sc.prev)
+		sc.mpwv = make([]float64, n+1)
+		sc.mpwv2 = make([]float64, n+1)
+		sc.mpw = make([]float64, n+1)
+	}
+	mpwv, mpwv2, mpw := sc.mpwv[:m+1], sc.mpwv2[:m+1], sc.mpw[:m+1]
+	top := hi + 1
+	for x := 0; x <= m; x++ {
+		mpwv[x] = h.ps.pwv[top] - h.ps.pwv[top-x]
+		mpwv2[x] = h.ps.pwv2[top] - h.ps.pwv2[top-x]
+		mpw[x] = h.ps.pw[top] - h.ps.pw[top-x]
+	}
+	le := layerEval{pwv: mpwv, pwv2: mpwv2, pw: mpw, recip: h.ps.recip}
+	prev, curr := sc.prev[:m], sc.curr[:m]
+	for r := 0; r < m; r++ {
+		prev[r] = le.interval(0, r)
+	}
+	for c := 2; c <= layers; c++ {
+		le.prev = prev
+		h.layerMinima(&le, c, m, curr, sc)
+		prev, curr = curr, prev
+	}
+	out := h.bwd[:m]
+	for r := 0; r < m; r++ {
+		out[m-1-r] = prev[r]
+	}
+	return out
+}
+
+// layerMinima fills curr[j] for j in [c-1, m-1] with the layer-c row minima
+// via SMAWK; entries below c-1 (too few values for c clusters) become +Inf.
+// Rows and columns are both the index range [c-1, m-1]; the minima values
+// land in sc.minval, so no entry is ever re-evaluated.
+func (h *hirschberg) layerMinima(le *layerEval, c, m int, curr []float64, sc *dpScratch) {
+	if sc.argmin == nil {
+		n := len(sc.prev)
+		sc.argmin = make([]int32, n)
+		sc.minval = make([]float64, n)
+		sc.colArena = make([]int32, n)
+		sc.valArena = make([]float64, n)
+	}
+	start := int32(c - 1)
+	cnt := int32(m - c + 1)
+	smawkRun(le, sc, start, 1, cnt, nil, start, cnt, 0)
+	for j := 0; j < c-1; j++ {
+		curr[j] = math.Inf(1)
+	}
+	copy(curr[c-1:m], sc.minval[c-1:m])
+}
+
+// layerEval holds the window-relative arrays of one DP pass. Entry (j, i)
+// of the implicit layer matrix is prev[i-1] + the sum-of-squares cost of
+// window positions [i, j]; columns beyond the row (i > j, last cluster
+// empty) are +Inf, which preserves total monotonicity. The hot SMAWK loops
+// hand-inline this evaluation against hoisted locals — the method form
+// exceeds the compiler's inlining budget, and a call per matrix entry
+// roughly doubles the cost of the whole clustering. The hot path also skips
+// the cosmetic negative-noise clamp: a few ulps below zero cannot change
+// which entry is minimal beyond fp noise, and the final reported cost is
+// recomputed with the clamped form.
+type layerEval struct {
+	pwv, pwv2, pw []float64 // window prefix sums (index 0 = window start)
+	recip         []float64 // recip[m] = 1/m for unit weights, else nil
+	prev          []float64 // previous DP layer, window-relative
+}
+
+// interval is the within-cluster cost of window positions [i, j], the
+// reference form of the arithmetic inlined in smawkRun.
+func (le *layerEval) interval(i, j int) float64 {
+	s := le.pwv[j+1] - le.pwv[i]
+	s2 := le.pwv2[j+1] - le.pwv2[i]
+	var c float64
+	if le.recip != nil {
+		c = s2 - s*s*le.recip[j-i+1]
+	} else {
+		c = s2 - s*s/(le.pw[j+1]-le.pw[i])
+	}
+	if c < 0 { // numeric noise
+		c = 0
+	}
+	return c
+}
+
+// smawkRun computes the row minima of the totally monotone layer matrix,
+// writing the minimizing column of each row j into sc.argmin[j] and its
+// value into sc.minval[j]. Rows are the implicit arithmetic sequence
+// rowStart + rowStride*x for x in [0, rowCount): the odd-row recursion only
+// ever produces such sequences, so row subsets cost neither memory nor
+// loads. Columns are cols[:colCount], or the identity range
+// [colStart, colStart+colCount) while cols is nil (every call until the
+// first REDUCE materializes a subset into sc.colArena at cursor colOff).
+// Ties resolve to the leftmost column throughout, matching the plain DP's
+// smallest-minimizer tie-break. O(rowCount + colCount) entry evaluations,
+// zero allocations.
+func smawkRun(le *layerEval, sc *dpScratch, rowStart, rowStride, rowCount int32, cols []int32, colStart, colCount int32, colOff int) {
+	pwv, pwv2, pw, recip, prev := le.pwv, le.pwv2, le.pw, le.recip, le.prev
+	unit := recip != nil
+	inf := math.Inf(1)
+	argmin, minval := sc.argmin, sc.minval
+	if colCount > rowCount {
+		// REDUCE: prune columns that cannot host any surviving row's
+		// minimum, keeping at most rowCount candidates. A push only records
+		// NaN in valArena; the slot's entry value is computed lazily on its
+		// first challenge, so columns that are pushed and never challenged
+		// (the survivors) cost one evaluation, not two.
+		kept := sc.colArena[colOff:colOff : colOff+int(rowCount)]
+		kvals := sc.valArena[colOff : colOff+int(rowCount)]
+		nan := math.NaN()
+		for t := int32(0); t < colCount; t++ {
+			c := colStart + t
+			if cols != nil {
+				c = cols[t]
+			}
+			// Column-invariant terms of the entry evaluation.
+			pc, pc2, pv := pwv[c], pwv2[c], prev[c-1]
+			var pcw float64
+			if !unit {
+				pcw = pw[c]
+			}
+			for {
+				d := len(kept)
+				if d == 0 {
+					break
+				}
+				j := rowStart + rowStride*int32(d-1)
+				v := inf
+				if c <= j { // inlined layer entry, see layerEval.interval
+					s := pwv[j+1] - pc
+					s2 := pwv2[j+1] - pc2
+					if unit {
+						v = s2 - s*s*recip[j-c+1] + pv
+					} else {
+						v = s2 - s*s/(pw[j+1]-pcw) + pv
+					}
+				}
+				kv := kvals[d-1]
+				if kv != kv { // NaN: lazily price this stack slot
+					b := kept[d-1]
+					kv = inf
+					if b <= j { // inlined layer entry
+						s := pwv[j+1] - pwv[b]
+						s2 := pwv2[j+1] - pwv2[b]
+						if unit {
+							kv = s2 - s*s*recip[j-b+1] + prev[b-1]
+						} else {
+							kv = s2 - s*s/(pw[j+1]-pw[b]) + prev[b-1]
+						}
+					}
+					kvals[d-1] = kv
+				}
+				if kv > v {
+					kept = kept[:d-1]
+					continue
+				}
+				break
+			}
+			if d := len(kept); d < int(rowCount) {
+				kept = append(kept, c)
+				kvals[d] = nan
+			}
+		}
+		cols = kept
+		colCount = int32(len(kept))
+		colOff += len(kept)
+	}
+	if rowCount == 1 {
+		j := rowStart
+		var best int32
+		bv := inf
+		for t := int32(0); t < colCount; t++ {
+			c := colStart + t
+			if cols != nil {
+				c = cols[t]
+			}
+			v := inf
+			if c <= j {
+				v = le.interval(int(c), int(j)) + prev[c-1]
+			}
+			if v < bv {
+				bv, best = v, c
+			}
+		}
+		argmin[j], minval[j] = best, bv
+		return
+	}
+	// INTERPOLATE: solve the odd rows recursively, then fill each even row
+	// by scanning only the columns between its odd neighbours' minima.
+	smawkRun(le, sc, rowStart+rowStride, rowStride*2, rowCount/2, cols, colStart, colCount, colOff)
+	ci := int32(0)
+	for x := int32(0); x < rowCount; x += 2 {
+		j := rowStart + rowStride*x
+		var stop int32
+		switch {
+		case x+1 < rowCount:
+			stop = argmin[rowStart+rowStride*(x+1)]
+		case cols == nil:
+			stop = colStart + colCount - 1
+		default:
+			stop = cols[colCount-1]
+		}
+		var best int32
+		bv := inf
+		if cols == nil {
+			// Identity columns: the window [i0, stop] clips to i <= j (the
+			// +Inf region beyond the row can never host a minimum, and
+			// advancing the shared cursor over it is free), leaving a pure
+			// linear scan over exact-length subslices — no +Inf guard and
+			// no bounds check survives in the loop.
+			i0 := colStart + ci
+			hi := stop
+			if hi > j {
+				hi = j
+			}
+			w := int(hi - i0 + 1)
+			qv := pwv[i0 : int(i0)+w]
+			qv2 := pwv2[i0 : int(i0)+w]
+			pvp := prev[i0-1 : int(i0)-1+w]
+			pj, pj2 := pwv[j+1], pwv2[j+1]
+			if unit {
+				rc := recip[j-hi+1 : int(j-i0+1)+1]
+				for t := 0; t < w; t++ {
+					s := pj - qv[t]
+					v := pj2 - qv2[t] - s*s*rc[w-1-t] + pvp[t]
+					if v < bv {
+						bv, best = v, i0+int32(t)
+					}
+				}
+			} else {
+				pjw := pw[j+1]
+				qw := pw[i0 : int(i0)+w]
+				for t := 0; t < w; t++ {
+					s := pj - qv[t]
+					v := pj2 - qv2[t] - s*s/(pjw-qw[t]) + pvp[t]
+					if v < bv {
+						bv, best = v, i0+int32(t)
+					}
+				}
+			}
+			ci = stop - colStart
+		} else {
+			pj, pj2 := pwv[j+1], pwv2[j+1]
+			var pjw float64
+			if !unit {
+				pjw = pw[j+1]
+			}
+			for {
+				i := cols[ci]
+				v := inf
+				if i <= j { // inlined layer entry
+					s := pj - pwv[i]
+					s2 := pj2 - pwv2[i]
+					if unit {
+						v = s2 - s*s*recip[j-i+1] + prev[i-1]
+					} else {
+						v = s2 - s*s/(pjw-pw[i]) + prev[i-1]
+					}
+				}
+				if v < bv {
+					bv, best = v, i
+				}
+				if i == stop {
+					break
+				}
+				ci++
+			}
+		}
+		argmin[j], minval[j] = best, bv
+	}
 }
 
 // Assign returns the center of the cluster that value x falls into: the

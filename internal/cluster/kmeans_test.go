@@ -141,6 +141,198 @@ func TestKMeansMatchesBruteForce(t *testing.T) {
 	}
 }
 
+// referenceDP is the textbook O(kn^2) layered DP over sorted distinct
+// values, kept as the specification the SMAWK + Hirschberg implementation
+// must match: dp[c][j] = min over i of dp[c-1][i-1] + intervalCost(i, j).
+func referenceDP(vals []float64, weights []int, k int) float64 {
+	n := len(vals)
+	if k > n {
+		k = n
+	}
+	ps := newPrefixSums(vals, weights)
+	prev := make([]float64, n)
+	curr := make([]float64, n)
+	for j := 0; j < n; j++ {
+		prev[j] = ps.cost(0, j)
+	}
+	for c := 1; c < k; c++ {
+		for j := 0; j < n; j++ {
+			best := math.Inf(1)
+			for i := c; i <= j; i++ {
+				if v := prev[i-1] + ps.cost(i, j); v < best {
+					best = v
+				}
+			}
+			curr[j] = best
+		}
+		prev, curr = curr, prev
+	}
+	return prev[n-1]
+}
+
+// TestSMAWKHirschbergMatchesReferenceDP is the equal-cost property test for
+// the SMAWK layer fill and Hirschberg boundary recovery. KMeans1D routes
+// instances below choiceCap to the single-sweep engine, so this drives the
+// split path directly: the cost must match the plain DP and the boundaries
+// must reproduce exactly the reported cost.
+func TestSMAWKHirschbergMatchesReferenceDP(t *testing.T) {
+	f := func(seed int64, rawK uint8, dup bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(400)
+		k := 1 + int(rawK)%40
+		xs := make([]float64, n)
+		for i := range xs {
+			if dup {
+				xs[i] = math.Round(rng.Float64()*40) / 4 // induce duplicates
+			} else {
+				xs[i] = rng.Float64() * 100
+			}
+		}
+		vals, weights := distinctWeighted(xs)
+		if k > len(vals) {
+			k = len(vals)
+		}
+		ps := newPrefixSums(vals, weights)
+		boundaries := make([]int, k)
+		h := newHirschberg(ps, len(vals))
+		var got float64
+		switch {
+		case k == len(vals):
+			return true // no DP runs; covered elsewhere
+		case k == 1:
+			got = ps.cost(0, len(vals)-1)
+		default:
+			got = h.split(0, len(vals)-1, k, boundaries)
+		}
+		want := referenceDP(vals, weights, k)
+		if math.Abs(got-want) > 1e-6*(1+want) {
+			t.Logf("seed=%d n=%d k=%d: SMAWK cost %g, reference %g", seed, n, k, got, want)
+			return false
+		}
+		if k > 1 {
+			sum := 0.0
+			for c := range boundaries {
+				lo := boundaries[c]
+				hi := len(vals) - 1
+				if c+1 < len(boundaries) {
+					hi = boundaries[c+1] - 1
+				}
+				if lo > hi || (c == 0 && lo != 0) {
+					t.Logf("seed=%d n=%d k=%d: bad boundaries %v", seed, n, k, boundaries)
+					return false
+				}
+				sum += ps.cost(lo, hi)
+			}
+			if math.Abs(sum-got) > 1e-9*(1+got) {
+				t.Logf("seed=%d n=%d k=%d: boundary cost %g != reported %g", seed, n, k, sum, got)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHirschbergParallelMeet drives split() above parallelMin so the
+// concurrent forward/backward meet passes run (they never do at the
+// property tests' sizes), both pinning the parallel path's result against
+// the single-sweep engine and giving `go test -race` a real schedule to
+// check.
+func TestHirschbergParallelMeet(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	n := parallelMin + 513
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+	}
+	const k = 8
+	vals, weights := distinctWeighted(xs)
+	ps := newPrefixSums(vals, weights)
+	h := newHirschberg(ps, len(vals))
+	boundaries := make([]int, k)
+	got := h.split(0, len(vals)-1, k, boundaries)
+
+	r, err := KMeans1D(xs, k) // routed to the single-sweep engine
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-r.Cost) > 1e-6*(1+r.Cost) {
+		t.Fatalf("parallel meet cost %g != single-sweep cost %g", got, r.Cost)
+	}
+	sum := 0.0
+	for c := range boundaries {
+		lo := boundaries[c]
+		hi := len(vals) - 1
+		if c+1 < k {
+			hi = boundaries[c+1] - 1
+		}
+		if lo > hi {
+			t.Fatalf("bad boundaries %v", boundaries)
+		}
+		sum += ps.cost(lo, hi)
+	}
+	if math.Abs(sum-got) > 1e-9*(1+got) {
+		t.Fatalf("boundary cost %g != reported %g", sum, got)
+	}
+}
+
+// TestKMeansMatchesReferenceDP is the equal-cost property test for the
+// single-sweep engine (Knuth-Yao-narrowed layer fill with direct
+// backtracking, the path KMeans1D takes below choiceCap): at sizes beyond
+// the brute-force test's reach, the optimal cost must match the plain DP,
+// and the reported boundaries must reproduce exactly the reported cost.
+func TestKMeansMatchesReferenceDP(t *testing.T) {
+	f := func(seed int64, rawK uint8, dup bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(300)
+		k := 1 + int(rawK)%40
+		xs := make([]float64, n)
+		for i := range xs {
+			if dup {
+				xs[i] = math.Round(rng.Float64()*40) / 4 // induce duplicates
+			} else {
+				xs[i] = rng.Float64() * 100
+			}
+		}
+		r, err := KMeans1D(xs, k)
+		if err != nil {
+			return false
+		}
+		vals, weights := distinctWeighted(xs)
+		want := referenceDP(vals, weights, k)
+		if math.Abs(r.Cost-want) > 1e-6*(1+want) {
+			t.Logf("seed=%d n=%d k=%d: cost %g, reference %g", seed, n, k, r.Cost, want)
+			return false
+		}
+		// Boundaries must be a valid ascending partition whose segment costs
+		// sum to the reported cost.
+		ps := newPrefixSums(vals, weights)
+		sum := 0.0
+		for c := range r.Boundaries {
+			lo := r.Boundaries[c]
+			hi := len(vals) - 1
+			if c+1 < len(r.Boundaries) {
+				hi = r.Boundaries[c+1] - 1
+			}
+			if lo > hi || (c == 0 && lo != 0) {
+				t.Logf("seed=%d n=%d k=%d: bad boundaries %v", seed, n, k, r.Boundaries)
+				return false
+			}
+			sum += ps.cost(lo, hi)
+		}
+		if math.Abs(sum-r.Cost) > 1e-9*(1+r.Cost) {
+			t.Logf("seed=%d n=%d k=%d: boundary cost %g != reported %g", seed, n, k, sum, r.Cost)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRoundValues(t *testing.T) {
 	out, err := RoundValues([]float64{1, 1.2, 9.8, 10}, 2)
 	if err != nil {

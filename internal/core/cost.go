@@ -45,6 +45,25 @@ func (m *CostMatrix) Clone() *CostMatrix {
 // Row returns the i-th row as a slice view. Callers must not modify it.
 func (m *CostMatrix) Row(i int) []float64 { return m.c[i*m.n : (i+1)*m.n] }
 
+// Transposed returns the matrix with every cost direction swapped:
+// Transposed().At(i, j) == At(j, i). Path costs on a transposed graph under
+// the transposed matrix equal path costs on the original. The transpose is
+// built in one pass over the flat backing — each source row is read
+// contiguously and scattered down one destination column — rather than by
+// n^2 At/Set calls.
+func (m *CostMatrix) Transposed() *CostMatrix {
+	n := m.n
+	t := NewCostMatrix(n)
+	for i := 0; i < n; i++ {
+		row := m.c[i*n : (i+1)*n]
+		col := t.c[i:]
+		for j, v := range row {
+			col[j*n] = v
+		}
+	}
+	return t
+}
+
 // OffDiagonal returns all off-diagonal entries in row-major order. This is
 // the "latency vector" used when comparing measurement schemes (Sect. 6.2.2).
 func (m *CostMatrix) OffDiagonal() []float64 {

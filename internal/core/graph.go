@@ -174,6 +174,34 @@ func (g *Graph) Clone() *Graph {
 	return c
 }
 
+// Transposed returns the graph with every edge reversed, carrying edge
+// weights along. The reverse of a valid edge set is valid, so the transpose
+// is assembled directly against the adjacency structures in a single pass
+// over the edge list — weights are attached as each reversed edge is
+// inserted, with one weight-cache rebuild at the end, instead of a second
+// edge iteration of SetWeight calls that each rebuild the caches.
+func (g *Graph) Transposed() *Graph {
+	t := NewGraph(g.n)
+	t.edges = make([]Edge, 0, len(g.edges))
+	for k, e := range g.edges {
+		te := Edge{From: e.To, To: e.From}
+		t.has[te] = true
+		t.out[te.From] = append(t.out[te.From], te.To)
+		t.in[te.To] = append(t.in[te.To], te.From)
+		t.edges = append(t.edges, te)
+		if w := g.edgeWeight(k); w != 1 {
+			if t.weights == nil {
+				t.weights = make(map[Edge]float64, len(g.weights))
+			}
+			t.weights[te] = w
+		}
+	}
+	if t.weights != nil {
+		t.rebuildWeightCaches()
+	}
+	return t
+}
+
 // ErrCyclic is returned when a DAG-only operation is applied to a graph that
 // contains a directed cycle.
 var ErrCyclic = errors.New("core: communication graph contains a directed cycle")

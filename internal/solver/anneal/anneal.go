@@ -52,7 +52,12 @@ func (s *Solver) SolveContext(ctx context.Context, p *solver.Problem, budget sol
 	clock := solver.NewClockCtx(ctx, budget)
 	rng := rand.New(rand.NewSource(s.Seed))
 
-	cur, curCost := solver.Bootstrap(p, 10, rng)
+	// The bootstrap incumbent comes from the problem's shared
+	// preprocessing cache — CP, MIP, and same-seeded SA members all draw
+	// the identical best-of-10, so it is computed once. The move rng is
+	// separate, so the annealing trajectory no longer depends on how many
+	// draws bootstrapping consumed.
+	cur, curCost := p.Prep().Bootstrap(10, s.Seed)
 	ev := solver.NewDeltaEvaluator(p, cur)
 	best := cur.Clone()
 	bestCost := curCost

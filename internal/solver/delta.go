@@ -237,7 +237,18 @@ func (e *llEvaluator) Reset(d core.Deployment) float64 {
 			}
 		}
 		e.incStart[n] = int32(idx)
-		e.pend = make([]pendEntry, 0, 64)
+		// One proposal touches at most the edges incident to two nodes, so
+		// sizing pend for twice the maximum degree up front keeps the
+		// evaluator allocation-free in steady state — a smaller guess would
+		// make the first dense-graph proposal grow the slice and smear
+		// mystery bytes across benchmark windows.
+		maxDeg := 0
+		for v := 0; v < n; v++ {
+			if deg := int(e.incStart[v+1] - e.incStart[v]); deg > maxDeg {
+				maxDeg = deg
+			}
+		}
+		e.pend = make([]pendEntry, 0, 2*maxDeg)
 	}
 	edges := g.Edges()
 	for k := range e.edgeCost {
@@ -493,7 +504,10 @@ func (e *lpEvaluator) Reset(d core.Deployment) float64 {
 		e.distP = make([]float64, n)
 		e.dirtyP = make([]bool, n)
 		e.heap = make([]int32, 0, n)
-		e.pend = make([]pendEntry, 0, 64)
+		// Each node is dirtied at most once per proposal, so n entries keep
+		// the propagation allocation-free even for moves that ripple across
+		// the whole DAG (see the llEvaluator pend sizing note).
+		e.pend = make([]pendEntry, 0, n)
 		e.onlySink = -1
 		for i := 0; i < n; i++ {
 			if len(e.outPos[i]) == 0 {

@@ -20,10 +20,8 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 
-	"cloudia/internal/cluster"
 	"cloudia/internal/core"
 	"cloudia/internal/solver"
 )
@@ -74,21 +72,27 @@ func (s *Solver) Solve(p *solver.Problem, budget solver.Budget) (*solver.Result,
 func (s *Solver) SolveContext(ctx context.Context, p *solver.Problem, budget solver.Budget) (*solver.Result, error) {
 	clock := solver.NewClockCtx(ctx, budget)
 
+	// All derived artifacts come from the problem's shared preprocessing
+	// cache: the clustered matrix (with its cost-sorted pairs), the
+	// degree branching order, the transposed graph/matrix/topo-order, and
+	// the bootstrap incumbent are each computed once per problem and
+	// shared with every other portfolio member and repeated Solve call.
+	prep := p.Prep()
 	search := p.Costs
+	var pairs []core.CostPair // sorted by rounded cost; nil when unclustered
 	if s.ClusterK > 0 {
-		rounded, err := cluster.RoundCostMatrix(p.Costs, s.ClusterK)
+		var err error
+		search, pairs, err = prep.Rounded(s.ClusterK)
 		if err != nil {
 			return nil, err
 		}
-		search = rounded
 	}
 
 	nboot := s.BootstrapSamples
 	if nboot == 0 {
 		nboot = 10
 	}
-	rng := rand.New(rand.NewSource(s.Seed))
-	incumbent, _ := solver.Bootstrap(p, nboot, rng)
+	incumbent, _ := prep.Bootstrap(nboot, s.Seed)
 
 	res := &solver.Result{Deployment: incumbent, Cost: p.Cost(incumbent)}
 	res.Trace = append(res.Trace, solver.TracePoint{Elapsed: clock.Elapsed(), Cost: res.Cost})
@@ -111,6 +115,7 @@ func (s *Solver) SolveContext(ctx context.Context, p *solver.Problem, budget sol
 	b := &bnb{
 		p:      p,
 		search: search,
+		pairs:  pairs,
 		clock:  clock,
 		res:    res,
 		used:   make([]bool, p.NumInstances()),
@@ -120,7 +125,7 @@ func (s *Solver) SolveContext(ctx context.Context, p *solver.Problem, budget sol
 	case solver.LongestLink:
 		b.searchCost = func(d core.Deployment) float64 { return core.LongestLink(d, p.Graph, search) }
 		b.bestBound = b.searchCost(incumbent)
-		b.order = orderByDegree(p.Graph)
+		b.order = prep.DegreeOrder()
 		b.assigned = unassignedSlice(p.NumNodes())
 		b.branchLL(0, 0)
 	case solver.LongestPath:
@@ -135,15 +140,21 @@ func (s *Solver) SolveContext(ctx context.Context, p *solver.Problem, budget sol
 		// leaves are sources, and forward order would fix every leaf before
 		// any informative decision. When the graph has more sources than
 		// sinks, solve the transposed problem instead — same optimum, same
-		// deployments, but the constrained nodes branch first.
-		lpGraph, lpSearch := p.Graph, search
+		// deployments, but the constrained nodes branch first. The
+		// transposed graph, matrix, and topological order all come
+		// memoized from Prep.
+		lpGraph, lpSearch, lpOrder := p.Graph, search, p.TopoOrder()
 		if countSources(p.Graph) > countSinks(p.Graph) {
-			lpGraph = transposeGraph(p.Graph)
-			lpSearch = transposeMatrix(search)
-		}
-		lpOrder, err := lpGraph.TopoOrder()
-		if err != nil {
-			return nil, err
+			lpGraph = prep.TransposedGraph()
+			ts, err := prep.TransposedCosts(s.ClusterK)
+			if err != nil {
+				return nil, err
+			}
+			lpSearch = ts
+			lpOrder, err = prep.TransposedTopoOrder()
+			if err != nil {
+				return nil, err
+			}
 		}
 		b.lpGraph, b.lpSearch, b.order = lpGraph, lpSearch, lpOrder
 		b.prepareLP()
@@ -163,6 +174,7 @@ func (s *Solver) SolveContext(ctx context.Context, p *solver.Problem, budget sol
 type bnb struct {
 	p          *solver.Problem
 	search     *core.CostMatrix
+	pairs      []core.CostPair // search's pairs sorted by cost; nil when unclustered
 	clock      *solver.Clock
 	res        *solver.Result
 	order      []core.NodeID
@@ -217,57 +229,12 @@ func countSinks(g *core.Graph) int {
 	return n
 }
 
-// transposeGraph reverses every edge, carrying edge weights along.
-func transposeGraph(g *core.Graph) *core.Graph {
-	t := core.NewGraph(g.NumNodes())
-	for _, e := range g.Edges() {
-		// The reversed edge set is valid whenever the original was.
-		if err := t.AddEdge(e.To, e.From); err != nil {
-			panic("mip: transpose of valid graph failed: " + err.Error())
-		}
-	}
-	for _, e := range g.Edges() {
-		if w := g.Weight(e.From, e.To); w != 1 {
-			if err := t.SetWeight(e.To, e.From, w); err != nil {
-				panic("mip: transpose of valid weights failed: " + err.Error())
-			}
-		}
-	}
-	return t
-}
-
-// transposeMatrix swaps cost directions so that path costs on the transposed
-// graph equal path costs on the original.
-func transposeMatrix(m *core.CostMatrix) *core.CostMatrix {
-	n := m.Size()
-	t := core.NewCostMatrix(n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i != j {
-				t.Set(i, j, m.At(j, i))
-			}
-		}
-	}
-	return t
-}
-
 func unassignedSlice(n int) core.Deployment {
 	d := make(core.Deployment, n)
 	for i := range d {
 		d[i] = -1
 	}
 	return d
-}
-
-func orderByDegree(g *core.Graph) []core.NodeID {
-	order := make([]core.NodeID, g.NumNodes())
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return g.Degree(order[a]) > g.Degree(order[b])
-	})
-	return order
 }
 
 // accept records a complete assignment if it improves the incumbent.
@@ -370,11 +337,18 @@ func (b *bnb) prepareLP() {
 			}
 		}
 	}
+	// The cheapest off-diagonal link: the head of the cost-sorted pair
+	// list when clustering supplied one (transposition does not change the
+	// minimum), otherwise one scan.
 	b.minCost = math.Inf(1)
-	for i := 0; i < b.lpSearch.Size(); i++ {
-		for j := 0; j < b.lpSearch.Size(); j++ {
-			if i != j && b.lpSearch.At(i, j) < b.minCost {
-				b.minCost = b.lpSearch.At(i, j)
+	if len(b.pairs) > 0 {
+		b.minCost = b.pairs[0].Cost
+	} else {
+		for i := 0; i < b.lpSearch.Size(); i++ {
+			for j := 0; j < b.lpSearch.Size(); j++ {
+				if i != j && b.lpSearch.At(i, j) < b.minCost {
+					b.minCost = b.lpSearch.At(i, j)
+				}
 			}
 		}
 	}

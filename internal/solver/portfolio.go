@@ -26,6 +26,12 @@ type ContextSolver interface {
 // depth for strategy diversity). Members that error (e.g. CP on a
 // longest-path problem) are skipped; members that prove optimality cancel
 // the rest through the shared context.
+//
+// Members share the problem's Prep cache: derived artifacts — clustered
+// cost matrices, sorted pair lists, transposed structures, bootstrap
+// incumbents — are computed by whichever member asks first and reused by
+// the rest (and by any later run on the same Problem), instead of each
+// member burning its budget recomputing them.
 type Portfolio struct {
 	Members []Solver
 }

@@ -1,0 +1,248 @@
+package solver
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+
+	"cloudia/internal/cluster"
+	"cloudia/internal/core"
+)
+
+// Prep is a problem's shared preprocessing cache: every derived artifact the
+// solvers consume — cost-clustered matrices and their sorted pair lists,
+// transposed graph and matrices, degree orders, per-instance cheapest-link
+// rows, off-diagonal extractions, bootstrap incumbents — computed at most
+// once per Problem and shared by every portfolio member and repeated solver
+// call. Before Prep, each portfolio member recomputed its own copies per
+// Solve: CP and MIP each ran a full k-means over the m^2 link costs, MIP
+// rebuilt the transposed graph and matrix, G1 re-sorted every cost row, and
+// the bootstrap deployments were drawn from identical seeds multiple times.
+//
+// Prep is safe for concurrent use. Distinct artifacts (and distinct
+// cluster-K values) are guarded by their own sync.Once, so racing portfolio
+// members computing different artifacts never serialize behind one lock,
+// while members demanding the same artifact block until the first
+// computation lands and then share it.
+//
+// Everything returned by Prep is shared and immutable: callers must not
+// modify returned matrices, graphs, slices, or pair lists. The only
+// exception is Bootstrap, which returns a fresh copy of the memoized
+// deployment because solvers mutate their incumbent in place.
+type Prep struct {
+	p *Problem
+
+	mu      sync.Mutex
+	rounded map[int]*prepRounded
+
+	tGraphOnce sync.Once
+	tGraph     *core.Graph
+	tOrder     []core.NodeID
+	tOrderErr  error
+
+	degOnce  sync.Once
+	degOrder []core.NodeID
+
+	rowsOnce sync.Once
+	rows     [][]int32
+
+	offOnce sync.Once
+	offDiag []float64
+
+	bootMu sync.Mutex
+	boots  map[bootKey]*prepBoot
+}
+
+// prepRounded memoizes one cluster-K's rounded matrix, pair list, and
+// (lazily) the transpose of the rounded matrix.
+type prepRounded struct {
+	once  sync.Once
+	m     *core.CostMatrix
+	pairs []core.CostPair
+	err   error
+
+	tOnce sync.Once
+	t     *core.CostMatrix
+}
+
+type bootKey struct {
+	samples int
+	seed    int64
+}
+
+type prepBoot struct {
+	once sync.Once
+	d    core.Deployment
+	cost float64
+}
+
+func newPrep(p *Problem) *Prep {
+	return &Prep{
+		p:       p,
+		rounded: make(map[int]*prepRounded),
+		boots:   make(map[bootKey]*prepBoot),
+	}
+}
+
+// entry returns the memo cell for cluster count k; every k <= 0 aliases the
+// unclustered cell 0.
+func (pp *Prep) entry(k int) *prepRounded {
+	if k < 0 {
+		k = 0
+	}
+	pp.mu.Lock()
+	e, ok := pp.rounded[k]
+	if !ok {
+		e = &prepRounded{}
+		pp.rounded[k] = e
+	}
+	pp.mu.Unlock()
+	return e
+}
+
+// Rounded returns the problem's cost matrix rounded to at most k clusters
+// (Sect. 6.3.1) together with the instance-pair list sorted ascending by
+// rounded cost, memoized per k. k <= 0 disables clustering: the original
+// matrix is served with its sorted pairs. The matrix and pair list are
+// shared — callers must not modify them.
+func (pp *Prep) Rounded(k int) (*core.CostMatrix, []core.CostPair, error) {
+	e := pp.entry(k)
+	e.once.Do(func() {
+		if k <= 0 {
+			e.m = pp.p.Costs
+			e.pairs = pp.p.Costs.SortedPairs()
+			return
+		}
+		e.m, e.pairs, e.err = cluster.RoundCostMatrixPairs(pp.p.Costs, k)
+	})
+	return e.m, e.pairs, e.err
+}
+
+// RoundedMatrix is Rounded without the pair list: for k <= 0 it serves the
+// original matrix directly, skipping the m^2 log m pair sort consumers like
+// the branch-and-bound solver never need. Shared; callers must not modify
+// the result.
+func (pp *Prep) RoundedMatrix(k int) (*core.CostMatrix, error) {
+	if k <= 0 {
+		return pp.p.Costs, nil
+	}
+	m, _, err := pp.Rounded(k)
+	return m, err
+}
+
+// TransposedCosts returns the transpose of RoundedMatrix(k) — the matrix
+// under which path costs on the transposed graph equal path costs on the
+// original — memoized per k. Shared; callers must not modify it.
+func (pp *Prep) TransposedCosts(k int) (*core.CostMatrix, error) {
+	m, err := pp.RoundedMatrix(k)
+	if err != nil {
+		return nil, err
+	}
+	e := pp.entry(k)
+	e.tOnce.Do(func() { e.t = m.Transposed() })
+	return e.t, nil
+}
+
+// TransposedGraph returns the communication graph with every edge reversed
+// (weights carried along), memoized. Shared; callers must not modify it.
+func (pp *Prep) TransposedGraph() *core.Graph {
+	pp.buildTransposed()
+	return pp.tGraph
+}
+
+// TransposedTopoOrder returns a topological order of the transposed graph,
+// memoized alongside it. Shared; callers must not modify it.
+func (pp *Prep) TransposedTopoOrder() ([]core.NodeID, error) {
+	pp.buildTransposed()
+	return pp.tOrder, pp.tOrderErr
+}
+
+func (pp *Prep) buildTransposed() {
+	pp.tGraphOnce.Do(func() {
+		pp.tGraph = pp.p.Graph.Transposed()
+		pp.tOrder, pp.tOrderErr = pp.tGraph.TopoOrder()
+	})
+}
+
+// DegreeOrder returns the application nodes sorted by descending total
+// degree (stable, so ties keep node order) — the branching order of the
+// branch-and-bound LLNDP search. Shared; callers must not modify it.
+func (pp *Prep) DegreeOrder() []core.NodeID {
+	pp.degOnce.Do(func() {
+		g := pp.p.Graph
+		order := make([]core.NodeID, g.NumNodes())
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return g.Degree(order[a]) > g.Degree(order[b])
+		})
+		pp.degOrder = order
+	})
+	return pp.degOrder
+}
+
+// CheapestRows returns, for every instance u, the other instances sorted
+// ascending by (cost from u, index) — the candidate rows consumed by the G1
+// greedy's cheapest-free cursors. One flat backing array serves all rows.
+// Shared; callers must not modify the rows.
+func (pp *Prep) CheapestRows() [][]int32 {
+	pp.rowsOnce.Do(func() {
+		m := pp.p.Costs
+		n := m.Size()
+		rows := make([][]int32, n)
+		flat := make([]int32, 0, n*(n-1))
+		for u := 0; u < n; u++ {
+			row := flat[len(flat):len(flat) : len(flat)+n-1]
+			for v := 0; v < n; v++ {
+				if v != u {
+					row = append(row, int32(v))
+				}
+			}
+			flat = flat[:len(flat)+len(row)]
+			cu := m.Row(u)
+			sort.Slice(row, func(i, j int) bool {
+				ci, cj := cu[row[i]], cu[row[j]]
+				if ci != cj {
+					return ci < cj
+				}
+				return row[i] < row[j]
+			})
+			rows[u] = row
+		}
+		pp.rows = rows
+	})
+	return pp.rows
+}
+
+// OffDiagonal returns the problem's off-diagonal cost values in row-major
+// order (the "latency vector" of Sect. 6.2.2), memoized. Shared; callers
+// must not modify it.
+func (pp *Prep) OffDiagonal() []float64 {
+	pp.offOnce.Do(func() { pp.offDiag = pp.p.Costs.OffDiagonal() })
+	return pp.offDiag
+}
+
+// Bootstrap returns the best of `samples` seeded random deployments and its
+// cost (Sect. 6.3.1's initial-solution strategy), memoized per
+// (samples, seed) so portfolio members sharing a seed — CP, MIP, and the
+// first SA restart all bootstrap identically — draw the incumbent once.
+// The deployment is a fresh copy: callers may mutate it freely.
+func (pp *Prep) Bootstrap(samples int, seed int64) (core.Deployment, float64) {
+	if samples < 1 {
+		samples = 1
+	}
+	key := bootKey{samples: samples, seed: seed}
+	pp.bootMu.Lock()
+	b, ok := pp.boots[key]
+	if !ok {
+		b = &prepBoot{}
+		pp.boots[key] = b
+	}
+	pp.bootMu.Unlock()
+	b.once.Do(func() {
+		rng := rand.New(rand.NewSource(seed))
+		b.d, b.cost = Bootstrap(pp.p, samples, rng)
+	})
+	return b.d.Clone(), b.cost
+}

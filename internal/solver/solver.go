@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"cloudia/internal/core"
@@ -32,6 +33,9 @@ type Problem struct {
 	Objective Objective
 
 	order []core.NodeID // topological order, cached for LongestPath
+
+	prepOnce sync.Once
+	prep     *Prep
 }
 
 // NewProblem validates and packages a problem instance. The instance set
@@ -89,6 +93,15 @@ func (p *Problem) Cost(d core.Deployment) float64 {
 // TopoOrder returns the cached topological order for LongestPath problems,
 // or nil for LongestLink problems.
 func (p *Problem) TopoOrder() []core.NodeID { return p.order }
+
+// Prep returns the problem's shared preprocessing cache, creating it on
+// first use. Safe for concurrent use; all artifacts are memoized per
+// problem, so every portfolio member and repeated solver call shares one
+// set of derived structures.
+func (p *Problem) Prep() *Prep {
+	p.prepOnce.Do(func() { p.prep = newPrep(p) })
+	return p.prep
+}
 
 // Budget bounds a solver run. A zero field means unlimited on that axis; at
 // least one axis must be bounded for solvers that search exhaustively.

@@ -1,0 +1,45 @@
+#!/bin/sh
+# benchdiff.sh: compare two BENCH_PR<N>.json perf-trajectory files (as
+# written by benchjson.sh) and report the ns/op delta for every benchmark
+# present in both. Exits nonzero when any common benchmark regressed by
+# more than the threshold percentage, so CI can surface it (the workflow
+# runs this as an informational step).
+#
+# Usage: scripts/benchdiff.sh BENCH_PR2.json BENCH_PR3.json [threshold-pct]
+set -eu
+
+base=$1
+new=$2
+threshold=${3:-20}
+
+awk -v base="$base" -v new="$new" -v threshold="$threshold" '
+function parse(line, kv) {
+    # benchjson.sh writes one object per line: extract name and ns_per_op.
+    if (match(line, /"name": "[^"]+"/)) {
+        name = substr(line, RSTART + 9, RLENGTH - 10)
+        if (match(line, /"ns_per_op": [0-9.eE+]+/)) {
+            ns = substr(line, RSTART + 13, RLENGTH - 13) + 0
+            kv[name] = ns
+            return name
+        }
+    }
+    return ""
+}
+NR == FNR { parse($0, old); next }
+{
+    n = parse($0, cur)
+    if (n != "" && (n in old)) {
+        delta = (cur[n] - old[n]) / old[n] * 100
+        marker = ""
+        if (delta > threshold) { marker = "  REGRESSION"; bad++ }
+        else if (delta < -threshold) { marker = "  improved" }
+        printf "%-45s %14.0f -> %14.0f ns/op  %+7.1f%%%s\n", n, old[n], cur[n], delta, marker
+        compared++
+    }
+}
+END {
+    if (compared == 0) { print "benchdiff: no common benchmarks found" > "/dev/stderr"; exit 2 }
+    printf "benchdiff: %d benchmarks compared against %s (threshold %s%%)\n", compared, base, threshold
+    if (bad > 0) { printf "benchdiff: %d regression(s) beyond %s%%\n", bad, threshold > "/dev/stderr"; exit 1 }
+}
+' "$base" "$new"
