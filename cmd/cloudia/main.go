@@ -54,6 +54,8 @@ func main() {
 		occupancy = flag.Float64("occupancy", 0.6, "pre-existing datacenter occupancy [0,1)")
 		seed      = flag.Int64("seed", 42, "random seed")
 		asJSON    = flag.Bool("json", false, "emit the full report as JSON")
+		stream    = flag.Bool("stream", false, "stream measurement into incremental advising (warm-started rounds per matrix epoch)")
+		epochMS   = flag.Float64("epoch-ms", 0, "streaming epoch period in virtual ms (0 = measurement budget / 8)")
 	)
 	flag.Parse()
 
@@ -66,6 +68,7 @@ func main() {
 		scheme: *scheme, solver: *solverFlg, clusterK: *clusterK,
 		budgetMS: *budgetMS, profile: *profile, occupancy: *occupancy,
 		seed: *seed, asJSON: *asJSON,
+		stream: *stream, epochMS: *epochMS,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "cloudia:", err)
 		os.Exit(1)
@@ -84,6 +87,8 @@ type runConfig struct {
 	clusterK, budgetMS                int
 	seed                              int64
 	asJSON                            bool
+	stream                            bool
+	epochMS                           float64
 }
 
 func run(cfg runConfig) error {
@@ -122,7 +127,7 @@ func run(cfg runConfig) error {
 		return fmt.Errorf("unknown objective %q", cfg.objective)
 	}
 
-	rep, err := advisor.Advise(prov, advisor.Config{
+	acfg := advisor.Config{
 		Graph:          g,
 		Objective:      obj,
 		OverAllocation: cfg.overalloc,
@@ -132,13 +137,30 @@ func run(cfg runConfig) error {
 		ClusterK:       cfg.clusterK,
 		SolverBudget:   solver.Budget{Time: time.Duration(cfg.budgetMS) * time.Millisecond},
 		Seed:           cfg.seed,
-	})
+	}
+
+	if cfg.stream {
+		srep, err := advisor.StreamingAdvise(prov, advisor.StreamingConfig{
+			Config:  acfg,
+			EpochMS: cfg.epochMS,
+		})
+		if err != nil {
+			return err
+		}
+		if cfg.asJSON {
+			return printJSON(&srep.Report, g, srep.Rounds)
+		}
+		printText(&srep.Report, g)
+		printRounds(srep.Rounds, srep.FirstAdvice)
+		return nil
+	}
+
+	rep, err := advisor.Advise(prov, acfg)
 	if err != nil {
 		return err
 	}
-
 	if cfg.asJSON {
-		return printJSON(rep, g)
+		return printJSON(rep, g, nil)
 	}
 	printText(rep, g)
 	return nil
@@ -182,6 +204,7 @@ type jsonReport struct {
 	Solver        string       `json:"solver"`
 	SearchOptimal bool         `json:"search_proved_optimal"`
 	Assignments   []jsonAssign `json:"assignments"`
+	Rounds        []jsonRound  `json:"streaming_rounds,omitempty"`
 }
 
 type jsonAssign struct {
@@ -190,7 +213,18 @@ type jsonAssign struct {
 	IP       string `json:"ip"`
 }
 
-func printJSON(rep *advisor.Report, g *core.Graph) error {
+type jsonRound struct {
+	Epoch       int     `json:"epoch"`
+	AtMS        float64 `json:"at_ms"`
+	Final       bool    `json:"final"`
+	ChangedRows int     `json:"changed_rows"`
+	Cost        float64 `json:"cost_ms"`
+	Improved    bool    `json:"improved"`
+	Winner      string  `json:"winner,omitempty"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+}
+
+func printJSON(rep *advisor.Report, g *core.Graph, rounds []advisor.Round) error {
 	out := jsonReport{
 		Nodes:         g.NumNodes(),
 		Instances:     len(rep.AllInstances),
@@ -200,6 +234,18 @@ func printJSON(rep *advisor.Report, g *core.Graph) error {
 		Improvement:   rep.Improvement(),
 		Solver:        rep.SolverName,
 		SearchOptimal: rep.Search.Optimal,
+	}
+	for _, r := range rounds {
+		out.Rounds = append(out.Rounds, jsonRound{
+			Epoch:       r.Epoch,
+			AtMS:        r.AtMS,
+			Final:       r.Final,
+			ChangedRows: r.ChangedRows,
+			Cost:        r.Cost,
+			Improved:    r.Improved,
+			Winner:      r.Winner,
+			ElapsedMS:   float64(r.Elapsed) / float64(time.Millisecond),
+		})
 	}
 	for node, inst := range rep.Assignments {
 		out.Assignments = append(out.Assignments, jsonAssign{
@@ -226,5 +272,21 @@ func printText(rep *advisor.Report, g *core.Graph) {
 	for node, inst := range rep.Assignments {
 		fmt.Printf("    %4d -> %s (%d.%d.%d.%d)\n", node, inst.ID,
 			inst.IP[0], inst.IP[1], inst.IP[2], inst.IP[3])
+	}
+}
+
+func printRounds(rounds []advisor.Round, firstAdvice time.Duration) {
+	fmt.Printf("  streaming rounds (first advice after %v):\n", firstAdvice.Round(time.Millisecond))
+	for _, r := range rounds {
+		mark := " "
+		if r.Improved {
+			mark = "*"
+		}
+		final := ""
+		if r.Final {
+			final = "  (final)"
+		}
+		fmt.Printf("    epoch %2d @%7.1f ms  %3d rows changed  cost %8.4f ms %s %s%s\n",
+			r.Epoch, r.AtMS, r.ChangedRows, r.Cost, mark, r.Winner, final)
 	}
 }

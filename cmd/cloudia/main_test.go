@@ -74,6 +74,20 @@ func TestRunEndToEndSmall(t *testing.T) {
 	}
 }
 
+func TestRunEndToEndStreaming(t *testing.T) {
+	// The -stream path: incremental advising over measurement epochs.
+	err := run(runConfig{
+		template: "mesh2d", rows: 2, cols: 2,
+		objective: "longest-link", metric: "mean", scheme: "staged",
+		profile: "ec2", occupancy: 0.5, overalloc: 0.25,
+		budgetMS: 80, seed: 5, asJSON: true,
+		stream: true, epochMS: 30,
+	})
+	if err != nil {
+		t.Fatalf("run -stream: %v", err)
+	}
+}
+
 func TestRunRejectsBadInputs(t *testing.T) {
 	base := runConfig{
 		template: "mesh2d", rows: 2, cols: 2,

@@ -1,0 +1,430 @@
+package advisor
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"cloudia/internal/cloud"
+	"cloudia/internal/core"
+	"cloudia/internal/measure"
+	"cloudia/internal/solver"
+)
+
+// This file implements incremental advising over streaming measurement: the
+// batch pipeline (Advise) pays measurement budget + solve budget end to end
+// because measure.Run materializes the full m x m sample set before any
+// solver sees a cost. StreamingAdvise instead consumes measure.Stream's
+// matrix epochs as they mature, interleaving a portfolio solve against each
+// epoch and warm-starting every round from the previous incumbent, so the
+// first feasible advice lands after one epoch plus one short round — and
+// advice quality converges while measurement is still in flight,
+// reproducing the Fig. 5 convergence story end to end.
+
+// StreamingConfig drives one incremental advising run. The embedded Config
+// fields keep their batch meanings; SolverName defaults to the full
+// portfolio here, because short warm-started rounds are exactly the regime
+// the racing portfolio was built for.
+type StreamingConfig struct {
+	Config
+
+	// EpochMS is the virtual-time period between matrix epochs; zero
+	// selects one eighth of the measurement budget.
+	EpochMS float64
+
+	// RoundBudget bounds each per-epoch solve. Zero splits SolverBudget
+	// (or its 2M-node default) evenly across the expected epoch count.
+	RoundBudget solver.Budget
+}
+
+// Round records one epoch's solve in a streaming advising run.
+type Round struct {
+	// Epoch and AtMS identify the consumed matrix epoch; Final marks the
+	// epoch published at measurement completion; Skipped counts older
+	// pending epochs that were coalesced over to reach this one.
+	Epoch   int
+	AtMS    float64
+	Final   bool
+	Skipped int
+	// ChangedRows is how many matrix rows changed versus the previous
+	// epoch — the work the Prep invalidation actually had to redo.
+	ChangedRows int
+	// Cost is the incumbent's deployment cost under this epoch's matrix,
+	// and Improved reports whether this round's solve beat the
+	// warm-started incumbent carried into it.
+	Cost     float64
+	Improved bool
+	// Winner names the portfolio member that produced the incumbent (empty
+	// when the carried incumbent survived the round).
+	Winner string
+	// Elapsed is the wall-clock time from the start of the advising loop
+	// to the end of this round; the first round's value is the
+	// time-to-first-advice the streaming pipeline exists to shrink.
+	Elapsed time.Duration
+}
+
+// StreamOutcome is the result of consuming an epoch stream to completion.
+type StreamOutcome struct {
+	// Deployment is the final incumbent and Cost its deployment cost under
+	// the final epoch's matrix.
+	Deployment core.Deployment
+	Cost       float64
+	// Problem is the final epoch's problem; its matrix is bit-identical to
+	// what batch measurement would have produced, and its Prep carries the
+	// accumulated preprocessing for any follow-up solves.
+	Problem *solver.Problem
+	// Rounds records every solve round in order.
+	Rounds []Round
+	// FirstAdvice is the wall-clock time to the first feasible advice.
+	FirstAdvice time.Duration
+}
+
+// StreamSolveConfig drives SolveStream.
+type StreamSolveConfig struct {
+	// Graph and Objective define the deployment problem; required.
+	Graph     *core.Graph
+	Objective solver.Objective
+	// SolverName picks the per-round search technique (as in Config);
+	// empty selects the racing portfolio.
+	SolverName string
+	// ClusterK rounds costs for cp/portfolio members; zero selects the
+	// paper's k=20 for them, mirroring Advise.
+	ClusterK int
+	// RoundBudget bounds each round's solve; required (an unbounded round
+	// would swallow the stream).
+	RoundBudget solver.Budget
+	// Seed drives the per-round solver seeds.
+	Seed int64
+	// Coalesce, when set, skips over older pending epochs before each
+	// round so a solve that outlived several epoch periods resumes against
+	// the newest matrix instead of replaying history. The final epoch is
+	// never skipped.
+	Coalesce bool
+	// OnRound, when non-nil, observes each round as it completes.
+	OnRound func(Round)
+}
+
+// SolveStream runs the incremental advising loop over an epoch stream: for
+// each matrix epoch it evolves the problem (preserving untouched Prep
+// artifacts, incrementally re-rounding the changed rows), installs the
+// previous incumbent as a warm start, and races the configured solver for
+// one round. It returns after the stream closes, with the incumbent of the
+// final epoch. Callers with their own epoch source (anything that can fill
+// measure.Epoch values) can drive it directly; StreamingAdvise wires it to
+// measure.Stream.
+func SolveStream(epochs <-chan measure.Epoch, cfg StreamSolveConfig) (*StreamOutcome, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("advisor: nil communication graph")
+	}
+	if cfg.RoundBudget.Unlimited() {
+		return nil, fmt.Errorf("advisor: streaming rounds require a bounded budget")
+	}
+	name := cfg.SolverName
+	if name == "" {
+		name = "portfolio"
+	}
+	clusterK := cfg.ClusterK
+	if clusterK == 0 && (name == "cp" || name == "portfolio") {
+		clusterK = 20
+	}
+
+	start := time.Now()
+	out := &StreamOutcome{}
+	var incumbent core.Deployment
+	incumbentCost := math.Inf(1)
+
+	for ep := range epochs {
+		skipped := 0
+		changedRows := ep.ChangedRows
+		if cfg.Coalesce {
+			for {
+				next, ok := pendingEpoch(epochs)
+				if !ok {
+					break
+				}
+				// Each epoch's ChangedRows is relative to its predecessor,
+				// so skipping epochs means the rows they changed must be
+				// carried: the union is the change set between the last
+				// solved epoch and the one this round consumes.
+				changedRows = unionRows(changedRows, next.ChangedRows)
+				ep = next
+				skipped++
+			}
+		}
+
+		var prob *solver.Problem
+		var err error
+		if out.Problem == nil {
+			prob, err = solver.NewProblem(cfg.Graph, ep.Matrix, cfg.Objective)
+		} else {
+			prob, err = out.Problem.Evolve(ep.Matrix, changedRows)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out.Problem = prob
+
+		if incumbent != nil {
+			if err := prob.Prep().WarmStart(incumbent); err != nil {
+				return nil, err
+			}
+			incumbentCost = prob.Cost(incumbent)
+		}
+
+		// A fresh solver per round keeps member seeds decorrelated across
+		// rounds while staying deterministic per (Seed, round).
+		round := len(out.Rounds)
+		sol, err := NewSolver(name, clusterK, cfg.Seed+int64(round)*0x9e3779b9)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sol.Solve(prob, cfg.RoundBudget)
+		if err != nil {
+			return nil, err
+		}
+
+		// Keep the better of the round's result and the carried incumbent,
+		// both priced under this epoch's matrix (solver-reported costs may
+		// be measured on cluster-rounded matrices).
+		r := Round{
+			Epoch:       ep.Index,
+			AtMS:        ep.AtMS,
+			Final:       ep.Final,
+			Skipped:     skipped,
+			ChangedRows: len(changedRows),
+		}
+		if candCost := prob.Cost(res.Deployment); candCost < incumbentCost {
+			incumbent, incumbentCost = res.Deployment, candCost
+			r.Improved = true
+			r.Winner = res.Winner
+			if r.Winner == "" {
+				r.Winner = sol.Name()
+			}
+		}
+		r.Cost = incumbentCost
+		r.Elapsed = time.Since(start)
+		out.Rounds = append(out.Rounds, r)
+		if cfg.OnRound != nil {
+			cfg.OnRound(r)
+		}
+	}
+	if out.Problem == nil {
+		return nil, fmt.Errorf("advisor: epoch stream closed before the first epoch")
+	}
+	out.Deployment = incumbent
+	out.Cost = incumbentCost
+	out.FirstAdvice = out.Rounds[0].Elapsed
+	return out, nil
+}
+
+// unionRows merges two ascending row lists into one ascending list without
+// duplicates.
+func unionRows(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// pendingEpoch performs a non-blocking receive. A closed channel reports no
+// pending epoch; the outer range loop observes the close.
+func pendingEpoch(epochs <-chan measure.Epoch) (measure.Epoch, bool) {
+	select {
+	case ep, ok := <-epochs:
+		if !ok {
+			return measure.Epoch{}, false
+		}
+		return ep, true
+	default:
+		return measure.Epoch{}, false
+	}
+}
+
+// StreamingReport is a Report extended with the streaming run's round
+// trajectory.
+type StreamingReport struct {
+	Report
+	Rounds []Round
+	// FirstAdvice is the wall-clock time from the start of measurement to
+	// the first feasible advice — the latency the batch pipeline pays
+	// (full measurement + full solve) before producing anything.
+	FirstAdvice time.Duration
+}
+
+// StreamingAdvise runs the incremental ClouDiA pipeline: allocate, start a
+// streaming measurement, interleave warm-started portfolio rounds against
+// its matrix epochs, and terminate the extra instances once the final epoch
+// is solved. The final epoch's matrix is bit-identical to what batch Advise
+// would have measured with the same options, so streaming trades nothing
+// for its earlier first advice. As in Advise, a failure after allocation
+// terminates every instance before returning.
+func StreamingAdvise(prov *cloud.Provider, cfg StreamingConfig) (rep *StreamingReport, err error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("advisor: nil communication graph")
+	}
+	n := cfg.Graph.NumNodes()
+	if n < 2 {
+		return nil, fmt.Errorf("advisor: need >= 2 application nodes, got %d", n)
+	}
+	if cfg.OverAllocation < 0 {
+		return nil, fmt.Errorf("advisor: negative over-allocation %g", cfg.OverAllocation)
+	}
+	if cfg.Metric != "" && cfg.Metric != MetricMean {
+		// Per-epoch percentile matrices would need streaming quantile
+		// sketches; the mean metric is the paper's robust default
+		// (Sect. 6.4.2) and the one the epoch fold maintains.
+		return nil, fmt.Errorf("advisor: streaming advising supports only the %q metric, got %q", MetricMean, cfg.Metric)
+	}
+
+	total := int(math.Ceil(float64(n) * (1 + cfg.OverAllocation)))
+	if total < n {
+		total = n
+	}
+	instances, err := prov.RunInstances(total)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if err != nil {
+			err = terminateAll(prov, instances, err)
+		}
+	}()
+
+	scheme := cfg.Scheme
+	if scheme == "" {
+		scheme = measure.Staged
+	}
+	dur := cfg.MeasureDurationMS
+	if dur == 0 {
+		dur = 20 * float64(total)
+	}
+	epochMS := cfg.EpochMS
+	if epochMS == 0 {
+		epochMS = dur / 8
+	}
+	roundBudget := cfg.RoundBudget
+	if roundBudget.Unlimited() {
+		total := cfg.SolverBudget
+		if total.Unlimited() {
+			total = solver.Budget{Nodes: 2_000_000}
+		}
+		// measure.Stream publishes intermediate epochs in [epochMS, dur)
+		// plus the final one: ceil(dur/epochMS) rounds in total.
+		rounds := int64(math.Ceil(dur / epochMS))
+		if rounds < 1 {
+			rounds = 1
+		}
+		roundBudget = solver.Budget{
+			Time:  total.Time / time.Duration(rounds),
+			Nodes: total.Nodes / rounds,
+		}
+		if total.Time > 0 && roundBudget.Time <= 0 {
+			roundBudget.Time = time.Millisecond
+		}
+		if total.Nodes > 0 && roundBudget.Nodes <= 0 {
+			roundBudget.Nodes = 1
+		}
+	}
+
+	st, err := measure.Stream(prov.Datacenter(), instances, measure.Options{
+		Scheme:          scheme,
+		DurationMS:      dur,
+		Seed:            cfg.Seed,
+		SnapshotEveryMS: epochMS,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Every epoch gets a round (no coalescing): the simulated measurement
+	// completes in real milliseconds, so its epochs are all pending by the
+	// time the loop starts, and replaying them preserves the per-epoch
+	// convergence trajectory a real deployment would see. Epoch sources
+	// that mature in real time should set Coalesce instead.
+	out, err := SolveStream(st.Epochs, StreamSolveConfig{
+		Graph:       cfg.Graph,
+		Objective:   cfg.Objective,
+		SolverName:  cfg.SolverName,
+		ClusterK:    cfg.ClusterK,
+		RoundBudget: roundBudget,
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	meas := st.Wait()
+
+	// Terminate the extra instances (Fig. 3, "Terminate Extra Instances").
+	used := make([]bool, total)
+	for _, inst := range out.Deployment {
+		used[inst] = true
+	}
+	var terminated []string
+	for i, inst := range instances {
+		if !used[i] {
+			terminated = append(terminated, inst.ID)
+		}
+	}
+	if err := prov.TerminateInstances(terminated); err != nil {
+		return nil, err
+	}
+
+	assignments := make([]cloud.Instance, n)
+	for node, inst := range out.Deployment {
+		assignments[node] = instances[inst]
+	}
+	last := out.Rounds[len(out.Rounds)-1]
+	rep = &StreamingReport{
+		Report: Report{
+			AllInstances:  instances,
+			Deployment:    out.Deployment,
+			Assignments:   assignments,
+			TerminatedIDs: terminated,
+			DefaultCost:   out.Problem.Cost(core.Identity(n)),
+			TunedCost:     out.Cost,
+			Measurement:   meas,
+			Search: &solver.Result{
+				Deployment: out.Deployment,
+				Cost:       out.Cost,
+				Elapsed:    last.Elapsed,
+				Winner:     lastWinner(out.Rounds),
+			},
+			SolverName: "streaming-" + streamSolverName(cfg.SolverName),
+		},
+		Rounds:      out.Rounds,
+		FirstAdvice: out.FirstAdvice,
+	}
+	return rep, nil
+}
+
+func streamSolverName(name string) string {
+	if name == "" {
+		return "portfolio"
+	}
+	return name
+}
+
+// lastWinner returns the most recent round winner, skipping rounds where
+// the carried incumbent survived.
+func lastWinner(rounds []Round) string {
+	for i := len(rounds) - 1; i >= 0; i-- {
+		if rounds[i].Winner != "" {
+			return rounds[i].Winner
+		}
+	}
+	return ""
+}

@@ -1,0 +1,290 @@
+package advisor
+
+import (
+	"testing"
+	"time"
+
+	"cloudia/internal/core"
+	"cloudia/internal/measure"
+	"cloudia/internal/solver"
+)
+
+func TestStreamingAdviseValidation(t *testing.T) {
+	p := provider(t, 61)
+	if _, err := StreamingAdvise(p, StreamingConfig{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	g := meshGraph(t, 3, 3)
+	if _, err := StreamingAdvise(p, StreamingConfig{
+		Config: Config{Graph: g, Objective: solver.LongestLink, OverAllocation: -1},
+	}); err == nil {
+		t.Fatal("negative over-allocation accepted")
+	}
+	if _, err := StreamingAdvise(p, StreamingConfig{
+		Config: Config{Graph: g, Objective: solver.LongestLink, Metric: MetricP99},
+	}); err == nil {
+		t.Fatal("non-mean metric accepted")
+	}
+	if _, err := StreamingAdvise(p, StreamingConfig{
+		Config: Config{Graph: g, Objective: solver.LongestLink, SolverName: "bogus"},
+	}); err == nil {
+		t.Fatal("bogus solver accepted")
+	}
+}
+
+// TestStreamingAdviseEndToEnd runs the full incremental pipeline on a small
+// mesh and checks the report invariants: a round per epoch, first advice
+// strictly before the last round, a valid final deployment with the extra
+// instances terminated, and a tuned cost no worse than the default.
+func TestStreamingAdviseEndToEnd(t *testing.T) {
+	p := provider(t, 63)
+	g := meshGraph(t, 3, 3)
+	rep, err := StreamingAdvise(p, StreamingConfig{
+		Config: Config{
+			Graph:             g,
+			Objective:         solver.LongestLink,
+			OverAllocation:    0.25,
+			MeasureDurationMS: 400,
+			SolverBudget:      solver.Budget{Nodes: 90_000},
+			Seed:              7,
+		},
+		EpochMS: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 400 ms at a 100 ms period: epochs at 100, 200, 300 plus the final.
+	if len(rep.Rounds) != 4 {
+		t.Fatalf("got %d rounds, want 4", len(rep.Rounds))
+	}
+	if !rep.Rounds[len(rep.Rounds)-1].Final {
+		t.Fatal("last round did not consume the final epoch")
+	}
+	for i, r := range rep.Rounds {
+		if r.Epoch != i+1 {
+			t.Fatalf("round %d consumed epoch %d", i, r.Epoch)
+		}
+		if i > 0 && r.Cost > rep.Rounds[i-1].Cost && r.ChangedRows == 0 {
+			t.Fatalf("cost rose on an unchanged matrix: round %d %g -> %g", i, rep.Rounds[i-1].Cost, r.Cost)
+		}
+	}
+	if rep.FirstAdvice <= 0 || rep.FirstAdvice > rep.Rounds[len(rep.Rounds)-1].Elapsed {
+		t.Fatalf("FirstAdvice %v outside (0, %v]", rep.FirstAdvice, rep.Rounds[len(rep.Rounds)-1].Elapsed)
+	}
+
+	n := g.NumNodes()
+	if err := rep.Deployment.Validate(len(rep.AllInstances)); err != nil {
+		t.Fatalf("final deployment invalid: %v", err)
+	}
+	if len(rep.Assignments) != n {
+		t.Fatalf("%d assignments for %d nodes", len(rep.Assignments), n)
+	}
+	if len(rep.AllInstances)-len(rep.TerminatedIDs) != n {
+		t.Fatalf("%d instances kept for %d nodes", len(rep.AllInstances)-len(rep.TerminatedIDs), n)
+	}
+	if rep.TunedCost > rep.DefaultCost {
+		t.Fatalf("tuned cost %g worse than default %g", rep.TunedCost, rep.DefaultCost)
+	}
+	if rep.Measurement == nil || rep.Measurement.TotalSamples == 0 {
+		t.Fatal("measurement result missing")
+	}
+}
+
+// TestStreamingAdviseFinalMatrixMatchesBatch: the final streaming epoch is
+// bit-identical to what the batch pipeline measures with the same options,
+// so the last round's cost is a cost under the batch matrix.
+func TestStreamingAdviseFinalMatrixMatchesBatch(t *testing.T) {
+	p := provider(t, 65)
+	g := meshGraph(t, 2, 3)
+	rep, err := StreamingAdvise(p, StreamingConfig{
+		Config: Config{
+			Graph:             g,
+			Objective:         solver.LongestLink,
+			MeasureDurationMS: 300,
+			SolverBudget:      solver.Budget{Nodes: 40_000},
+			Seed:              11,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rep.Measurement.MeanMatrix()
+	// The aggregate the streamer hands back is the same one batch Run would
+	// return (see measure.Stream's equivalence guarantee, property-tested in
+	// the measure package); here we pin the advising side: the reported
+	// tuned cost must be the deployment's cost under that matrix.
+	prob, err := solver.NewProblem(g, want, solver.LongestLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prob.Cost(rep.Deployment); got != rep.TunedCost {
+		t.Fatalf("TunedCost %g is not the final-matrix cost %g", rep.TunedCost, got)
+	}
+	if got := prob.Cost(core.Identity(g.NumNodes())); got != rep.DefaultCost {
+		t.Fatalf("DefaultCost %g is not the final-matrix cost %g", rep.DefaultCost, got)
+	}
+}
+
+// TestSolveStreamWarmStartMonotone: over a constant matrix the incumbent
+// cost never rises between rounds — the warm start carries it.
+func TestSolveStreamWarmStartMonotone(t *testing.T) {
+	g := meshGraph(t, 3, 3)
+	m := core.NewCostMatrix(12)
+	rngFill(m, 67)
+
+	ch := make(chan measure.Epoch, 4)
+	ch <- measure.Epoch{Index: 1, AtMS: 1, Matrix: m.Clone()}
+	for i := 2; i <= 4; i++ {
+		ch <- measure.Epoch{Index: i, AtMS: float64(i), Matrix: m.Clone(), Final: i == 4}
+	}
+	close(ch)
+
+	out, err := SolveStream(ch, StreamSolveConfig{
+		Graph:       g,
+		Objective:   solver.LongestLink,
+		RoundBudget: solver.Budget{Nodes: 15_000},
+		Seed:        13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rounds) != 4 {
+		t.Fatalf("got %d rounds", len(out.Rounds))
+	}
+	for i := 1; i < len(out.Rounds); i++ {
+		if out.Rounds[i].Cost > out.Rounds[i-1].Cost {
+			t.Fatalf("incumbent cost rose: round %d %g -> %g", i, out.Rounds[i-1].Cost, out.Rounds[i].Cost)
+		}
+	}
+	if out.Cost != out.Rounds[3].Cost {
+		t.Fatal("outcome cost differs from the last round")
+	}
+	if err := out.Deployment.Validate(12); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSolveStreamCoalesce: with several epochs already pending, a coalescing
+// consumer skips straight to the newest and records how many it passed over.
+func TestSolveStreamCoalesce(t *testing.T) {
+	g := meshGraph(t, 2, 3)
+	base := core.NewCostMatrix(8)
+	rngFill(base, 69)
+
+	ch := make(chan measure.Epoch, 3)
+	for i := 1; i <= 3; i++ {
+		ch <- measure.Epoch{Index: i, AtMS: float64(i), Matrix: base.Clone(), Final: i == 3}
+	}
+	close(ch)
+
+	out, err := SolveStream(ch, StreamSolveConfig{
+		Graph:       g,
+		Objective:   solver.LongestLink,
+		SolverName:  "g2",
+		RoundBudget: solver.Budget{Nodes: 5_000},
+		Coalesce:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rounds) != 1 {
+		t.Fatalf("coalescing consumer ran %d rounds, want 1", len(out.Rounds))
+	}
+	if out.Rounds[0].Epoch != 3 || out.Rounds[0].Skipped != 2 || !out.Rounds[0].Final {
+		t.Fatalf("coalesced round = %+v, want epoch 3 with 2 skipped", out.Rounds[0])
+	}
+}
+
+// TestSolveStreamRejectsBadInput covers the error paths: nil graph,
+// unbounded rounds, empty streams, and mid-stream size changes.
+func TestSolveStreamRejectsBadInput(t *testing.T) {
+	g := meshGraph(t, 2, 2)
+	if _, err := SolveStream(nil, StreamSolveConfig{RoundBudget: solver.Budget{Nodes: 1}}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := SolveStream(nil, StreamSolveConfig{Graph: g}); err == nil {
+		t.Fatal("unbounded round budget accepted")
+	}
+
+	empty := make(chan measure.Epoch)
+	close(empty)
+	if _, err := SolveStream(empty, StreamSolveConfig{Graph: g, Objective: solver.LongestLink, RoundBudget: solver.Budget{Nodes: 10}}); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+
+	m4, m5 := core.NewCostMatrix(4), core.NewCostMatrix(5)
+	rngFill(m4, 71)
+	rngFill(m5, 73)
+	ch := make(chan measure.Epoch, 2)
+	ch <- measure.Epoch{Index: 1, Matrix: m4}
+	ch <- measure.Epoch{Index: 2, Matrix: m5, Final: true}
+	close(ch)
+	if _, err := SolveStream(ch, StreamSolveConfig{Graph: g, Objective: solver.LongestLink, SolverName: "g1", RoundBudget: solver.Budget{Nodes: 10}}); err == nil {
+		t.Fatal("mid-stream size change accepted")
+	}
+}
+
+// TestSolveStreamConcurrentPublication is the advisor-level race hammer:
+// a producer publishes epochs in real time while SolveStream races portfolio
+// rounds against them. Run under -race (CI does).
+func TestSolveStreamConcurrentPublication(t *testing.T) {
+	g := meshGraph(t, 3, 3)
+	const n, epochs = 12, 5
+	m := core.NewCostMatrix(n)
+	rngFill(m, 75)
+
+	ch := make(chan measure.Epoch) // unbuffered: publication overlaps solving
+	go func() {
+		defer close(ch)
+		cur := m
+		for e := 1; e <= epochs; e++ {
+			next := cur.Clone()
+			changed := []int{e % n, (e * 3) % n}
+			for _, i := range changed {
+				for j := 0; j < n; j++ {
+					if i != j {
+						next.Set(i, j, cur.At(i, j)*1.01+0.001)
+					}
+				}
+			}
+			ch <- measure.Epoch{Index: e, AtMS: float64(e), Final: e == epochs, Matrix: next, ChangedRows: changed}
+			cur = next
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	out, err := SolveStream(ch, StreamSolveConfig{
+		Graph:       g,
+		Objective:   solver.LongestLink,
+		RoundBudget: solver.Budget{Time: 20 * time.Millisecond},
+		Seed:        17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rounds) == 0 || !out.Rounds[len(out.Rounds)-1].Final {
+		t.Fatal("stream did not reach the final epoch")
+	}
+	if err := out.Deployment.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rngFill populates a matrix with uniform off-diagonal costs.
+func rngFill(m *core.CostMatrix, seed int64) {
+	s := uint64(seed)
+	next := func() float64 {
+		// xorshift64*: deterministic filler without pulling in math/rand.
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		return float64(s*0x2545F4914F6CDD1D>>11) / float64(1<<53)
+	}
+	for i := 0; i < m.Size(); i++ {
+		for j := 0; j < m.Size(); j++ {
+			if i != j {
+				m.Set(i, j, 0.2+next())
+			}
+		}
+	}
+}

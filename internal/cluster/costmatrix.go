@@ -1,6 +1,10 @@
 package cluster
 
-import "cloudia/internal/core"
+import (
+	"slices"
+
+	"cloudia/internal/core"
+)
 
 // RoundCostMatrix returns a copy of m whose off-diagonal costs are rounded to
 // the means of an optimal k-clustering of the original cost values. This is
@@ -34,9 +38,18 @@ func RoundCostMatrix(m *core.CostMatrix, k int) (*core.CostMatrix, error) {
 // shared with the rounded matrix; the CP solver's incremental threshold
 // graphs consume it directly instead of re-sorting m^2 pairs per solve.
 func RoundCostMatrixPairs(m *core.CostMatrix, k int) (*core.CostMatrix, []core.CostPair, error) {
+	out, pairs, _, err := RoundCostMatrixPairsResult(m, k)
+	return out, pairs, err
+}
+
+// RoundCostMatrixPairsResult is RoundCostMatrixPairs exposing the underlying
+// clustering as well, so epoch-aware caches can later re-assign changed
+// values to the fitted centers without re-running k-means. The Result is nil
+// when clustering is disabled (k <= 0 or a sub-2x2 matrix).
+func RoundCostMatrixPairsResult(m *core.CostMatrix, k int) (*core.CostMatrix, []core.CostPair, *Result, error) {
 	if k <= 0 || m.Size() < 2 {
 		out := m.Clone()
-		return out, out.SortedPairs(), nil
+		return out, out.SortedPairs(), nil, nil
 	}
 	pairs := m.SortedPairs()
 	vals := make([]float64, len(pairs))
@@ -45,7 +58,7 @@ func RoundCostMatrixPairs(m *core.CostMatrix, k int) (*core.CostMatrix, []core.C
 	}
 	r, err := KMeans1D(vals, k)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	out := core.NewCostMatrix(m.Size())
 	for i := range pairs {
@@ -53,5 +66,88 @@ func RoundCostMatrixPairs(m *core.CostMatrix, k int) (*core.CostMatrix, []core.C
 		out.Set(int(pairs[i].From), int(pairs[i].To), c)
 		pairs[i].Cost = c
 	}
-	return out, pairs, nil
+	return out, pairs, r, nil
+}
+
+// PatchRoundedRows advances a rounded matrix to a new cost-matrix epoch
+// where only the given source rows changed: unchanged rows are copied from
+// prev, while every off-diagonal entry of a changed row is re-assigned to
+// the nearest center of the existing clustering r — the incremental k-means
+// reassignment that keeps per-epoch re-rounding O(changed * n * log k)
+// instead of a full O(n^2) k-means refit. A nil r means clustering is
+// disabled and changed rows take their raw source values. prev is not
+// modified.
+func PatchRoundedRows(src, prev *core.CostMatrix, r *Result, rows []int) *core.CostMatrix {
+	out := prev.Clone()
+	n := src.Size()
+	for _, i := range rows {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := src.At(i, j)
+			if r != nil {
+				v = r.Assign(v)
+			}
+			out.Set(i, j, v)
+		}
+	}
+	return out
+}
+
+// PatchSortedPairs advances a cost-sorted pair list to a new matrix epoch
+// where only the given rows of m changed. A row change affects exactly the
+// pairs originating at that row, so the unchanged pairs are filtered out of
+// prevPairs in their existing order (one linear pass), the changed rows'
+// pairs are rebuilt from m and sorted, and the two sorted runs are merged —
+// O(n^2 + changed * n * log(changed * n)) against the O(n^2 log n) full
+// re-sort. Ties between kept and rebuilt pairs keep the kept pair first, so
+// the output is deterministic (though tie order may differ from a full
+// SortedPairs re-sort; consumers only require ascending cost). prevPairs is
+// not modified.
+func PatchSortedPairs(m *core.CostMatrix, prevPairs []core.CostPair, rows []int) []core.CostPair {
+	n := m.Size()
+	changed := make([]bool, n)
+	for _, i := range rows {
+		changed[i] = true
+	}
+
+	kept := make([]core.CostPair, 0, len(prevPairs))
+	for _, pr := range prevPairs {
+		if !changed[pr.From] {
+			kept = append(kept, pr)
+		}
+	}
+	fresh := make([]core.CostPair, 0, len(rows)*(n-1))
+	for _, i := range rows {
+		for j := 0; j < n; j++ {
+			if i != j {
+				fresh = append(fresh, core.CostPair{From: int32(i), To: int32(j), Cost: m.At(i, j)})
+			}
+		}
+	}
+	slices.SortStableFunc(fresh, func(a, b core.CostPair) int {
+		switch {
+		case a.Cost < b.Cost:
+			return -1
+		case a.Cost > b.Cost:
+			return 1
+		}
+		return 0
+	})
+
+	out := make([]core.CostPair, 0, len(kept)+len(fresh))
+	i, j := 0, 0
+	for i < len(kept) && j < len(fresh) {
+		if kept[i].Cost <= fresh[j].Cost {
+			out = append(out, kept[i])
+			i++
+		} else {
+			out = append(out, fresh[j])
+			j++
+		}
+	}
+	out = append(out, kept[i:]...)
+	out = append(out, fresh[j:]...)
+	return out
 }

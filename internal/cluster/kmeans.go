@@ -566,7 +566,7 @@ func smawkRun(le *layerEval, sc *dpScratch, rowStart, rowStride, rowCount int32,
 		// NaN in valArena; the slot's entry value is computed lazily on its
 		// first challenge, so columns that are pushed and never challenged
 		// (the survivors) cost one evaluation, not two.
-		kept := sc.colArena[colOff:colOff : colOff+int(rowCount)]
+		kept := sc.colArena[colOff : colOff : colOff+int(rowCount)]
 		kvals := sc.valArena[colOff : colOff+int(rowCount)]
 		nan := math.NaN()
 		for t := int32(0); t < colCount; t++ {

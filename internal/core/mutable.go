@@ -1,0 +1,78 @@
+package core
+
+import "fmt"
+
+// MutableCostMatrix is a cost matrix under construction by a streaming
+// producer — typically measure.Stream folding per-pair latency summaries in
+// as snapshots mature — that tracks which rows changed between published
+// epochs. Consumers receive immutable CostMatrix snapshots plus the set of
+// rows whose values differ from the previous snapshot, which is exactly the
+// invalidation unit of the solver preprocessing cache: artifacts derived
+// only from untouched rows survive the epoch.
+//
+// A MutableCostMatrix is not safe for concurrent use; the single producer
+// mutates it and hands immutable snapshots to concurrent consumers.
+type MutableCostMatrix struct {
+	n     int
+	c     []float64
+	dirty []bool
+	epoch int
+}
+
+// NewMutableCostMatrix returns an n x n zero mutable cost matrix at epoch 0.
+func NewMutableCostMatrix(n int) *MutableCostMatrix {
+	if n < 0 {
+		panic(fmt.Sprintf("core: negative cost matrix size %d", n))
+	}
+	return &MutableCostMatrix{n: n, c: make([]float64, n*n), dirty: make([]bool, n)}
+}
+
+// Size reports the number of instances covered by the matrix.
+func (m *MutableCostMatrix) Size() int { return m.n }
+
+// At returns the current CL(i, j).
+func (m *MutableCostMatrix) At(i, j int) float64 { return m.c[i*m.n+j] }
+
+// Set assigns CL(i, j) = v and reports whether the stored value actually
+// changed. Row i is marked dirty only on a real (bitwise) change, so
+// producers can blindly re-fold full estimates every epoch and still hand
+// consumers an exact changed-row set.
+func (m *MutableCostMatrix) Set(i, j int, v float64) bool {
+	k := i*m.n + j
+	if m.c[k] == v {
+		return false
+	}
+	m.c[k] = v
+	m.dirty[i] = true
+	return true
+}
+
+// Epoch reports how many snapshots have been published.
+func (m *MutableCostMatrix) Epoch() int { return m.epoch }
+
+// ChangedRows returns the rows written with a different value since the last
+// snapshot, in ascending order. It does not reset the dirty set.
+func (m *MutableCostMatrix) ChangedRows() []int {
+	var rows []int
+	for i, d := range m.dirty {
+		if d {
+			rows = append(rows, i)
+		}
+	}
+	return rows
+}
+
+// Snapshot publishes the current state: an immutable CostMatrix copy plus
+// the rows changed since the previous snapshot (ascending). The dirty set is
+// cleared and the epoch counter advances. The returned matrix shares no
+// storage with the mutable one, so later Sets cannot disturb consumers.
+func (m *MutableCostMatrix) Snapshot() (*CostMatrix, []int) {
+	out := NewCostMatrix(m.n)
+	copy(out.c, m.c)
+	rows := m.ChangedRows()
+	for i := range m.dirty {
+		m.dirty[i] = false
+	}
+	m.epoch++
+	return out, rows
+}

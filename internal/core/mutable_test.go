@@ -1,0 +1,59 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMutableCostMatrixTracksChangedRows(t *testing.T) {
+	m := NewMutableCostMatrix(4)
+	if m.Epoch() != 0 {
+		t.Fatalf("fresh matrix at epoch %d, want 0", m.Epoch())
+	}
+	if !m.Set(1, 2, 3.5) || !m.Set(3, 0, 1.25) {
+		t.Fatal("first writes must report a change")
+	}
+	if m.Set(1, 2, 3.5) {
+		t.Fatal("re-writing an identical value must not report a change")
+	}
+	if got := m.ChangedRows(); !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Fatalf("ChangedRows = %v, want [1 3]", got)
+	}
+
+	snap, rows := m.Snapshot()
+	if !reflect.DeepEqual(rows, []int{1, 3}) {
+		t.Fatalf("snapshot changed rows = %v, want [1 3]", rows)
+	}
+	if m.Epoch() != 1 {
+		t.Fatalf("epoch = %d after snapshot, want 1", m.Epoch())
+	}
+	if snap.At(1, 2) != 3.5 || snap.At(3, 0) != 1.25 {
+		t.Fatal("snapshot does not carry the written values")
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("snapshot invalid: %v", err)
+	}
+
+	// Dirty set cleared: an identical re-fold publishes an empty epoch.
+	m.Set(1, 2, 3.5)
+	if _, rows := m.Snapshot(); len(rows) != 0 {
+		t.Fatalf("identical re-fold reported changed rows %v", rows)
+	}
+
+	// Snapshots are isolated from later mutation.
+	m.Set(1, 2, 9)
+	if snap.At(1, 2) != 3.5 {
+		t.Fatal("snapshot shares storage with the mutable matrix")
+	}
+}
+
+func TestMutableCostMatrixAt(t *testing.T) {
+	m := NewMutableCostMatrix(3)
+	m.Set(0, 2, 7)
+	if m.At(0, 2) != 7 || m.At(2, 0) != 0 {
+		t.Fatal("At does not reflect Set")
+	}
+	if m.Size() != 3 {
+		t.Fatalf("Size = %d", m.Size())
+	}
+}

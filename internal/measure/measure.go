@@ -232,16 +232,17 @@ func (r *Result) matrix(f func(*stats.Welford, []float64) float64) *core.CostMat
 	return m
 }
 
-// Run executes one measurement over the given instances and returns the
-// aggregated result. At least two instances are required.
-func Run(dc *topology.Datacenter, instances []cloud.Instance, opts Options) (*Result, error) {
+// prepare validates opts and builds the simulator, result aggregate, and
+// scheme runner shared by Run and Stream. The returned runner has background
+// traffic scheduled but no scheme started.
+func prepare(dc *topology.Datacenter, instances []cloud.Instance, opts Options) (*runner, Options, error) {
 	o, err := opts.withDefaults()
 	if err != nil {
-		return nil, err
+		return nil, o, err
 	}
 	n := len(instances)
 	if n < 2 {
-		return nil, fmt.Errorf("measure: need >= 2 instances, got %d", n)
+		return nil, o, fmt.Errorf("measure: need >= 2 instances, got %d", n)
 	}
 
 	instLat := cloud.LatencyFunc(dc, instances, o.StartHours)
@@ -256,7 +257,7 @@ func Run(dc *topology.Datacenter, instances []cloud.Instance, opts Options) (*Re
 	}
 	sim, err := netsim.New(n+1, lat, o.Seed, netsim.Config{})
 	if err != nil {
-		return nil, err
+		return nil, o, err
 	}
 
 	res := newResult(n, o.Scheme)
@@ -268,11 +269,11 @@ func Run(dc *topology.Datacenter, instances []cloud.Instance, opts Options) (*Re
 
 	if bg := o.Background; bg != nil {
 		if bg.IntervalMS <= 0 || bg.MsgBytes <= 0 {
-			return nil, fmt.Errorf("measure: invalid background traffic %+v", *bg)
+			return nil, o, fmt.Errorf("measure: invalid background traffic %+v", *bg)
 		}
 		for _, pr := range bg.Pairs {
 			if pr[0] < 0 || pr[0] >= n || pr[1] < 0 || pr[1] >= n || pr[0] == pr[1] {
-				return nil, fmt.Errorf("measure: background pair %v out of range", pr)
+				return nil, o, fmt.Errorf("measure: background pair %v out of range", pr)
 			}
 		}
 		var tick func()
@@ -288,6 +289,17 @@ func Run(dc *topology.Datacenter, instances []cloud.Instance, opts Options) (*Re
 		}
 		sim.At(0, tick)
 	}
+	return m, o, nil
+}
+
+// Run executes one measurement over the given instances and returns the
+// aggregated result. At least two instances are required.
+func Run(dc *topology.Datacenter, instances []cloud.Instance, opts Options) (*Result, error) {
+	m, o, err := prepare(dc, instances, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, sim := m.res, m.sim
 
 	if o.SnapshotEveryMS > 0 {
 		for t := o.SnapshotEveryMS; t <= o.DurationMS; t += o.SnapshotEveryMS {
@@ -298,14 +310,7 @@ func Run(dc *topology.Datacenter, instances []cloud.Instance, opts Options) (*Re
 		}
 	}
 
-	switch o.Scheme {
-	case Token:
-		m.runToken()
-	case Uncoordinated:
-		m.runUncoordinated()
-	case Staged:
-		m.runStaged()
-	}
+	m.start()
 	sim.RunUntil(o.DurationMS)
 	return res, nil
 }
@@ -323,6 +328,19 @@ type runner struct {
 }
 
 func (m *runner) done() bool { return m.sim.Now() >= m.opts.DurationMS }
+
+// start launches the configured scheme's drivers. prepare validated the
+// scheme, so the switch is exhaustive.
+func (m *runner) start() {
+	switch m.opts.Scheme {
+	case Token:
+		m.runToken()
+	case Uncoordinated:
+		m.runUncoordinated()
+	case Staged:
+		m.runStaged()
+	}
+}
 
 // probe performs one RTT measurement from i to j and calls next when the
 // reply lands. The replier contends if it is itself mid-probe.

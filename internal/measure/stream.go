@@ -1,0 +1,144 @@
+package measure
+
+import (
+	"fmt"
+
+	"cloudia/internal/cloud"
+	"cloudia/internal/core"
+	"cloudia/internal/topology"
+)
+
+// This file implements streaming measurement: instead of materializing the
+// full m x m sample set before any solver sees a cost (the batch barrier of
+// Run), Stream publishes the running mean-latency estimate as a sequence of
+// matrix epochs while the measurement is still in flight. Each epoch carries
+// the set of rows that actually changed, which is the invalidation unit of
+// the solver preprocessing cache — advising can begin after the first epoch
+// and refine against later ones, overlapping measurement with search the way
+// the paper's staged scheme overlaps probes with each other (Sect. 5), and
+// reproducing the Fig. 5 convergence story end to end.
+
+// Epoch is one published state of the streaming mean-cost estimate.
+type Epoch struct {
+	// Index numbers epochs from 1 in publication order.
+	Index int
+	// AtMS is the virtual measurement time of the snapshot.
+	AtMS float64
+	// Final marks the epoch published after the measurement budget expired.
+	// Its Matrix is bit-identical to batch Run's MeanMatrix for the same
+	// options and seed.
+	Final bool
+	// Matrix is an immutable snapshot of the running mean estimate, with the
+	// usual global-mean fallback on still-unsampled links.
+	Matrix *core.CostMatrix
+	// ChangedRows lists, in ascending order, the rows whose values differ
+	// from the previous epoch's matrix. Rows not listed are bitwise
+	// identical, so epoch consumers may reuse anything derived from them.
+	ChangedRows []int
+	// Samples is the cumulative RTT observation count at the snapshot.
+	Samples int64
+}
+
+// Streamer is a measurement in flight. Epochs delivers the matrix epochs in
+// order and is closed after the final epoch; Wait blocks until the
+// measurement completes and returns the full aggregate result.
+type Streamer struct {
+	// Epochs is buffered to hold every epoch of the run, so the measurement
+	// never blocks on a slow consumer: a consumer that falls behind (e.g. a
+	// solver round outliving an epoch period) simply finds several epochs
+	// pending and can skip to the newest.
+	Epochs <-chan Epoch
+
+	done chan struct{}
+	res  *Result
+}
+
+// Wait blocks until the measurement completes and returns its aggregate
+// result: the same per-link aggregates Run would have produced for the same
+// options. When the caller set SnapshotEveryMS explicitly, one convergence
+// snapshot per published epoch is recorded too; under the defaulted period
+// the epoch channel alone carries the matrices.
+func (s *Streamer) Wait() *Result {
+	<-s.done
+	return s.res
+}
+
+// Stream starts a measurement whose running mean estimate is published as
+// matrix epochs every Options.SnapshotEveryMS of virtual time (one eighth of
+// the measurement budget when unset), plus a final epoch when the budget
+// expires. Options are validated synchronously; the simulation itself runs
+// on its own goroutine so the caller can consume epochs while measurement
+// progresses.
+//
+// Equivalence guarantee: the final epoch's Matrix is bit-identical to
+// Run(dc, instances, opts).MeanMatrix() for the same options and seed. Epoch
+// snapshots only read the sample aggregates — they never touch the
+// simulator or its RNG — so publishing them cannot perturb the measurement.
+func Stream(dc *topology.Datacenter, instances []cloud.Instance, opts Options) (*Streamer, error) {
+	if opts.SnapshotEveryMS < 0 {
+		return nil, fmt.Errorf("measure: negative snapshot period %g", opts.SnapshotEveryMS)
+	}
+	// Full per-epoch matrices are retained in Result.Snapshots only when the
+	// caller asked for a snapshot period, mirroring Run's opt-in; under the
+	// defaulted period the epoch channel is the streaming product and the
+	// Result stays lean.
+	recordSnapshots := opts.SnapshotEveryMS > 0
+	if opts.SnapshotEveryMS == 0 {
+		opts.SnapshotEveryMS = opts.DurationMS / 8
+	}
+	m, o, err := prepare(dc, instances, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	epochs := int(o.DurationMS/o.SnapshotEveryMS) + 2
+	ch := make(chan Epoch, epochs)
+	st := &Streamer{Epochs: ch, done: make(chan struct{}), res: m.res}
+
+	go func() {
+		defer close(st.done)
+		defer close(ch)
+
+		mm := core.NewMutableCostMatrix(m.n)
+		emit := func(at float64, final bool) {
+			// Fold the current estimate — the same MeanMatrix computation
+			// batch consumers see — into the mutable matrix; Set marks a row
+			// dirty only on a real value change, so the published
+			// changed-row set is exact even though every entry is re-folded.
+			est := m.res.MeanMatrix()
+			if recordSnapshots {
+				// Mirror Run's convergence record so Wait's Result serves
+				// the same Fig. 5 analyses: one snapshot per epoch.
+				m.res.Snapshots = append(m.res.Snapshots, Snapshot{AtMS: at, Mean: est})
+			}
+			for i := 0; i < m.n; i++ {
+				for j := 0; j < m.n; j++ {
+					if i != j {
+						mm.Set(i, j, est.At(i, j))
+					}
+				}
+			}
+			snap, changed := mm.Snapshot()
+			ch <- Epoch{
+				Index:       mm.Epoch(),
+				AtMS:        at,
+				Final:       final,
+				Matrix:      snap,
+				ChangedRows: changed,
+				Samples:     m.res.TotalSamples,
+			}
+		}
+
+		// Schedule the intermediate epochs exactly where Run schedules its
+		// convergence snapshots, then drive the measurement to completion
+		// and publish the final epoch from the drained aggregates.
+		for t := o.SnapshotEveryMS; t < o.DurationMS; t += o.SnapshotEveryMS {
+			t := t
+			m.sim.At(t, func() { emit(t, false) })
+		}
+		m.start()
+		m.sim.RunUntil(o.DurationMS)
+		emit(o.DurationMS, true)
+	}()
+	return st, nil
+}

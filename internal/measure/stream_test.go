@@ -1,0 +1,148 @@
+package measure
+
+import (
+	"testing"
+)
+
+// TestStreamFinalEpochMatchesRun is the streaming-vs-batch equivalence
+// property: for every scheme and a spread of seeds, the final Stream epoch's
+// matrix must be bit-identical to batch Run's MeanMatrix — both for a batch
+// run with the same snapshot schedule and for a plain batch run with no
+// snapshots at all (epoch publication must not perturb the measurement).
+func TestStreamFinalEpochMatchesRun(t *testing.T) {
+	dc, insts := testFleet(t, 7, 21)
+	for _, scheme := range []Scheme{Token, Uncoordinated, Staged} {
+		for _, seed := range []int64{1, 42, 1 << 40} {
+			opts := Options{Scheme: scheme, DurationMS: 600, Seed: seed, SnapshotEveryMS: 150}
+			st, err := Stream(dc, insts, opts)
+			if err != nil {
+				t.Fatalf("%s/%d: Stream: %v", scheme, seed, err)
+			}
+			var final *Epoch
+			count := 0
+			for ep := range st.Epochs {
+				count++
+				if ep.Index != count {
+					t.Fatalf("%s/%d: epoch index %d at position %d", scheme, seed, ep.Index, count)
+				}
+				if ep.Final {
+					final = &ep
+				}
+			}
+			if final == nil || final.Index != count {
+				t.Fatalf("%s/%d: final epoch missing or not last", scheme, seed)
+			}
+
+			for name, batchOpts := range map[string]Options{
+				"same-snapshots": opts,
+				"no-snapshots":   {Scheme: scheme, DurationMS: 600, Seed: seed},
+			} {
+				res, err := Run(dc, insts, batchOpts)
+				if err != nil {
+					t.Fatalf("%s/%d: Run(%s): %v", scheme, seed, name, err)
+				}
+				want := res.MeanMatrix()
+				for i := 0; i < want.Size(); i++ {
+					for j := 0; j < want.Size(); j++ {
+						if got := final.Matrix.At(i, j); got != want.At(i, j) {
+							t.Fatalf("%s/%d vs Run(%s): final epoch differs at (%d,%d): %v vs %v",
+								scheme, seed, name, i, j, got, want.At(i, j))
+						}
+					}
+				}
+				if final.Samples != res.TotalSamples {
+					t.Fatalf("%s/%d vs Run(%s): samples %d vs %d",
+						scheme, seed, name, final.Samples, res.TotalSamples)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamChangedRowsExact verifies the changed-row contract: rows listed
+// in ChangedRows differ from the previous epoch, rows not listed are bitwise
+// identical.
+func TestStreamChangedRowsExact(t *testing.T) {
+	dc, insts := testFleet(t, 6, 23)
+	st, err := Stream(dc, insts, Options{Scheme: Staged, DurationMS: 1000, Seed: 5, SnapshotEveryMS: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev *Epoch
+	for ep := range st.Epochs {
+		ep := ep
+		if prev != nil {
+			changed := make(map[int]bool, len(ep.ChangedRows))
+			for _, r := range ep.ChangedRows {
+				changed[r] = true
+			}
+			for i := 0; i < ep.Matrix.Size(); i++ {
+				rowDiffers := false
+				for j := 0; j < ep.Matrix.Size(); j++ {
+					if ep.Matrix.At(i, j) != prev.Matrix.At(i, j) {
+						rowDiffers = true
+						break
+					}
+				}
+				if rowDiffers != changed[i] {
+					t.Fatalf("epoch %d row %d: differs=%v but changed-listed=%v",
+						ep.Index, i, rowDiffers, changed[i])
+				}
+			}
+			if ep.AtMS <= prev.AtMS {
+				t.Fatalf("epoch %d at %g not after %g", ep.Index, ep.AtMS, prev.AtMS)
+			}
+			if ep.Samples < prev.Samples {
+				t.Fatalf("epoch %d sample count went backwards", ep.Index)
+			}
+		}
+		prev = &ep
+	}
+	if prev == nil || !prev.Final {
+		t.Fatal("stream ended without a final epoch")
+	}
+	// The caller set SnapshotEveryMS explicitly, so the aggregate result
+	// carries one convergence snapshot per epoch (Run's opt-in, mirrored).
+	if res := st.Wait(); len(res.Snapshots) != prev.Index {
+		t.Fatalf("Wait result has %d snapshots, want one per epoch (%d)", len(res.Snapshots), prev.Index)
+	}
+}
+
+// TestStreamDefaultEpochPeriod checks the DurationMS/8 default: 7
+// intermediate epochs plus the final one.
+func TestStreamDefaultEpochPeriod(t *testing.T) {
+	dc, insts := testFleet(t, 5, 27)
+	st, err := Stream(dc, insts, Options{Scheme: Staged, DurationMS: 800, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for range st.Epochs {
+		n++
+	}
+	if n != 8 {
+		t.Fatalf("default period published %d epochs, want 8", n)
+	}
+	res := st.Wait()
+	if res == nil || res.TotalSamples == 0 {
+		t.Fatal("Wait did not return the aggregate result")
+	}
+	if len(res.Snapshots) != 0 {
+		t.Fatalf("defaulted epoch period recorded %d snapshots; retention is opt-in", len(res.Snapshots))
+	}
+}
+
+// TestStreamValidatesSynchronously ensures option errors surface from Stream
+// itself, not from the measurement goroutine.
+func TestStreamValidatesSynchronously(t *testing.T) {
+	dc, insts := testFleet(t, 3, 29)
+	if _, err := Stream(dc, insts, Options{Scheme: "bogus", DurationMS: 10}); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+	if _, err := Stream(dc, insts, Options{Scheme: Staged, DurationMS: 10, SnapshotEveryMS: -1}); err == nil {
+		t.Fatal("negative snapshot period accepted")
+	}
+	if _, err := Stream(dc, insts[:1], Options{Scheme: Staged, DurationMS: 10}); err == nil {
+		t.Fatal("single instance accepted")
+	}
+}

@@ -1,9 +1,11 @@
 package solver
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cloudia/internal/cluster"
 	"cloudia/internal/core"
@@ -29,6 +31,13 @@ import (
 // modify returned matrices, graphs, slices, or pair lists. The only
 // exception is Bootstrap, which returns a fresh copy of the memoized
 // deployment because solvers mutate their incumbent in place.
+//
+// Prep is additionally epoch-aware: Problem.Evolve builds the next epoch's
+// Prep from this one, adopting graph-derived artifacts outright and seeding
+// matrix-derived artifacts for incremental recomputation over the changed
+// rows (see prep_epoch.go). The done flags below let Evolve observe — via
+// atomics, so racing portfolio members on the old epoch stay undisturbed —
+// which artifacts the previous epoch actually materialized.
 type Prep struct {
 	p *Problem
 
@@ -36,33 +45,61 @@ type Prep struct {
 	rounded map[int]*prepRounded
 
 	tGraphOnce sync.Once
+	tGraphDone atomic.Bool
 	tGraph     *core.Graph
 	tOrder     []core.NodeID
 	tOrderErr  error
 
 	degOnce  sync.Once
+	degDone  atomic.Bool
 	degOrder []core.NodeID
 
 	rowsOnce sync.Once
+	rowsDone atomic.Bool
 	rows     [][]int32
+	// rowsSeed, when non-nil, is the previous epoch's CheapestRows result;
+	// only rowsSeedChanged rows are rebuilt, the rest are shared.
+	rowsSeed        [][]int32
+	rowsSeedChanged []int
 
 	offOnce sync.Once
+	offDone atomic.Bool
 	offDiag []float64
 
 	bootMu sync.Mutex
 	boots  map[bootKey]*prepBoot
+
+	warmMu   sync.Mutex
+	warm     core.Deployment
+	warmCost float64
 }
 
-// prepRounded memoizes one cluster-K's rounded matrix, pair list, and
-// (lazily) the transpose of the rounded matrix.
+// prepRounded memoizes one cluster-K's rounded matrix, pair list, fitted
+// clustering, and (lazily) the transpose of the rounded matrix.
 type prepRounded struct {
 	once  sync.Once
+	done  atomic.Bool
 	m     *core.CostMatrix
 	pairs []core.CostPair
+	res   *cluster.Result // clustering behind m; nil when k <= 0
 	err   error
+	// staleRows marks the distinct rows re-assigned against res since it
+	// was last fitted (stale is their count); once a majority of rows has
+	// drifted the next epoch refits instead of patching. Distinctness
+	// matters: one noisy row changing every epoch must not accumulate
+	// into a spurious majority.
+	staleRows []bool
+	stale     int
 
 	tOnce sync.Once
 	t     *core.CostMatrix
+
+	// seed, when non-nil, is the previous epoch's computed entry for the
+	// same cluster count; compute patches it over seedChanged rows instead
+	// of re-running k-means. Cleared after use so retired epoch matrices
+	// can be collected.
+	seed        *prepRounded
+	seedChanged []int
 }
 
 type bootKey struct {
@@ -108,14 +145,51 @@ func (pp *Prep) entry(k int) *prepRounded {
 func (pp *Prep) Rounded(k int) (*core.CostMatrix, []core.CostPair, error) {
 	e := pp.entry(k)
 	e.once.Do(func() {
-		if k <= 0 {
-			e.m = pp.p.Costs
-			e.pairs = pp.p.Costs.SortedPairs()
-			return
-		}
-		e.m, e.pairs, e.err = cluster.RoundCostMatrixPairs(pp.p.Costs, k)
+		e.compute(pp, k)
+		e.done.Store(true)
 	})
 	return e.m, e.pairs, e.err
+}
+
+// compute fills the entry, preferring the incremental path when a previous
+// epoch's entry seeds it: changed values are re-assigned to the existing
+// centers and the pair list is merged, O(changed*n log) work instead of a
+// full k-means refit — unless a majority of rows has gone stale since the
+// last fit, in which case the clustering is fitted fresh.
+func (e *prepRounded) compute(pp *Prep, k int) {
+	if s := e.seed; s != nil {
+		changed := e.seedChanged
+		e.seed, e.seedChanged = nil, nil
+		if s.err == nil {
+			n := pp.p.Costs.Size()
+			staleRows := make([]bool, n)
+			copy(staleRows, s.staleRows)
+			stale := s.stale
+			for _, i := range changed {
+				if !staleRows[i] {
+					staleRows[i] = true
+					stale++
+				}
+			}
+			if 2*stale < n {
+				if k <= 0 {
+					e.m = pp.p.Costs
+				} else {
+					e.m = cluster.PatchRoundedRows(pp.p.Costs, s.m, s.res, changed)
+				}
+				e.pairs = cluster.PatchSortedPairs(e.m, s.pairs, changed)
+				e.res = s.res
+				e.staleRows, e.stale = staleRows, stale
+				return
+			}
+		}
+	}
+	if k <= 0 {
+		e.m = pp.p.Costs
+		e.pairs = pp.p.Costs.SortedPairs()
+		return
+	}
+	e.m, e.pairs, e.res, e.err = cluster.RoundCostMatrixPairsResult(pp.p.Costs, k)
 }
 
 // RoundedMatrix is Rounded without the pair list: for k <= 0 it serves the
@@ -161,6 +235,7 @@ func (pp *Prep) buildTransposed() {
 	pp.tGraphOnce.Do(func() {
 		pp.tGraph = pp.p.Graph.Transposed()
 		pp.tOrder, pp.tOrderErr = pp.tGraph.TopoOrder()
+		pp.tGraphDone.Store(true)
 	})
 }
 
@@ -178,39 +253,61 @@ func (pp *Prep) DegreeOrder() []core.NodeID {
 			return g.Degree(order[a]) > g.Degree(order[b])
 		})
 		pp.degOrder = order
+		pp.degDone.Store(true)
 	})
 	return pp.degOrder
+}
+
+// cheapestRow builds instance u's candidate row: the other instances sorted
+// ascending by (cost from u, index).
+func cheapestRow(m *core.CostMatrix, u int, row []int32) []int32 {
+	n := m.Size()
+	for v := 0; v < n; v++ {
+		if v != u {
+			row = append(row, int32(v))
+		}
+	}
+	cu := m.Row(u)
+	sort.Slice(row, func(i, j int) bool {
+		ci, cj := cu[row[i]], cu[row[j]]
+		if ci != cj {
+			return ci < cj
+		}
+		return row[i] < row[j]
+	})
+	return row
 }
 
 // CheapestRows returns, for every instance u, the other instances sorted
 // ascending by (cost from u, index) — the candidate rows consumed by the G1
 // greedy's cheapest-free cursors. One flat backing array serves all rows.
-// Shared; callers must not modify the rows.
+// When a previous epoch seeds the cache, only the changed rows are re-sorted
+// and the rest are shared with that epoch. Shared; callers must not modify
+// the rows.
 func (pp *Prep) CheapestRows() [][]int32 {
 	pp.rowsOnce.Do(func() {
 		m := pp.p.Costs
 		n := m.Size()
+		if seed := pp.rowsSeed; seed != nil {
+			rows := make([][]int32, n)
+			copy(rows, seed)
+			for _, u := range pp.rowsSeedChanged {
+				rows[u] = cheapestRow(m, u, make([]int32, 0, n-1))
+			}
+			pp.rowsSeed, pp.rowsSeedChanged = nil, nil
+			pp.rows = rows
+			pp.rowsDone.Store(true)
+			return
+		}
 		rows := make([][]int32, n)
 		flat := make([]int32, 0, n*(n-1))
 		for u := 0; u < n; u++ {
-			row := flat[len(flat):len(flat) : len(flat)+n-1]
-			for v := 0; v < n; v++ {
-				if v != u {
-					row = append(row, int32(v))
-				}
-			}
+			row := cheapestRow(m, u, flat[len(flat):len(flat):len(flat)+n-1])
 			flat = flat[:len(flat)+len(row)]
-			cu := m.Row(u)
-			sort.Slice(row, func(i, j int) bool {
-				ci, cj := cu[row[i]], cu[row[j]]
-				if ci != cj {
-					return ci < cj
-				}
-				return row[i] < row[j]
-			})
 			rows[u] = row
 		}
 		pp.rows = rows
+		pp.rowsDone.Store(true)
 	})
 	return pp.rows
 }
@@ -219,15 +316,44 @@ func (pp *Prep) CheapestRows() [][]int32 {
 // order (the "latency vector" of Sect. 6.2.2), memoized. Shared; callers
 // must not modify it.
 func (pp *Prep) OffDiagonal() []float64 {
-	pp.offOnce.Do(func() { pp.offDiag = pp.p.Costs.OffDiagonal() })
+	pp.offOnce.Do(func() {
+		pp.offDiag = pp.p.Costs.OffDiagonal()
+		pp.offDone.Store(true)
+	})
 	return pp.offDiag
+}
+
+// WarmStart installs a warm incumbent for this problem epoch: every later
+// Bootstrap call returns the better of its seeded random draw and d
+// evaluated under this problem's matrix. Streaming advisors use this to
+// carry the previous epoch's incumbent into the next round's portfolio, so
+// each round refines rather than restarts (and the warm incumbent also
+// becomes the shared starting point of the local-search members). The
+// deployment is copied; WarmStart must be called before the solvers that
+// should see it first consult Bootstrap, because completed bootstrap memo
+// entries are not revisited.
+func (pp *Prep) WarmStart(d core.Deployment) error {
+	if len(d) != pp.p.NumNodes() {
+		return fmt.Errorf("solver: warm start covers %d nodes, problem has %d", len(d), pp.p.NumNodes())
+	}
+	if err := d.Validate(pp.p.NumInstances()); err != nil {
+		return err
+	}
+	cost := pp.p.Cost(d)
+	pp.warmMu.Lock()
+	if pp.warm == nil || cost < pp.warmCost {
+		pp.warm, pp.warmCost = d.Clone(), cost
+	}
+	pp.warmMu.Unlock()
+	return nil
 }
 
 // Bootstrap returns the best of `samples` seeded random deployments and its
 // cost (Sect. 6.3.1's initial-solution strategy), memoized per
 // (samples, seed) so portfolio members sharing a seed — CP, MIP, and the
-// first SA restart all bootstrap identically — draw the incumbent once.
-// The deployment is a fresh copy: callers may mutate it freely.
+// first SA restart all bootstrap identically — draw the incumbent once. Any
+// installed WarmStart deployment competes with the random draw. The
+// deployment is a fresh copy: callers may mutate it freely.
 func (pp *Prep) Bootstrap(samples int, seed int64) (core.Deployment, float64) {
 	if samples < 1 {
 		samples = 1
@@ -243,6 +369,11 @@ func (pp *Prep) Bootstrap(samples int, seed int64) (core.Deployment, float64) {
 	b.once.Do(func() {
 		rng := rand.New(rand.NewSource(seed))
 		b.d, b.cost = Bootstrap(pp.p, samples, rng)
+		pp.warmMu.Lock()
+		if pp.warm != nil && pp.warmCost < b.cost {
+			b.d, b.cost = pp.warm.Clone(), pp.warmCost
+		}
+		pp.warmMu.Unlock()
 	})
 	return b.d.Clone(), b.cost
 }

@@ -1,0 +1,137 @@
+package solver
+
+import (
+	"fmt"
+
+	"cloudia/internal/core"
+)
+
+// This file implements epoch-aware Prep invalidation for streaming
+// measurement: as measure.Stream publishes successive cost-matrix epochs,
+// Evolve derives the next epoch's Problem whose Prep keeps every artifact
+// untouched by the changed rows and recomputes the rest incrementally —
+// re-assigning changed values to the existing k-means centers and merging
+// pair lists — instead of rebuilding the full preprocessing per epoch.
+
+// Evolve returns a Problem for the next cost-matrix epoch: the same graph
+// and objective over matrix m, of which only changedRows differ (bitwise)
+// from p.Costs. The new Problem's Prep is seeded from p's:
+//
+//   - graph-derived artifacts (transposed graph, topological orders, degree
+//     order) are adopted outright — the graph did not change;
+//   - with no changed rows, every matrix-derived artifact already built is
+//     adopted too, so re-advising on an unchanged network is free;
+//   - otherwise, cluster-rounded matrices and pair lists are patched by
+//     incremental k-means reassignment of the changed rows (refitted only
+//     once a majority of rows has drifted since the last full fit), and
+//     cheapest-link rows are re-sorted only for changed rows;
+//   - bootstrap incumbents are dropped: their costs are stale under the new
+//     matrix. Carry search state across epochs with Prep.WarmStart instead.
+//
+// The changed-row contract is verified: rows not listed must be bitwise
+// identical between p.Costs and m (listing an unchanged row is allowed).
+// Adoption is race-safe against solvers still running on p — artifact
+// completion is observed through atomic flags, and anything the old epoch
+// has not finished building is simply rebuilt lazily by the new one.
+func (p *Problem) Evolve(m *core.CostMatrix, changedRows []int) (*Problem, error) {
+	if m == nil {
+		return nil, fmt.Errorf("solver: nil epoch matrix")
+	}
+	if m.Size() != p.Costs.Size() {
+		return nil, fmt.Errorf("solver: epoch matrix size %d, problem has %d instances (the instance set is fixed across epochs)", m.Size(), p.Costs.Size())
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := m.Size()
+	changed := make([]bool, n)
+	for _, i := range changedRows {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("solver: changed row %d out of range [0,%d)", i, n)
+		}
+		changed[i] = true
+	}
+	for i := 0; i < n; i++ {
+		if changed[i] {
+			continue
+		}
+		a, b := p.Costs.Row(i), m.Row(i)
+		for j := range a {
+			if a[j] != b[j] {
+				return nil, fmt.Errorf("solver: row %d differs between epochs but is not listed as changed", i)
+			}
+		}
+	}
+	// Normalize to an ascending, duplicate-free list: the pair-list patch
+	// appends each listed row's pairs once per occurrence, so feeding it a
+	// caller's duplicated entries would corrupt the merged list.
+	rows := make([]int, 0, len(changedRows))
+	for i := 0; i < n; i++ {
+		if changed[i] {
+			rows = append(rows, i)
+		}
+	}
+
+	np := &Problem{Graph: p.Graph, Costs: m, Objective: p.Objective, order: p.order}
+	np.prep = evolvePrep(np, p.Prep(), rows)
+	return np, nil
+}
+
+// evolvePrep builds the next epoch's Prep from the previous one. old may be
+// in concurrent use; only artifacts whose done flag is set are read.
+func evolvePrep(np *Problem, old *Prep, changedRows []int) *Prep {
+	pp := newPrep(np)
+
+	// Graph-derived artifacts never depend on the matrix.
+	if old.tGraphDone.Load() {
+		pp.tGraphOnce.Do(func() {
+			pp.tGraph, pp.tOrder, pp.tOrderErr = old.tGraph, old.tOrder, old.tOrderErr
+			pp.tGraphDone.Store(true)
+		})
+	}
+	if old.degDone.Load() {
+		pp.degOnce.Do(func() {
+			pp.degOrder = old.degOrder
+			pp.degDone.Store(true)
+		})
+	}
+
+	identical := len(changedRows) == 0
+	if identical {
+		if old.offDone.Load() {
+			pp.offOnce.Do(func() {
+				pp.offDiag = old.offDiag
+				pp.offDone.Store(true)
+			})
+		}
+		if old.rowsDone.Load() {
+			pp.rowsOnce.Do(func() {
+				pp.rows = old.rows
+				pp.rowsDone.Store(true)
+			})
+		}
+	} else if old.rowsDone.Load() {
+		pp.rowsSeed, pp.rowsSeedChanged = old.rows, changedRows
+	}
+
+	// Rounded entries: adopt computed entries wholesale when nothing
+	// changed (they are immutable), otherwise seed them for incremental
+	// patching on first use. Entries the old epoch never finished are left
+	// to fresh lazy computation.
+	old.mu.Lock()
+	computed := make(map[int]*prepRounded, len(old.rounded))
+	for k, e := range old.rounded {
+		if e.done.Load() {
+			computed[k] = e
+		}
+	}
+	old.mu.Unlock()
+	for k, e := range computed {
+		if identical && e.err == nil {
+			pp.rounded[k] = e
+			continue
+		}
+		pp.rounded[k] = &prepRounded{seed: e, seedChanged: changedRows}
+	}
+	return pp
+}

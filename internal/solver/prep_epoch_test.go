@@ -1,0 +1,424 @@
+package solver
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"cloudia/internal/cluster"
+	"cloudia/internal/core"
+)
+
+// perturbRows returns a copy of m with the off-diagonal entries of the given
+// rows redrawn, plus the changed-row list.
+func perturbRows(m *core.CostMatrix, rows []int, seed int64) *core.CostMatrix {
+	rng := rand.New(rand.NewSource(seed))
+	out := m.Clone()
+	for _, i := range rows {
+		for j := 0; j < m.Size(); j++ {
+			if i != j {
+				out.Set(i, j, 0.2+rng.Float64())
+			}
+		}
+	}
+	return out
+}
+
+func matricesEqual(a, b *core.CostMatrix) bool {
+	for i := 0; i < a.Size(); i++ {
+		if !reflect.DeepEqual(a.Row(i), b.Row(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEvolveIdenticalEpochAdoptsEverything: with no changed rows, every
+// artifact the previous epoch built is served by pointer from the new one.
+func TestEvolveIdenticalEpochAdoptsEverything(t *testing.T) {
+	p := prepProblem(t, 12, 18, 31)
+	prep := p.Prep()
+	m0, pairs0, err := prep.Rounded(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows0 := prep.CheapestRows()
+	tg0 := prep.TransposedGraph()
+	deg0 := prep.DegreeOrder()
+	off0 := prep.OffDiagonal()
+
+	np, err := p.Evolve(p.Costs.Clone(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nprep := np.Prep()
+	m1, pairs1, err := nprep.Rounded(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m0 || &pairs1[0] != &pairs0[0] {
+		t.Fatal("identical epoch did not adopt the rounded entry")
+	}
+	if &nprep.CheapestRows()[0] != &rows0[0] {
+		t.Fatal("identical epoch did not adopt cheapest rows")
+	}
+	if nprep.TransposedGraph() != tg0 {
+		t.Fatal("identical epoch did not adopt the transposed graph")
+	}
+	if &nprep.DegreeOrder()[0] != &deg0[0] {
+		t.Fatal("identical epoch did not adopt the degree order")
+	}
+	if &nprep.OffDiagonal()[0] != &off0[0] {
+		t.Fatal("identical epoch did not adopt the off-diagonal vector")
+	}
+}
+
+// TestEvolvePatchedRoundedMatchesIncrementalContract: changed rows are
+// re-assigned to the previous epoch's centers; unchanged rows keep their
+// rounded values; the pair list stays sorted and covers the patched matrix.
+func TestEvolvePatchedRounded(t *testing.T) {
+	p := prepProblem(t, 14, 20, 33)
+	prep := p.Prep()
+	const k = 6
+	r0, _, err := prep.Rounded(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, res, err := cluster.RoundCostMatrixPairsResult(p.Costs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	changed := []int{1, 7}
+	m1 := perturbRows(p.Costs, changed, 35)
+	np, err := p.Evolve(m1, changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, pairs1, err := np.Prep().Rounded(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isChanged := map[int]bool{1: true, 7: true}
+	for i := 0; i < m1.Size(); i++ {
+		for j := 0; j < m1.Size(); j++ {
+			if i == j {
+				continue
+			}
+			want := r0.At(i, j)
+			if isChanged[i] {
+				want = res.Assign(m1.At(i, j))
+			}
+			if r1.At(i, j) != want {
+				t.Fatalf("patched rounded(%d,%d) = %g, want %g", i, j, r1.At(i, j), want)
+			}
+		}
+	}
+	if len(pairs1) != m1.Size()*(m1.Size()-1) {
+		t.Fatalf("patched pairs length %d", len(pairs1))
+	}
+	for i := 1; i < len(pairs1); i++ {
+		if pairs1[i].Cost < pairs1[i-1].Cost {
+			t.Fatalf("patched pairs not ascending at %d", i)
+		}
+	}
+	for _, pr := range pairs1 {
+		if r1.At(int(pr.From), int(pr.To)) != pr.Cost {
+			t.Fatalf("pair (%d,%d) cost %g disagrees with patched matrix %g",
+				pr.From, pr.To, pr.Cost, r1.At(int(pr.From), int(pr.To)))
+		}
+	}
+
+	// The unclustered entry must serve the new matrix itself.
+	if um, _, err := np.Prep().Rounded(0); err != nil || um != np.Costs {
+		t.Fatal("unclustered entry does not serve the epoch matrix")
+	}
+}
+
+// TestEvolveMajorityDriftRefits: once a majority of rows has drifted since
+// the last fit, the clustering is re-fitted from scratch — the entry must
+// then be bit-identical to a fresh computation on the new matrix.
+func TestEvolveMajorityDriftRefits(t *testing.T) {
+	p := prepProblem(t, 10, 12, 37)
+	const k = 4
+	if _, _, err := p.Prep().Rounded(k); err != nil {
+		t.Fatal(err)
+	}
+	changed := []int{0, 1, 2, 3, 4, 5, 6}
+	m1 := perturbRows(p.Costs, changed, 39)
+	np, err := p.Evolve(m1, changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotPairs, err := np.Prep().Rounded(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantPairs, err := cluster.RoundCostMatrixPairs(m1, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matricesEqual(got, want) {
+		t.Fatal("majority-drift epoch did not refit the clustering")
+	}
+	if !reflect.DeepEqual(gotPairs, wantPairs) {
+		t.Fatal("refit pair list differs from fresh computation")
+	}
+}
+
+// TestEvolveStaleAccumulates: drift below the refit threshold accumulates
+// across epochs until it crosses the majority line.
+func TestEvolveStaleAccumulates(t *testing.T) {
+	p := prepProblem(t, 10, 12, 41)
+	const k = 4
+	if _, _, err := p.Prep().Rounded(k); err != nil {
+		t.Fatal(err)
+	}
+	cur := p
+	// Two epochs, each drifting 3 of 12 rows: the first stays patched
+	// (stale 3 < 6), the second accumulates to stale 6 — no longer a
+	// minority — and must refit.
+	for step, rows := range [][]int{{0, 1, 2}, {3, 4, 5}} {
+		m := perturbRows(cur.Costs, rows, int64(43+step))
+		np, err := cur.Evolve(m, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := np.Prep().Rounded(k); err != nil {
+			t.Fatal(err)
+		}
+		cur = np
+	}
+	got, _, err := cur.Prep().Rounded(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := cluster.RoundCostMatrixPairs(cur.Costs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matricesEqual(got, want) {
+		t.Fatal("accumulated drift past the majority line did not trigger a refit")
+	}
+}
+
+// TestEvolveRepeatedRowNeverRefits: the refit trigger counts distinct
+// drifted rows, so the same minority of rows changing every epoch keeps the
+// patch path (and the original fit) forever — unchanged rows must still
+// carry their epoch-0 rounded values after many epochs.
+func TestEvolveRepeatedRowNeverRefits(t *testing.T) {
+	p := prepProblem(t, 10, 12, 81)
+	const k = 4
+	rounded0, _, err := p.Prep().Rounded(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := p
+	for e := 0; e < 6; e++ {
+		m := perturbRows(cur.Costs, []int{0, 1}, int64(83+e))
+		np, err := cur.Evolve(m, []int{0, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := np.Prep().Rounded(k); err != nil {
+			t.Fatal(err)
+		}
+		cur = np
+	}
+	got, _, err := cur.Prep().Rounded(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i < 12; i++ {
+		for j := 0; j < 12; j++ {
+			if i != j && got.At(i, j) != rounded0.At(i, j) {
+				t.Fatalf("unchanged row %d drifted after repeated same-row epochs: a refit fired", i)
+			}
+		}
+	}
+}
+
+// TestEvolveCheapestRowsPatched: changed rows are re-sorted against the new
+// matrix, unchanged rows are shared with the previous epoch.
+func TestEvolveCheapestRowsPatched(t *testing.T) {
+	p := prepProblem(t, 10, 16, 45)
+	rows0 := p.Prep().CheapestRows()
+	changed := []int{2, 9}
+	m1 := perturbRows(p.Costs, changed, 47)
+	np, err := p.Evolve(m1, changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows1 := np.Prep().CheapestRows()
+	fresh, err := NewProblem(p.Graph, m1, p.Objective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fresh.Prep().CheapestRows()
+	for u := 0; u < 16; u++ {
+		if !reflect.DeepEqual(rows1[u], want[u]) {
+			t.Fatalf("patched cheapest row %d differs from fresh computation", u)
+		}
+	}
+	for u := 0; u < 16; u++ {
+		if u == 2 || u == 9 {
+			continue
+		}
+		if &rows1[u][0] != &rows0[u][0] {
+			t.Fatalf("unchanged cheapest row %d was rebuilt", u)
+		}
+	}
+}
+
+// TestEvolveDeduplicatesChangedRows: a caller may repeat (or leave
+// unsorted) entries in changedRows; the patched pair list must still cover
+// each pair exactly once.
+func TestEvolveDeduplicatesChangedRows(t *testing.T) {
+	p := prepProblem(t, 10, 12, 77)
+	const k = 4
+	if _, _, err := p.Prep().Rounded(k); err != nil {
+		t.Fatal(err)
+	}
+	m1 := perturbRows(p.Costs, []int{5, 2}, 79)
+	np, err := p.Evolve(m1, []int{5, 2, 5, 5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pairs, err := np.Prep().Rounded(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m1.Size()
+	if len(pairs) != n*(n-1) {
+		t.Fatalf("patched pair list has %d entries, want %d", len(pairs), n*(n-1))
+	}
+	seen := make(map[[2]int32]bool, len(pairs))
+	for _, pr := range pairs {
+		key := [2]int32{pr.From, pr.To}
+		if seen[key] {
+			t.Fatalf("pair (%d,%d) duplicated", pr.From, pr.To)
+		}
+		seen[key] = true
+	}
+}
+
+// TestEvolveRejectsBadEpochs: wrong sizes, invalid matrices, out-of-range
+// rows, and unlisted changed rows are all rejected.
+func TestEvolveRejectsBadEpochs(t *testing.T) {
+	p := prepProblem(t, 8, 10, 49)
+	if _, err := p.Evolve(nil, nil); err == nil {
+		t.Fatal("nil matrix accepted")
+	}
+	if _, err := p.Evolve(core.NewCostMatrix(11), nil); err == nil {
+		t.Fatal("size change accepted")
+	}
+	bad := p.Costs.Clone()
+	bad.Set(0, 1, -1)
+	if _, err := p.Evolve(bad, []int{0}); err == nil {
+		t.Fatal("invalid matrix accepted")
+	}
+	if _, err := p.Evolve(p.Costs.Clone(), []int{10}); err == nil {
+		t.Fatal("out-of-range changed row accepted")
+	}
+	lied := perturbRows(p.Costs, []int{3}, 51)
+	if _, err := p.Evolve(lied, nil); err == nil {
+		t.Fatal("unlisted changed row accepted")
+	}
+}
+
+// TestWarmStartFoldsIntoBootstrap: a warm incumbent better than the random
+// draw is served by Bootstrap; an invalid one is rejected.
+func TestWarmStartFoldsIntoBootstrap(t *testing.T) {
+	p := prepProblem(t, 8, 12, 53)
+	rng := rand.New(rand.NewSource(99))
+	// Search a deployment better than the 10-sample bootstrap by sampling
+	// more.
+	warm, warmCost := Bootstrap(p, 500, rng)
+	_, plainCost := Bootstrap(p, 10, rand.New(rand.NewSource(7)))
+	if warmCost >= plainCost {
+		t.Skipf("500-sample bootstrap (%g) did not beat 10-sample (%g)", warmCost, plainCost)
+	}
+
+	prep := p.Prep()
+	if err := prep.WarmStart(warm); err != nil {
+		t.Fatal(err)
+	}
+	d, cost := prep.Bootstrap(10, 7)
+	if cost != warmCost || !reflect.DeepEqual(d, warm) {
+		t.Fatalf("Bootstrap ignored the warm incumbent: cost %g, warm %g", cost, warmCost)
+	}
+	// Mutating the returned deployment must not corrupt the stored warm
+	// incumbent.
+	d[0] = -1
+	d2, _ := prep.Bootstrap(10, 8)
+	if d2[0] == -1 {
+		t.Fatal("warm incumbent shared with callers")
+	}
+
+	if err := prep.WarmStart(core.Deployment{0, 1}); err == nil {
+		t.Fatal("short warm deployment accepted")
+	}
+	if err := prep.WarmStart(core.Deployment{0, 0, 1, 2, 3, 4, 5, 6}); err == nil {
+		t.Fatal("non-injective warm deployment accepted")
+	}
+}
+
+// TestEvolveConcurrentWithSolves is the epoch-publication race hammer: a
+// publisher goroutine evolves the problem chain through fresh epochs while
+// portfolio-style readers hammer every Prep artifact of the epochs already
+// published. Run under -race (CI does).
+func TestEvolveConcurrentWithSolves(t *testing.T) {
+	p := prepProblem(t, 10, 14, 55)
+	const epochs = 6
+
+	published := make(chan *Problem, epochs+1)
+	published <- p
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // publisher
+		defer wg.Done()
+		defer close(published)
+		cur := p
+		rng := rand.New(rand.NewSource(57))
+		for e := 0; e < epochs; e++ {
+			rows := []int{rng.Intn(14), rng.Intn(14)}
+			m := perturbRows(cur.Costs, rows, int64(59+e))
+			np, err := cur.Evolve(m, rows)
+			if err != nil {
+				t.Errorf("Evolve: %v", err)
+				return
+			}
+			published <- np
+			cur = np
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var readers sync.WaitGroup
+	for prob := range published {
+		prob := prob
+		for w := 0; w < 3; w++ {
+			readers.Add(1)
+			go func() {
+				defer readers.Done()
+				prep := prob.Prep()
+				if _, _, err := prep.Rounded(5); err != nil {
+					t.Errorf("Rounded: %v", err)
+				}
+				if _, err := prep.TransposedCosts(5); err != nil {
+					t.Errorf("TransposedCosts: %v", err)
+				}
+				prep.TransposedGraph()
+				prep.DegreeOrder()
+				prep.CheapestRows()
+				prep.OffDiagonal()
+				prep.Bootstrap(10, 1)
+			}()
+		}
+	}
+	wg.Wait()
+	readers.Wait()
+}

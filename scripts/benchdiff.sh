@@ -1,45 +1,105 @@
 #!/bin/sh
 # benchdiff.sh: compare two BENCH_PR<N>.json perf-trajectory files (as
 # written by benchjson.sh) and report the ns/op delta for every benchmark
-# present in both. Exits nonzero when any common benchmark regressed by
-# more than the threshold percentage, so CI can surface it (the workflow
-# runs this as an informational step).
+# present in both.
 #
-# Usage: scripts/benchdiff.sh BENCH_PR2.json BENCH_PR3.json [threshold-pct]
+# Usage: scripts/benchdiff.sh BASE.json NEW.json [threshold-pct] [allowlist]
+#
+# Exit status:
+#   0  no gated regression (or no baseline to compare against — a fresh
+#      trajectory emits a clear notice instead of silently passing or
+#      failing)
+#   1  at least one gated benchmark regressed beyond the threshold
+#   2  usage or input error
+#
+# When an allowlist file is given (fourth argument, or the BENCH_ALLOWLIST
+# environment variable), only benchmarks listed in it gate the exit status;
+# everything else is still printed, marked "(ungated)", so noise-prone
+# micro-benchmarks stay visible without failing CI. The allowlist holds one
+# benchmark name per line; blank lines and #-comments are ignored.
+#
+# POSIX sh; no bashisms, and safe under `set -euo pipefail` shells.
 set -eu
 
+if [ $# -lt 2 ]; then
+	echo "usage: $0 BASE.json NEW.json [threshold-pct] [allowlist]" >&2
+	exit 2
+fi
 base=$1
 new=$2
 threshold=${3:-20}
+allowlist=${4:-${BENCH_ALLOWLIST:-}}
 
-awk -v base="$base" -v new="$new" -v threshold="$threshold" '
+missing=0
+for f in "$base" "$new"; do
+	if [ ! -f "$f" ]; then
+		printf 'benchdiff: no baseline: %s does not exist\n' "$f"
+		missing=1
+	fi
+done
+if [ "$missing" -eq 1 ]; then
+	echo "benchdiff: skipping comparison (expected on the first PR of a trajectory)"
+	exit 0
+fi
+if [ -n "$allowlist" ] && [ ! -f "$allowlist" ]; then
+	printf 'benchdiff: allowlist %s does not exist\n' "$allowlist" >&2
+	exit 2
+fi
+
+awk -v base="$base" -v newfile="$new" -v threshold="$threshold" -v allowfile="$allowlist" '
 function parse(line, kv) {
-    # benchjson.sh writes one object per line: extract name and ns_per_op.
-    if (match(line, /"name": "[^"]+"/)) {
-        name = substr(line, RSTART + 9, RLENGTH - 10)
-        if (match(line, /"ns_per_op": [0-9.eE+]+/)) {
-            ns = substr(line, RSTART + 13, RLENGTH - 13) + 0
-            kv[name] = ns
-            return name
-        }
-    }
-    return ""
+	# benchjson.sh writes one object per line: extract name and ns_per_op.
+	if (match(line, /"name": "[^"]+"/)) {
+		name = substr(line, RSTART + 9, RLENGTH - 10)
+		if (match(line, /"ns_per_op": [0-9.eE+]+/)) {
+			ns = substr(line, RSTART + 13, RLENGTH - 13) + 0
+			kv[name] = ns
+			return name
+		}
+	}
+	return ""
+}
+BEGIN {
+	gateall = 1
+	if (allowfile != "") {
+		gateall = 0
+		while ((getline line < allowfile) > 0) {
+			sub(/#.*/, "", line)
+			gsub(/^[ \t]+/, "", line)
+			gsub(/[ \t]+$/, "", line)
+			if (line != "") allowed[line] = 1
+		}
+		close(allowfile)
+	}
 }
 NR == FNR { parse($0, old); next }
 {
-    n = parse($0, cur)
-    if (n != "" && (n in old)) {
-        delta = (cur[n] - old[n]) / old[n] * 100
-        marker = ""
-        if (delta > threshold) { marker = "  REGRESSION"; bad++ }
-        else if (delta < -threshold) { marker = "  improved" }
-        printf "%-45s %14.0f -> %14.0f ns/op  %+7.1f%%%s\n", n, old[n], cur[n], delta, marker
-        compared++
-    }
+	n = parse($0, cur)
+	if (n != "" && (n in old)) {
+		delta = (cur[n] - old[n]) / old[n] * 100
+		gated = gateall || (n in allowed)
+		marker = ""
+		if (delta > threshold) {
+			if (gated) { marker = "  REGRESSION"; bad++ }
+			else { marker = "  regression (ungated)" }
+		} else if (delta < -threshold) {
+			marker = "  improved"
+		}
+		if (!gated && marker == "") marker = "  (ungated)"
+		printf "%-45s %14.0f -> %14.0f ns/op  %+7.1f%%%s\n", n, old[n], cur[n], delta, marker
+		compared++
+		if (gated) gatedcount++
+	}
 }
 END {
-    if (compared == 0) { print "benchdiff: no common benchmarks found" > "/dev/stderr"; exit 2 }
-    printf "benchdiff: %d benchmarks compared against %s (threshold %s%%)\n", compared, base, threshold
-    if (bad > 0) { printf "benchdiff: %d regression(s) beyond %s%%\n", bad, threshold > "/dev/stderr"; exit 1 }
+	if (compared == 0) {
+		print "benchdiff: no common benchmarks found" > "/dev/stderr"
+		exit 2
+	}
+	printf "benchdiff: %d benchmarks compared against %s (threshold %s%%, %d gated)\n", compared, base, threshold, gatedcount
+	if (bad > 0) {
+		printf "benchdiff: %d gated regression(s) beyond %s%%\n", bad, threshold > "/dev/stderr"
+		exit 1
+	}
 }
 ' "$base" "$new"

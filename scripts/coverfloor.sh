@@ -1,0 +1,54 @@
+#!/bin/sh
+# coverfloor.sh: enforce per-package statement-coverage floors over the
+# output of `go test -cover ./...`.
+#
+# Usage: scripts/coverfloor.sh SUMMARY_FILE pkg=floor [pkg=floor ...]
+#
+# SUMMARY_FILE holds `go test -cover` output lines of the form
+#   ok  	cloudia/internal/measure	0.5s	coverage: 96.8% of statements
+# Each pkg=floor argument names an import path and its minimum coverage
+# percentage. Exit 1 when any named package is below its floor or missing
+# from the summary.
+#
+# POSIX sh; safe under `set -euo pipefail` shells.
+set -eu
+
+if [ $# -lt 2 ]; then
+	echo "usage: $0 SUMMARY_FILE pkg=floor [pkg=floor ...]" >&2
+	exit 2
+fi
+summary=$1
+shift
+if [ ! -f "$summary" ]; then
+	printf 'coverfloor: summary file %s does not exist\n' "$summary" >&2
+	exit 2
+fi
+
+status=0
+for spec in "$@"; do
+	pkg=${spec%=*}
+	floor=${spec##*=}
+	if [ "$pkg" = "$spec" ] || [ -z "$floor" ]; then
+		printf 'coverfloor: malformed spec %s (want pkg=floor)\n' "$spec" >&2
+		exit 2
+	fi
+	got=$(awk -v pkg="$pkg" '
+		$1 == "ok" && $2 == pkg {
+			for (i = 3; i <= NF; i++)
+				if ($i == "coverage:") { sub(/%$/, "", $(i + 1)); print $(i + 1); exit }
+		}
+	' "$summary")
+	if [ -z "$got" ]; then
+		printf 'coverfloor: FAIL %s: no coverage line in %s\n' "$pkg" "$summary"
+		status=1
+		continue
+	fi
+	ok=$(awk -v got="$got" -v floor="$floor" 'BEGIN { print (got + 0 >= floor + 0) ? 1 : 0 }')
+	if [ "$ok" -eq 1 ]; then
+		printf 'coverfloor: ok   %s: %s%% >= %s%%\n' "$pkg" "$got" "$floor"
+	else
+		printf 'coverfloor: FAIL %s: %s%% < %s%%\n' "$pkg" "$got" "$floor"
+		status=1
+	fi
+done
+exit $status
