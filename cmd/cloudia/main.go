@@ -56,6 +56,7 @@ func main() {
 		asJSON    = flag.Bool("json", false, "emit the full report as JSON")
 		stream    = flag.Bool("stream", false, "stream measurement into incremental advising (warm-started rounds per matrix epoch)")
 		epochMS   = flag.Float64("epoch-ms", 0, "streaming epoch period in virtual ms (0 = measurement budget / 8)")
+		servePath = flag.String("serve", "", "serve a JSON batch of tenant jobs through the sharded multi-tenant advisor (path to batch file)")
 	)
 	flag.Parse()
 
@@ -69,6 +70,7 @@ func main() {
 		budgetMS: *budgetMS, profile: *profile, occupancy: *occupancy,
 		seed: *seed, asJSON: *asJSON,
 		stream: *stream, epochMS: *epochMS,
+		servePath: *servePath,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "cloudia:", err)
 		os.Exit(1)
@@ -89,9 +91,30 @@ type runConfig struct {
 	asJSON                            bool
 	stream                            bool
 	epochMS                           float64
+	servePath                         string
+}
+
+// validateFlags rejects flag combinations that can never run, before any
+// simulation work starts. In particular, -stream supports only the mean
+// metric — previously that surfaced deep inside the run, after the graph,
+// datacenter, and provider were already built.
+func validateFlags(cfg runConfig) error {
+	if cfg.stream && cfg.metric != "" && cfg.metric != "mean" {
+		return fmt.Errorf("-stream supports only -metric mean: per-epoch %q matrices need streaming quantile sketches (see ROADMAP)", cfg.metric)
+	}
+	if cfg.servePath != "" && cfg.stream {
+		return fmt.Errorf("-serve batches cannot be combined with -stream (epoch sources are per-job in a batch)")
+	}
+	return nil
 }
 
 func run(cfg runConfig) error {
+	if err := validateFlags(cfg); err != nil {
+		return err
+	}
+	if cfg.servePath != "" {
+		return runServe(cfg)
+	}
 	g, err := buildGraph(cfg)
 	if err != nil {
 		return err

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -85,6 +86,104 @@ func TestRunEndToEndStreaming(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatalf("run -stream: %v", err)
+	}
+}
+
+func TestStreamRejectsNonMeanMetricAtFlagLevel(t *testing.T) {
+	// -stream -metric p99 must fail in flag validation, before any
+	// topology or provider work, with a message naming the restriction.
+	for _, metric := range []string{"p99", "mean+sd"} {
+		err := run(runConfig{
+			template: "mesh2d", rows: 2, cols: 2,
+			objective: "longest-link", metric: metric, scheme: "staged",
+			profile: "azure", // would fail later: proves validation runs first
+			stream:  true,
+		})
+		if err == nil {
+			t.Fatalf("-stream -metric %s accepted", metric)
+		}
+		if !strings.Contains(err.Error(), "-stream supports only -metric mean") {
+			t.Fatalf("-stream -metric %s: error %q does not explain the restriction", metric, err)
+		}
+	}
+	// The plain mean metric must still reach the pipeline.
+	if err := run(runConfig{
+		template: "mesh2d", rows: 2, cols: 2,
+		objective: "longest-link", metric: "mean", scheme: "staged",
+		profile: "ec2", occupancy: 0.5, budgetMS: 50, seed: 3,
+		stream: true, epochMS: 20, asJSON: true,
+	}); err != nil {
+		t.Fatalf("-stream -metric mean: %v", err)
+	}
+}
+
+func TestRunServeBatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.json")
+	batch := `{
+	  "shards": 2,
+	  "seed": 9,
+	  "tenants": [
+	    {"name": "web", "group": "dc1", "template": "mesh2d", "rows": 2, "cols": 3,
+	     "objective": "longest-link", "solver": "cp", "budget_ms": 60, "seed": 1},
+	    {"name": "kv", "group": "dc1", "template": "bipartite", "frontends": 2,
+	     "storage": 3, "objective": "longest-link", "solver": "g1", "budget_ms": 60},
+	    {"name": "solo", "template": "ring", "ring": 5,
+	     "objective": "longest-link", "solver": "g2", "budget_ms": 60}
+	  ]
+	}`
+	if err := os.WriteFile(path, []byte(batch), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(runConfig{
+		servePath: path, profile: "ec2", occupancy: 0.5, seed: 3, asJSON: true,
+	}); err != nil {
+		t.Fatalf("run -serve: %v", err)
+	}
+}
+
+func TestRunServeBatchRejectsBadBatches(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, data string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := runConfig{profile: "ec2", occupancy: 0.5, seed: 3}
+	cases := []struct {
+		name, batch string
+	}{
+		{"empty", `{"tenants": []}`},
+		{"unnamed", `{"tenants": [{"template": "ring", "ring": 4, "objective": "longest-link"}]}`},
+		{"duplicate", `{"tenants": [
+			{"name": "a", "template": "ring", "ring": 4, "objective": "longest-link"},
+			{"name": "a", "template": "ring", "ring": 4, "objective": "longest-link"}]}`},
+		{"objective", `{"tenants": [{"name": "a", "template": "ring", "ring": 4, "objective": "widest-path"}]}`},
+		{"solver", `{"tenants": [{"name": "a", "template": "ring", "ring": 4, "objective": "longest-link", "solver": "oracle"}]}`},
+		{"overalloc", `{"tenants": [{"name": "a", "template": "ring", "ring": 4, "objective": "longest-link", "overalloc": -0.5}]}`},
+		{"template", `{"tenants": [{"name": "a", "template": "torus", "objective": "longest-link"}]}`},
+		{"notjson", `{"tenants": `},
+	}
+	for _, c := range cases {
+		cfg := base
+		cfg.servePath = write(c.name+".json", c.batch)
+		if err := run(cfg); err == nil {
+			t.Errorf("%s batch accepted", c.name)
+		}
+	}
+	cfg := base
+	cfg.servePath = filepath.Join(dir, "missing.json")
+	if err := run(cfg); err == nil {
+		t.Error("missing batch file accepted")
+	}
+	cfg = base
+	cfg.servePath = write("ok.json", `{"tenants": [{"name": "a", "template": "ring", "ring": 4, "objective": "longest-link"}]}`)
+	cfg.stream = true
+	if err := run(cfg); err == nil {
+		t.Error("-serve combined with -stream accepted")
 	}
 }
 

@@ -97,6 +97,77 @@ func (r *Report) Improvement() float64 {
 	return (r.DefaultCost - r.TunedCost) / r.DefaultCost
 }
 
+// validate checks every tenant-facing configuration field that does not
+// require allocated instances to judge, so both Advise and StreamingAdvise
+// reject a bad metric, scheme, objective, or solver name before a single
+// instance is allocated or measured — previously an unknown metric
+// surfaced only after the full measurement, and a streaming-unsupported
+// metric deep inside the run.
+func (cfg *Config) validate() error {
+	if cfg.Graph == nil {
+		return fmt.Errorf("advisor: nil communication graph")
+	}
+	if n := cfg.Graph.NumNodes(); n < 2 {
+		return fmt.Errorf("advisor: need >= 2 application nodes, got %d", n)
+	}
+	if cfg.OverAllocation < 0 {
+		return fmt.Errorf("advisor: negative over-allocation %g", cfg.OverAllocation)
+	}
+	switch cfg.Metric {
+	case "", MetricMean, MetricMeanPlusStd, MetricP99:
+	default:
+		return fmt.Errorf("advisor: unknown metric %q", cfg.Metric)
+	}
+	switch cfg.Scheme {
+	case "", measure.Token, measure.Uncoordinated, measure.Staged:
+	default:
+		return fmt.Errorf("advisor: unknown measurement scheme %q", cfg.Scheme)
+	}
+	switch cfg.Objective {
+	case solver.LongestLink, solver.LongestPath:
+	default:
+		return fmt.Errorf("advisor: unknown objective %q", cfg.Objective)
+	}
+	if cfg.SolverName != "" {
+		if _, err := NewSolver(cfg.SolverName, 1, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateStreaming extends validate with the streaming-only restrictions,
+// so StreamingAdvise (and the CLI, at flag level) reject an unsupported
+// configuration up front instead of after allocation.
+func (cfg *StreamingConfig) validate() error {
+	if err := cfg.Config.validate(); err != nil {
+		return err
+	}
+	if cfg.Metric != "" && cfg.Metric != MetricMean {
+		// Per-epoch percentile matrices would need streaming quantile
+		// sketches; the mean metric is the paper's robust default
+		// (Sect. 6.4.2) and the one the epoch fold maintains.
+		return fmt.Errorf("advisor: streaming advising supports only the %q metric, got %q", MetricMean, cfg.Metric)
+	}
+	return nil
+}
+
+// OverAllocate returns the instance count for n application nodes at the
+// given over-allocation ratio: n plus ceil(n*ratio) extra instances,
+// computed robustly against float rounding. The naive
+// ceil(n*(1+ratio)) over-allocates one whole extra instance whenever the
+// product lands one ulp above an integer — n=10 at the paper's default 0.1
+// gives 10*1.1 = 11.000000000000002, so ceil returned 12 where 11 extra-ish
+// instances were intended.
+func OverAllocate(n int, ratio float64) int {
+	const eps = 1e-9
+	extra := int(math.Ceil(float64(n)*ratio - eps))
+	if extra < 0 {
+		extra = 0
+	}
+	return n + extra
+}
+
 // NewSolver builds a solver by name. clusterK applies to cp and mip only.
 func NewSolver(name string, clusterK int, seed int64) (solver.Solver, error) {
 	switch name {
@@ -148,22 +219,13 @@ func NewPortfolio(clusterK int, seed int64) *solver.Portfolio {
 // every allocated instance is terminated before returning — a failed tuning
 // run must not leave the tenant paying for idle instances.
 func Advise(prov *cloud.Provider, cfg Config) (rep *Report, err error) {
-	if cfg.Graph == nil {
-		return nil, fmt.Errorf("advisor: nil communication graph")
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	n := cfg.Graph.NumNodes()
-	if n < 2 {
-		return nil, fmt.Errorf("advisor: need >= 2 application nodes, got %d", n)
-	}
-	if cfg.OverAllocation < 0 {
-		return nil, fmt.Errorf("advisor: negative over-allocation %g", cfg.OverAllocation)
-	}
 
 	// Step 1: allocate instances (Fig. 3, "Allocate Instances").
-	total := int(math.Ceil(float64(n) * (1 + cfg.OverAllocation)))
-	if total < n {
-		total = n
-	}
+	total := OverAllocate(n, cfg.OverAllocation)
 	instances, err := prov.RunInstances(total)
 	if err != nil {
 		return nil, err

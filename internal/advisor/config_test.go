@@ -1,0 +1,131 @@
+package advisor
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cloudia/internal/cloud"
+	"cloudia/internal/core"
+	"cloudia/internal/solver"
+	"cloudia/internal/topology"
+)
+
+// The naive ceil(n*(1+ratio)) over-allocated one extra instance whenever
+// the float product landed just above an integer (10*1.1 =
+// 11.000000000000002 -> 12). The robust rounding must give exactly
+// n + ceil(n*ratio) across a table that includes the pathological cases.
+func TestOverAllocateTable(t *testing.T) {
+	cases := []struct {
+		n     int
+		ratio float64
+		want  int
+	}{
+		{10, 0.1, 11},   // the reported bug: 10*1.1 lands one ulp above 11
+		{10, 0, 10},     // no over-allocation
+		{10, 0.15, 12},  // fractional extra rounds up: 1.5 -> 2
+		{100, 0.1, 110}, // 100*1.1 = 110.00000000000001
+		{7, 0.1, 8},     // 0.7 extra -> 1
+		{3, 1.0 / 3.0, 4},
+		{49, 0.1, 54}, // 4.9 extra -> 5
+		{55, 0.2, 66}, // 55*1.2 = 66.00000000000001
+		{1000, 0.001, 1001},
+		{2, 2.0, 6},
+		{12, 0.25, 15},
+		{10, 1e-12, 10}, // sub-epsilon ratios round to no extras
+	}
+	for _, c := range cases {
+		if got := OverAllocate(c.n, c.ratio); got != c.want {
+			t.Errorf("OverAllocate(%d, %g) = %d, want %d", c.n, c.ratio, got, c.want)
+		}
+	}
+	// Sweep: the result must always lie in [n + floor(n*r), n + ceil(n*r)]
+	// and never exceed the exact extra count by a whole instance.
+	for n := 2; n < 200; n++ {
+		for _, r := range []float64{0.05, 0.1, 0.2, 0.3, 0.5} {
+			exact := float64(n) * r
+			got := OverAllocate(n, r)
+			lo, hi := n+int(math.Floor(exact)), n+int(math.Ceil(exact+1e-9))
+			if got < lo || got > hi {
+				t.Fatalf("OverAllocate(%d, %g) = %d outside [%d, %d]", n, r, got, lo, hi)
+			}
+		}
+	}
+}
+
+func validationProvider(t *testing.T) *cloud.Provider {
+	t.Helper()
+	dc, err := topology.New(topology.EC2Profile(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov, err := cloud.NewProvider(dc, 0.5, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prov
+}
+
+// A bad metric, scheme, objective, or solver name must be rejected before
+// any instance is allocated, by both pipelines.
+func TestConfigValidatedBeforeAllocation(t *testing.T) {
+	g, err := core.Mesh2D(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Graph: g, Objective: solver.LongestLink}
+	bad := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"metric", func(c *Config) { c.Metric = "p42" }, "unknown metric"},
+		{"scheme", func(c *Config) { c.Scheme = "osmosis" }, "unknown measurement scheme"},
+		{"objective", func(c *Config) { c.Objective = "shortest-link" }, "unknown objective"},
+		{"solver", func(c *Config) { c.SolverName = "oracle" }, "unknown solver"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			prov := validationProvider(t)
+			cfg := base
+			tc.mut(&cfg)
+			if _, err := Advise(prov, cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Advise error = %v, want %q", err, tc.want)
+			}
+			if prov.LiveInstances() != 0 {
+				t.Fatalf("Advise allocated %d instances before validating", prov.LiveInstances())
+			}
+			if _, err := StreamingAdvise(prov, StreamingConfig{Config: cfg}); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("StreamingAdvise error = %v, want %q", err, tc.want)
+			}
+			if prov.LiveInstances() != 0 {
+				t.Fatalf("StreamingAdvise allocated %d instances before validating", prov.LiveInstances())
+			}
+		})
+	}
+}
+
+// The streaming pipeline additionally rejects non-mean metrics up front.
+func TestStreamingRejectsNonMeanMetricEarly(t *testing.T) {
+	g, err := core.Mesh2D(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := validationProvider(t)
+	for _, metric := range []Metric{MetricP99, MetricMeanPlusStd} {
+		_, err := StreamingAdvise(prov, StreamingConfig{Config: Config{
+			Graph: g, Objective: solver.LongestLink, Metric: metric,
+		}})
+		if err == nil || !strings.Contains(err.Error(), "supports only") {
+			t.Fatalf("metric %q: error = %v, want streaming-metric rejection", metric, err)
+		}
+		if prov.LiveInstances() != 0 {
+			t.Fatalf("metric %q: instances allocated before validation", metric)
+		}
+	}
+	// The mean metric (and the empty default) must still pass validation.
+	cfg := StreamingConfig{Config: Config{Graph: g, Objective: solver.LongestLink, Metric: MetricMean}}
+	if err := cfg.validate(); err != nil {
+		t.Fatalf("mean metric rejected: %v", err)
+	}
+}

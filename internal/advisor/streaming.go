@@ -100,6 +100,15 @@ type StreamSolveConfig struct {
 	// the newest matrix instead of replaying history. The final epoch is
 	// never skipped.
 	Coalesce bool
+	// OnProblem, when non-nil, observes each round's problem immediately
+	// after it is built — before the warm start is installed and before any
+	// solver touches its Prep — so a serving layer can adopt shared,
+	// content-addressed preprocessing artifacts into fresh problems and
+	// publish invalidations for evolved ones (internal/serve). prev is the
+	// previous round's problem (nil on the first round) and changedRows the
+	// union of the changed-row sets between prev's epoch and ep. A non-nil
+	// error aborts the run.
+	OnProblem func(prob, prev *solver.Problem, ep measure.Epoch, changedRows []int) error
 	// OnRound, when non-nil, observes each round as it completes.
 	OnRound func(Round)
 }
@@ -154,13 +163,19 @@ func SolveStream(epochs <-chan measure.Epoch, cfg StreamSolveConfig) (*StreamOut
 
 		var prob *solver.Problem
 		var err error
-		if out.Problem == nil {
+		prev := out.Problem
+		if prev == nil {
 			prob, err = solver.NewProblem(cfg.Graph, ep.Matrix, cfg.Objective)
 		} else {
-			prob, err = out.Problem.Evolve(ep.Matrix, changedRows)
+			prob, err = prev.Evolve(ep.Matrix, changedRows)
 		}
 		if err != nil {
 			return nil, err
+		}
+		if cfg.OnProblem != nil {
+			if err := cfg.OnProblem(prob, prev, ep, changedRows); err != nil {
+				return nil, err
+			}
 		}
 		out.Problem = prob
 
@@ -273,27 +288,12 @@ type StreamingReport struct {
 // for its earlier first advice. As in Advise, a failure after allocation
 // terminates every instance before returning.
 func StreamingAdvise(prov *cloud.Provider, cfg StreamingConfig) (rep *StreamingReport, err error) {
-	if cfg.Graph == nil {
-		return nil, fmt.Errorf("advisor: nil communication graph")
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	n := cfg.Graph.NumNodes()
-	if n < 2 {
-		return nil, fmt.Errorf("advisor: need >= 2 application nodes, got %d", n)
-	}
-	if cfg.OverAllocation < 0 {
-		return nil, fmt.Errorf("advisor: negative over-allocation %g", cfg.OverAllocation)
-	}
-	if cfg.Metric != "" && cfg.Metric != MetricMean {
-		// Per-epoch percentile matrices would need streaming quantile
-		// sketches; the mean metric is the paper's robust default
-		// (Sect. 6.4.2) and the one the epoch fold maintains.
-		return nil, fmt.Errorf("advisor: streaming advising supports only the %q metric, got %q", MetricMean, cfg.Metric)
-	}
 
-	total := int(math.Ceil(float64(n) * (1 + cfg.OverAllocation)))
-	if total < n {
-		total = n
-	}
+	total := OverAllocate(n, cfg.OverAllocation)
 	instances, err := prov.RunInstances(total)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomCostMatrix(rng *rand.Rand, n int) *CostMatrix {
+	m := NewCostMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				m.Set(i, j, 0.2+rng.Float64())
+			}
+		}
+	}
+	return m
+}
+
+// Equal content must yield equal fingerprints regardless of how the matrix
+// was constructed (direct Set order, Clone, MutableCostMatrix snapshot).
+func TestFingerprintEqualContentEqualKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(20)
+		a := randomCostMatrix(rng, n)
+
+		// Same values written in a different (column-major) order.
+		b := NewCostMatrix(n)
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				b.Set(i, j, a.At(i, j))
+			}
+		}
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Fatalf("n=%d: equal matrices have fingerprints %#x != %#x", n, a.Fingerprint(), b.Fingerprint())
+		}
+		if a.Fingerprint() != a.Clone().Fingerprint() {
+			t.Fatalf("n=%d: clone changed the fingerprint", n)
+		}
+
+		mm := NewMutableCostMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				mm.Set(i, j, a.At(i, j))
+			}
+		}
+		snap, _ := mm.Snapshot()
+		if snap.Fingerprint() != a.Fingerprint() {
+			t.Fatalf("n=%d: mutable snapshot fingerprint differs", n)
+		}
+	}
+}
+
+// Any single-value change must produce a new key.
+func TestFingerprintSetChangesKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(15)
+		m := randomCostMatrix(rng, n)
+		before := m.Fingerprint()
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			j = (j + 1) % n
+		}
+		m.Set(i, j, m.At(i, j)+0.5+rng.Float64())
+		if after := m.Fingerprint(); after == before {
+			t.Fatalf("n=%d: changing (%d,%d) kept fingerprint %#x", n, i, j, before)
+		}
+	}
+}
+
+// Fingerprints of same-size matrices must not collide on the zero matrix vs
+// its transpositions of a single value, and must differ across sizes.
+func TestFingerprintSizeAndPosition(t *testing.T) {
+	a, b := NewCostMatrix(3), NewCostMatrix(4)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("3x3 and 4x4 zero matrices share a fingerprint")
+	}
+	x, y := NewCostMatrix(3), NewCostMatrix(3)
+	x.Set(0, 1, 1.5)
+	y.Set(1, 0, 1.5)
+	if x.Fingerprint() == y.Fingerprint() {
+		t.Fatal("transposed single entry shares a fingerprint")
+	}
+	if x.Fingerprint() == 0 || y.Fingerprint() == 0 {
+		t.Fatal("fingerprint hit the reserved zero value")
+	}
+}
+
+// The incremental rehash must equal the full rehash across an arbitrary
+// mutate/snapshot/fingerprint interleaving, including no-op writes.
+func TestFingerprintIncrementalMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(25)
+		mm := NewMutableCostMatrix(n)
+		for step := 0; step < 40; step++ {
+			writes := rng.Intn(3 * n)
+			for w := 0; w < writes; w++ {
+				i, j := rng.Intn(n), rng.Intn(n)
+				if i == j {
+					continue
+				}
+				if rng.Intn(4) == 0 {
+					mm.Set(i, j, mm.At(i, j)) // no-op write: must not disturb anything
+				} else {
+					mm.Set(i, j, rng.Float64())
+				}
+			}
+			switch rng.Intn(3) {
+			case 0:
+				snap, _ := mm.Snapshot()
+				if got, want := mm.Fingerprint(), snap.Fingerprint(); got != want {
+					t.Fatalf("n=%d step=%d: incremental %#x != full %#x after snapshot", n, trial, got, want)
+				}
+			case 1:
+				snap, _ := mm.Snapshot()
+				_ = snap
+			default:
+				// Fingerprint without snapshot: compare against a fresh full
+				// snapshot hash without consuming the dirty set first.
+				got := mm.Fingerprint()
+				full := NewCostMatrix(n)
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						full.Set(i, j, mm.At(i, j))
+					}
+				}
+				if want := full.Fingerprint(); got != want {
+					t.Fatalf("n=%d: incremental %#x != full %#x", n, got, want)
+				}
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // NodeID identifies an application node in a communication graph.
@@ -38,6 +39,12 @@ type Graph struct {
 
 	// Incidence caches (see buildIncidence): per-node lists of edge indices,
 	// used by the delta evaluators to touch only O(deg) edges per move.
+	// incOnce guards the lazy build, so goroutines sharing a finished graph
+	// (the multi-tenant serving layer submits many jobs over one graph) can
+	// all call EnsureIncidence safely; AddEdge swaps in a fresh Once when it
+	// invalidates the caches. Graph construction itself stays single-
+	// goroutine.
+	incOnce  *sync.Once
 	incident [][]int32 // edges with either endpoint == v
 	inIdx    [][]int32 // edges with To == v
 }
@@ -49,10 +56,11 @@ func NewGraph(n int) *Graph {
 		panic(fmt.Sprintf("core: negative node count %d", n))
 	}
 	return &Graph{
-		n:   n,
-		out: make([][]NodeID, n),
-		in:  make([][]NodeID, n),
-		has: make(map[Edge]bool),
+		n:       n,
+		out:     make([][]NodeID, n),
+		in:      make([][]NodeID, n),
+		has:     make(map[Edge]bool),
+		incOnce: new(sync.Once),
 	}
 }
 
@@ -80,6 +88,7 @@ func (g *Graph) AddEdge(from, to NodeID) error {
 	g.in[to] = append(g.in[to], from)
 	g.edges = append(g.edges, e)
 	g.incident, g.inIdx = nil, nil // invalidate incidence caches
+	g.incOnce = new(sync.Once)
 	if len(g.weights) > 0 {
 		// Keep the weight caches aligned with the new edge.
 		g.rebuildWeightCaches()
@@ -88,13 +97,16 @@ func (g *Graph) AddEdge(from, to NodeID) error {
 }
 
 // EnsureIncidence builds the per-node incidence caches if they are stale.
-// It is not safe to call concurrently with itself or with AddEdge; callers
-// that share a graph across goroutines (the parallel solvers) must build the
-// caches once up front — solver.NewProblem does so.
+// Safe to call concurrently with itself on a finished graph — goroutines
+// racing the first call serialize behind one build and then share it (the
+// serving layer submits many concurrent jobs over one graph). It is still
+// not safe to call concurrently with AddEdge: graph construction is
+// single-goroutine, as everywhere else in core.
 func (g *Graph) EnsureIncidence() {
-	if g.incident != nil {
-		return
-	}
+	g.incOnce.Do(g.buildIncidence)
+}
+
+func (g *Graph) buildIncidence() {
 	incident := make([][]int32, g.n)
 	inIdx := make([][]int32, g.n)
 	for k, e := range g.edges {

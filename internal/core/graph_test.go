@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -228,5 +229,43 @@ func TestEdgeWeightByIndex(t *testing.T) {
 	}
 	if w := g.EdgeWeight(0); w != 1 {
 		t.Fatalf("EdgeWeight(0) = %g, want 1", w)
+	}
+}
+
+// EnsureIncidence must be safe under concurrent first use: the serving
+// layer submits many jobs sharing one finished graph from multiple
+// goroutines. Run under -race.
+func TestEnsureIncidenceConcurrent(t *testing.T) {
+	g, err := Mesh2D(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v := 0; v < g.NumNodes(); v++ {
+				if len(g.IncidentEdgeIDs(v)) == 0 {
+					t.Errorf("node %d reports no incident edges", v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// A later AddEdge invalidates and rebuilds on next use.
+	if err := g.AddEdge(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, k := range g.IncidentEdgeIDs(7) {
+		e := g.Edges()[k]
+		if e.From == 0 && e.To == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("incidence cache not rebuilt after AddEdge")
 	}
 }

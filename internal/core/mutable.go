@@ -17,6 +17,14 @@ type MutableCostMatrix struct {
 	c     []float64
 	dirty []bool
 	epoch int
+
+	// Incremental fingerprint state: rowHash holds each row's content hash,
+	// hashDirty marks rows written since it was last computed. The two dirty
+	// sets are independent — Snapshot clears dirty without touching
+	// hashDirty, so Fingerprint stays cheap no matter how the caller
+	// interleaves the two.
+	rowHash   []uint64
+	hashDirty []bool
 }
 
 // NewMutableCostMatrix returns an n x n zero mutable cost matrix at epoch 0.
@@ -24,7 +32,17 @@ func NewMutableCostMatrix(n int) *MutableCostMatrix {
 	if n < 0 {
 		panic(fmt.Sprintf("core: negative cost matrix size %d", n))
 	}
-	return &MutableCostMatrix{n: n, c: make([]float64, n*n), dirty: make([]bool, n)}
+	m := &MutableCostMatrix{
+		n:         n,
+		c:         make([]float64, n*n),
+		dirty:     make([]bool, n),
+		rowHash:   make([]uint64, n),
+		hashDirty: make([]bool, n),
+	}
+	for i := range m.hashDirty {
+		m.hashDirty[i] = true
+	}
+	return m
 }
 
 // Size reports the number of instances covered by the matrix.
@@ -44,6 +62,7 @@ func (m *MutableCostMatrix) Set(i, j int, v float64) bool {
 	}
 	m.c[k] = v
 	m.dirty[i] = true
+	m.hashDirty[i] = true
 	return true
 }
 

@@ -35,6 +35,12 @@ type Epoch struct {
 	// from the previous epoch's matrix. Rows not listed are bitwise
 	// identical, so epoch consumers may reuse anything derived from them.
 	ChangedRows []int
+	// Fingerprint is Matrix's content hash, maintained incrementally by the
+	// producer (only changed rows are rehashed per epoch). Zero means the
+	// producer did not fill it; consumers needing a key then fall back to
+	// Matrix.Fingerprint(). Content-addressed caches key shared
+	// preprocessing artifacts by it.
+	Fingerprint core.Fingerprint
 	// Samples is the cumulative RTT observation count at the snapshot.
 	Samples int64
 }
@@ -125,6 +131,7 @@ func Stream(dc *topology.Datacenter, instances []cloud.Instance, opts Options) (
 				Final:       final,
 				Matrix:      snap,
 				ChangedRows: changed,
+				Fingerprint: mm.Fingerprint(),
 				Samples:     m.res.TotalSamples,
 			}
 		}

@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cloudia/internal/core"
+	"cloudia/internal/solver"
+)
+
+// Cache is the content-addressed Prep artifact store shared by every shard:
+// cluster-K memo entries (rounded matrices, sorted pair lists, fitted
+// clusterings) and cheapest-link row sets are immutable once built and are
+// deterministic functions of the cost-matrix content, so they are keyed by
+// core.CostMatrix.Fingerprint and shared across problems, tenants, and
+// shards. Two tenants whose measurements produced identical matrices pay
+// the dominant preprocessing cost — a k-means over all m^2 link costs, plus
+// the m^2 log m pair sort — exactly once between them.
+//
+// Lookups are single-flight: concurrent requests for one (fingerprint, k)
+// key serialize behind a sync.Once, so a burst of jobs over a fresh matrix
+// computes each artifact once while the rest of the fleet blocks briefly
+// and adopts, instead of every shard burning CPU on the same k-means.
+//
+// Invalidation is content-addressed too: a changed matrix has a new
+// fingerprint, so stale artifacts can never be served for it. Supersede
+// exists for memory, not correctness — when a streaming epoch replaces a
+// tenant's matrix, the epoch's changed-row message retires the old
+// fingerprint's artifacts unconditionally. Goroutines holding a retired
+// entry simply finish adopting it; the content key guarantees what they
+// adopted still matches their matrix.
+type Cache struct {
+	// maxMatrices bounds the number of distinct fingerprints retained;
+	// beyond it the least-recently-used fingerprint's artifacts are
+	// evicted.
+	maxMatrices int
+
+	mu       sync.Mutex
+	matrices map[core.Fingerprint]*matrixEntry
+	tick     int64
+
+	hits       atomic.Int64
+	misses     atomic.Int64
+	evictions  atomic.Int64
+	superseded atomic.Int64
+}
+
+// matrixEntry holds every artifact derived from one matrix content.
+type matrixEntry struct {
+	lastUse int64
+	rounded map[int]*roundedSlot
+	rows    *rowsSlot
+}
+
+type roundedSlot struct {
+	once sync.Once
+	art  *solver.RoundedArtifact
+	err  error
+}
+
+type rowsSlot struct {
+	once sync.Once
+	art  *solver.RowsArtifact
+}
+
+// DefaultMaxMatrices bounds a serving cache that was not given an explicit
+// capacity. A 1000-instance matrix's artifacts weigh ~10^6 entries each, so
+// the default keeps the cache in the low hundreds of MB at that scale.
+const DefaultMaxMatrices = 16
+
+// NewCache returns an empty cache retaining at most maxMatrices distinct
+// matrix fingerprints (<= 0 selects DefaultMaxMatrices).
+func NewCache(maxMatrices int) *Cache {
+	if maxMatrices <= 0 {
+		maxMatrices = DefaultMaxMatrices
+	}
+	return &Cache{maxMatrices: maxMatrices, matrices: make(map[core.Fingerprint]*matrixEntry)}
+}
+
+// entryLocked returns fp's artifact set, creating (and LRU-evicting) as
+// needed. Callers hold c.mu, and must resolve the slot they are after
+// before releasing it: an eviction between two lockings could orphan a
+// half-registered entry, breaking the single-flight guarantee.
+func (c *Cache) entryLocked(fp core.Fingerprint) *matrixEntry {
+	c.tick++
+	e, ok := c.matrices[fp]
+	if !ok {
+		if len(c.matrices) >= c.maxMatrices {
+			var victim core.Fingerprint
+			oldest := int64(1<<63 - 1)
+			for f, m := range c.matrices {
+				if m.lastUse < oldest {
+					victim, oldest = f, m.lastUse
+				}
+			}
+			delete(c.matrices, victim)
+			c.evictions.Add(1)
+		}
+		e = &matrixEntry{rounded: make(map[int]*roundedSlot)}
+		c.matrices[fp] = e
+	}
+	e.lastUse = c.tick
+	return e
+}
+
+// Rounded ensures prep holds the cluster-k artifacts for the matrix
+// identified by fp, serving them from the cache on a hit and computing them
+// through prep (then publishing the export) on a miss. It reports whether
+// the artifacts came from the cache. The caller owns the content contract:
+// fp must be the fingerprint of prep's problem matrix, and the call must
+// happen before any solver consults the Prep. Misses whose computed entry
+// is not canonical (an evolved problem's patched fit) leave the cache slot
+// empty without poisoning it; prep still holds its own usable artifacts.
+func (c *Cache) Rounded(fp core.Fingerprint, k int, prep *solver.Prep) (hit bool, err error) {
+	if k < 0 {
+		k = 0
+	}
+	c.mu.Lock()
+	e := c.entryLocked(fp)
+	slot, ok := e.rounded[k]
+	if !ok {
+		slot = &roundedSlot{}
+		e.rounded[k] = slot
+	}
+	c.mu.Unlock()
+
+	computed := false
+	slot.once.Do(func() {
+		computed = true
+		if _, _, err := prep.Rounded(k); err != nil {
+			slot.err = err
+			return
+		}
+		slot.art, _ = prep.ExportRounded(k)
+	})
+	if computed || slot.err != nil {
+		c.misses.Add(1)
+		return false, slot.err
+	}
+	if slot.art == nil {
+		// The first requester's entry was not canonical; compute locally.
+		c.misses.Add(1)
+		_, _, err := prep.Rounded(k)
+		return false, err
+	}
+	adopted := prep.AdoptRounded(slot.art)
+	if _, _, err := prep.Rounded(k); err != nil {
+		return false, err
+	}
+	if !adopted {
+		// The Prep already held an entry for k (repeated call, or an
+		// evolved problem keeping its incremental lineage): not a hit.
+		c.misses.Add(1)
+		return false, nil
+	}
+	c.hits.Add(1)
+	return true, nil
+}
+
+// CheapestRows is Rounded's analogue for the G1 candidate rows, keyed by
+// fingerprint alone (the rows do not depend on a cluster count).
+func (c *Cache) CheapestRows(fp core.Fingerprint, prep *solver.Prep) (hit bool) {
+	c.mu.Lock()
+	e := c.entryLocked(fp)
+	if e.rows == nil {
+		e.rows = &rowsSlot{}
+	}
+	slot := e.rows
+	c.mu.Unlock()
+
+	computed := false
+	slot.once.Do(func() {
+		computed = true
+		prep.CheapestRows()
+		slot.art, _ = prep.ExportCheapestRows()
+	})
+	if computed || slot.art == nil {
+		c.misses.Add(1)
+		return false
+	}
+	adopted := prep.AdoptCheapestRows(slot.art)
+	prep.CheapestRows()
+	if !adopted {
+		c.misses.Add(1)
+		return false
+	}
+	c.hits.Add(1)
+	return true
+}
+
+// Supersede is the inter-shard invalidation message derived from a
+// streaming epoch: the matrix identified by old was replaced by the one
+// identified by next, with changedRows differing. old's artifacts are
+// retired from the cache — content addressing keeps correctness without
+// this (next has a different key), Supersede just stops superseded epochs
+// from occupying capacity until LRU eviction gets to them. Retirement is
+// unconditional: when several tenants consume one shared evolving epoch
+// stream, the first tenant to reach the next epoch retires the previous
+// fingerprint under tenants still solving it, and those laggards recompute
+// on their next miss (each recreated slot is its own single flight) —
+// wasted work, never a wrong answer. Fleets whose jobs deliberately lag
+// over shared content should rely on LRU capacity instead of wiring
+// Supersede, or refcount fingerprints in a layer above. The changed-row
+// set is accepted for symmetry with solver.Problem.Evolve and for
+// observability; a future delta-aware cache could seed next's artifacts
+// from old's over it.
+func (c *Cache) Supersede(old, next core.Fingerprint, changedRows []int) {
+	if old == 0 || old == next || len(changedRows) == 0 {
+		return
+	}
+	c.mu.Lock()
+	if _, ok := c.matrices[old]; ok {
+		delete(c.matrices, old)
+		c.superseded.Add(1)
+	}
+	c.mu.Unlock()
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	// Hits counts artifact requests served from a prior export; Misses
+	// counts requests that computed (or recomputed) locally.
+	Hits, Misses int64
+	// Evictions counts LRU capacity evictions; Superseded counts
+	// fingerprints retired by epoch invalidation messages.
+	Evictions, Superseded int64
+	// Matrices is the number of distinct fingerprints currently held.
+	Matrices int
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	n := len(c.matrices)
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Evictions:  c.evictions.Load(),
+		Superseded: c.superseded.Load(),
+		Matrices:   n,
+	}
+}

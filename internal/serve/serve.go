@@ -1,0 +1,396 @@
+// Package serve implements sharded multi-tenant advisor serving: one
+// process hosting many concurrent advising problems instead of the
+// one-problem-at-a-time advisor the paper describes. Jobs are routed by a
+// stable hash of their tenant/datacenter key onto worker-pool shards; each
+// shard runs warm-started portfolio rounds over the job's matrix epochs
+// exactly as advisor.SolveStream does, so a served job's result is
+// bit-equal to running the same tenant through the unsharded streaming
+// path. What the serving layer adds is sharing: a content-addressed Prep
+// artifact cache (see Cache) lets tenants with identical cost matrices —
+// common when they measure the same datacenter slice, or when a fleet of
+// problems is re-advised against one published matrix — split the dominant
+// preprocessing cost across the whole fleet, with streaming-epoch
+// changed-row sets serving as the cross-shard invalidation messages.
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cloudia/internal/advisor"
+	"cloudia/internal/core"
+	"cloudia/internal/measure"
+	"cloudia/internal/solver"
+)
+
+// Job is one tenant's advising request: a deployment problem plus the
+// epoch source feeding its cost matrices.
+type Job struct {
+	// Tenant identifies the requesting tenant; with Datacenter it forms the
+	// routing key, so one tenant's jobs always land on one shard (and so
+	// never race each other's warm state). Required.
+	Tenant string
+	// Datacenter optionally scopes the routing key for tenants deployed in
+	// several datacenters.
+	Datacenter string
+
+	// Graph and Objective define the deployment problem; required.
+	Graph     *core.Graph
+	Objective solver.Objective
+
+	// Epochs supplies the job's matrix epochs, as measure.Stream (or any
+	// custom producer) publishes them; the job completes when the channel
+	// closes. Exactly one of Epochs and Matrix must be set.
+	Epochs <-chan measure.Epoch
+	// Matrix is the single-epoch convenience: a job over one already
+	// measured matrix, equivalent to a one-epoch stream.
+	Matrix *core.CostMatrix
+
+	// SolverName, ClusterK, RoundBudget, Seed, and Coalesce have their
+	// advisor.StreamSolveConfig meanings. RoundBudget is required.
+	SolverName  string
+	ClusterK    int
+	RoundBudget solver.Budget
+	Seed        int64
+	Coalesce    bool
+}
+
+// Result is one served job's outcome.
+type Result struct {
+	Tenant string
+	// Shard is the worker shard that served the job.
+	Shard int
+	// Outcome is the streaming solve outcome (nil when Err is set); its
+	// final deployment and cost are bit-equal to unsharded
+	// advisor.SolveStream over the same epochs and configuration.
+	Outcome *advisor.StreamOutcome
+	Err     error
+	// CacheHits and CacheMisses count the job's Prep artifact requests
+	// served from, respectively computed into, the shared cache.
+	CacheHits, CacheMisses int
+	// Queued is how long the job waited for its shard; Ran is the solve
+	// wall-clock time.
+	Queued, Ran time.Duration
+}
+
+// Ticket is a handle on a submitted job.
+type Ticket struct {
+	done chan struct{}
+	res  *Result
+}
+
+// Wait blocks until the job completes and returns its result.
+func (t *Ticket) Wait() *Result {
+	<-t.done
+	return t.res
+}
+
+// Config sizes a Server.
+type Config struct {
+	// Shards is the number of worker-pool shards, each served by one
+	// worker goroutine; <= 0 selects 2. Jobs on one shard run
+	// sequentially; distinct shards run concurrently, so Shards bounds the
+	// number of portfolio solves racing for the machine at once.
+	Shards int
+	// QueueDepth is each shard's pending-job capacity; <= 0 selects 16.
+	// Submit rejects with ErrBusy when the routed shard's queue is full —
+	// backpressure surfaces at admission instead of as unbounded memory.
+	QueueDepth int
+	// MaxPendingBudget, when positive, caps the summed per-round solver
+	// time budgets of admitted-but-unfinished jobs. It is admission
+	// control on promised wall-clock solve work: a fleet of millions of
+	// tenants cannot queue more concurrent budget than the operator
+	// provisioned for. Submit rejects with ErrOverBudget beyond it. Only
+	// RoundBudget.Time is counted: a purely node-budgeted job promises
+	// machine-independent work with no wall-clock bound to charge, so it
+	// is admitted without consuming the cap — operators capping pending
+	// work should hand tenants time budgets (or both axes).
+	MaxPendingBudget time.Duration
+	// Cache is the shared artifact cache; nil builds a fresh
+	// NewCache(DefaultMaxMatrices). Several servers may share one cache.
+	Cache *Cache
+}
+
+// Exported admission errors, so callers can tell transient rejection
+// (retry later, or elsewhere) from permanent failure.
+var (
+	ErrBusy       = fmt.Errorf("serve: shard queue full")
+	ErrOverBudget = fmt.Errorf("serve: pending solve budget exhausted")
+	ErrClosed     = fmt.Errorf("serve: server closed")
+)
+
+// Server routes jobs onto shards and serves them against the shared cache.
+type Server struct {
+	cfg    Config
+	cache  *Cache
+	shards []chan task
+	wg     sync.WaitGroup
+
+	closed        atomic.Bool
+	pendingBudget atomic.Int64 // summed RoundBudget.Time of admitted jobs, ns
+	submitted     atomic.Int64
+	rejected      atomic.Int64
+	served        atomic.Int64
+	failed        atomic.Int64
+
+	// submitMu serializes Submit against Close: a send on a closed shard
+	// channel would panic, so Close flips the flag and closes queues under
+	// the same lock Submit holds while enqueueing.
+	submitMu sync.Mutex
+}
+
+type task struct {
+	job      Job
+	ticket   *Ticket
+	enqueued time.Time
+}
+
+// New starts a server. Callers must Close it to release the workers.
+func New(cfg Config) *Server {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = NewCache(0)
+	}
+	s := &Server{cfg: cfg, cache: cache, shards: make([]chan task, cfg.Shards)}
+	for i := range s.shards {
+		s.shards[i] = make(chan task, cfg.QueueDepth)
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+	return s
+}
+
+// Cache returns the server's shared artifact cache.
+func (s *Server) Cache() *Cache { return s.cache }
+
+// shardFor routes a tenant/datacenter key to a shard index.
+func (s *Server) shardFor(tenant, datacenter string) int {
+	h := fnv.New32a()
+	h.Write([]byte(tenant))
+	h.Write([]byte{0})
+	h.Write([]byte(datacenter))
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+// Submit validates and routes a job. It never blocks: a full shard queue
+// rejects with ErrBusy, an exhausted pending budget with ErrOverBudget.
+func (s *Server) Submit(job Job) (*Ticket, error) {
+	if job.Tenant == "" {
+		return nil, fmt.Errorf("serve: job without a tenant key")
+	}
+	if job.Graph == nil {
+		return nil, fmt.Errorf("serve: job without a communication graph")
+	}
+	if (job.Epochs == nil) == (job.Matrix == nil) {
+		return nil, fmt.Errorf("serve: job must set exactly one of Epochs and Matrix")
+	}
+	if job.RoundBudget.Unlimited() {
+		return nil, fmt.Errorf("serve: job requires a bounded round budget")
+	}
+	// Build the graph's incidence caches up front (concurrent-safe; racing
+	// Submits serialize behind one build) so shard workers never pay it
+	// mid-solve on a graph shared by several jobs.
+	job.Graph.EnsureIncidence()
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	if max := s.cfg.MaxPendingBudget; max > 0 {
+		if pending := s.pendingBudget.Add(int64(job.RoundBudget.Time)); pending > int64(max) {
+			s.pendingBudget.Add(-int64(job.RoundBudget.Time))
+			s.rejected.Add(1)
+			return nil, ErrOverBudget
+		}
+	}
+	t := &Ticket{done: make(chan struct{})}
+	tk := task{job: job, ticket: t, enqueued: time.Now()}
+
+	s.submitMu.Lock()
+	if s.closed.Load() {
+		s.submitMu.Unlock()
+		s.releaseBudget(job)
+		return nil, ErrClosed
+	}
+	select {
+	case s.shards[s.shardFor(job.Tenant, job.Datacenter)] <- tk:
+		s.submitMu.Unlock()
+		s.submitted.Add(1)
+		return t, nil
+	default:
+		s.submitMu.Unlock()
+		s.releaseBudget(job)
+		s.rejected.Add(1)
+		return nil, ErrBusy
+	}
+}
+
+func (s *Server) releaseBudget(job Job) {
+	if s.cfg.MaxPendingBudget > 0 {
+		s.pendingBudget.Add(-int64(job.RoundBudget.Time))
+	}
+}
+
+// Close stops admission, drains the queued jobs, and waits for the workers
+// to finish them. Safe to call once.
+func (s *Server) Close() {
+	s.submitMu.Lock()
+	if !s.closed.Swap(true) {
+		for _, ch := range s.shards {
+			close(ch)
+		}
+	}
+	s.submitMu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) worker(idx int) {
+	defer s.wg.Done()
+	for tk := range s.shards[idx] {
+		res := s.runJob(idx, tk)
+		s.releaseBudget(tk.job)
+		if res.Err != nil {
+			s.failed.Add(1)
+		} else {
+			s.served.Add(1)
+		}
+		tk.ticket.res = res
+		close(tk.ticket.done)
+	}
+}
+
+// runJob serves one job: the unsharded streaming loop with the cache
+// bridge plugged into its OnProblem hook.
+func (s *Server) runJob(shard int, tk task) *Result {
+	job := tk.job
+	res := &Result{Tenant: job.Tenant, Shard: shard, Queued: time.Since(tk.enqueued)}
+
+	epochs := job.Epochs
+	if epochs == nil {
+		ch := make(chan measure.Epoch, 1)
+		ch <- measure.Epoch{Index: 1, Final: true, Matrix: job.Matrix}
+		close(ch)
+		epochs = ch
+	}
+
+	br := &cacheBridge{cache: s.cache, solverName: job.SolverName, clusterK: job.ClusterK}
+	start := time.Now()
+	out, err := advisor.SolveStream(epochs, advisor.StreamSolveConfig{
+		Graph:       job.Graph,
+		Objective:   job.Objective,
+		SolverName:  job.SolverName,
+		ClusterK:    job.ClusterK,
+		RoundBudget: job.RoundBudget,
+		Seed:        job.Seed,
+		Coalesce:    job.Coalesce,
+		OnProblem:   br.onProblem,
+	})
+	res.Ran = time.Since(start)
+	res.Outcome, res.Err = out, err
+	res.CacheHits, res.CacheMisses = br.hits, br.misses
+	return res
+}
+
+// Stats is a point-in-time server counter snapshot.
+type Stats struct {
+	// Submitted counts admitted jobs; Rejected counts ErrBusy and
+	// ErrOverBudget refusals; Served and Failed partition completed jobs.
+	Submitted, Rejected, Served, Failed int64
+	// PendingBudget is the summed round budget of admitted-but-unfinished
+	// jobs (0 unless MaxPendingBudget is configured).
+	PendingBudget time.Duration
+	// Cache is the shared cache's snapshot.
+	Cache CacheStats
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Submitted:     s.submitted.Load(),
+		Rejected:      s.rejected.Load(),
+		Served:        s.served.Load(),
+		Failed:        s.failed.Load(),
+		PendingBudget: time.Duration(s.pendingBudget.Load()),
+		Cache:         s.cache.Stats(),
+	}
+}
+
+// cacheBridge adapts the shared cache to advisor.SolveStream's OnProblem
+// hook for one job. Fresh problems adopt (or compute and publish) the
+// content-addressed artifacts their solver will need; evolved problems
+// keep their incremental Prep lineage — bit-identical to the unsharded
+// path — and instead emit the epoch's changed-row set as the cross-shard
+// invalidation message retiring the previous fingerprint.
+type cacheBridge struct {
+	cache      *Cache
+	solverName string
+	clusterK   int
+
+	prevFP       core.Fingerprint
+	hits, misses int
+}
+
+func (b *cacheBridge) onProblem(prob, prev *solver.Problem, ep measure.Epoch, changedRows []int) error {
+	fp := ep.Fingerprint
+	if fp == 0 {
+		fp = prob.Costs.Fingerprint()
+	}
+	defer func() { b.prevFP = fp }()
+
+	if prev != nil {
+		b.cache.Supersede(b.prevFP, fp, changedRows)
+		return nil
+	}
+
+	// Resolve the same defaults SolveStream applies, so the bridge warms
+	// the artifacts the solver will actually request.
+	name := b.solverName
+	if name == "" {
+		name = "portfolio"
+	}
+	k := b.clusterK
+	if k == 0 && (name == "cp" || name == "portfolio") {
+		k = 20
+	}
+	prep := prob.Prep()
+	switch name {
+	case "cp", "portfolio":
+		// CP consumes the pair list at every k, clustered or not.
+		hit, err := b.cache.Rounded(fp, k, prep)
+		if err != nil {
+			return err
+		}
+		b.count(hit)
+	case "mip":
+		// Unclustered MIP reads the raw matrix directly and never asks
+		// Prep for the k<=0 entry; warming it would sort ~m^2 pairs
+		// nobody reads.
+		if k > 0 {
+			hit, err := b.cache.Rounded(fp, k, prep)
+			if err != nil {
+				return err
+			}
+			b.count(hit)
+		}
+	}
+	switch name {
+	case "g1", "portfolio":
+		b.count(b.cache.CheapestRows(fp, prep))
+	}
+	return nil
+}
+
+func (b *cacheBridge) count(hit bool) {
+	if hit {
+		b.hits++
+	} else {
+		b.misses++
+	}
+}

@@ -1,0 +1,383 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"cloudia/internal/advisor"
+	"cloudia/internal/core"
+	"cloudia/internal/measure"
+	"cloudia/internal/solver"
+)
+
+// testGraph builds a small mesh communication graph.
+func testGraph(t testing.TB, rows, cols int) *core.Graph {
+	t.Helper()
+	g, err := core.Mesh2D(rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// testMatrix builds a random instances x instances cost matrix.
+func testMatrix(rng *rand.Rand, instances int) *core.CostMatrix {
+	m := core.NewCostMatrix(instances)
+	for i := 0; i < instances; i++ {
+		for j := 0; j < instances; j++ {
+			if i != j {
+				m.Set(i, j, 0.2+rng.Float64())
+			}
+		}
+	}
+	return m
+}
+
+// epochSeq materializes a fixed epoch sequence so it can be replayed for
+// both the sharded and the unsharded side.
+func epochSeq(epochs []measure.Epoch) <-chan measure.Epoch {
+	ch := make(chan measure.Epoch, len(epochs))
+	for _, ep := range epochs {
+		ch <- ep
+	}
+	close(ch)
+	return ch
+}
+
+// evolveEpochs builds an e-epoch sequence over one mutable matrix: each
+// epoch perturbs a few rows, carrying exact changed-row sets and
+// incremental fingerprints.
+func evolveEpochs(t testing.TB, rng *rand.Rand, instances, epochs int) []measure.Epoch {
+	t.Helper()
+	mm := core.NewMutableCostMatrix(instances)
+	for i := 0; i < instances; i++ {
+		for j := 0; j < instances; j++ {
+			if i != j {
+				mm.Set(i, j, 0.2+rng.Float64())
+			}
+		}
+	}
+	out := make([]measure.Epoch, 0, epochs)
+	for e := 1; e <= epochs; e++ {
+		if e > 1 {
+			for r := 0; r < 2; r++ {
+				i := rng.Intn(instances)
+				for j := 0; j < instances; j++ {
+					if i != j {
+						mm.Set(i, j, 0.2+rng.Float64())
+					}
+				}
+			}
+		}
+		fp := mm.Fingerprint()
+		m, changed := mm.Snapshot()
+		out = append(out, measure.Epoch{
+			Index: e, AtMS: float64(e), Final: e == epochs,
+			Matrix: m, ChangedRows: changed, Fingerprint: fp,
+		})
+	}
+	return out
+}
+
+// Served results must be bit-equal to the unsharded streaming path for the
+// same tenant configuration — across solvers that use each cached artifact
+// kind and across multi-epoch jobs that evolve their problems.
+func TestServeMatchesUnsharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := testGraph(t, 3, 4) // 12 nodes
+	const instances = 16
+	budget := solver.Budget{Nodes: 30_000}
+
+	for _, solverName := range []string{"cp", "g1", "sa"} {
+		t.Run(solverName, func(t *testing.T) {
+			shared := evolveEpochs(t, rng, instances, 3)
+			srv := New(Config{Shards: 3})
+			defer srv.Close()
+
+			const tenants = 6
+			tickets := make([]*Ticket, tenants)
+			for tn := 0; tn < tenants; tn++ {
+				var err error
+				tickets[tn], err = srv.Submit(Job{
+					Tenant:      fmt.Sprintf("tenant-%d", tn),
+					Graph:       g,
+					Objective:   solver.LongestLink,
+					Epochs:      epochSeq(shared),
+					SolverName:  solverName,
+					ClusterK:    4,
+					RoundBudget: budget,
+					Seed:        int64(100 + tn),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			for tn := 0; tn < tenants; tn++ {
+				res := tickets[tn].Wait()
+				if res.Err != nil {
+					t.Fatalf("tenant %d: %v", tn, res.Err)
+				}
+				want, err := advisor.SolveStream(epochSeq(shared), advisor.StreamSolveConfig{
+					Graph:       g,
+					Objective:   solver.LongestLink,
+					SolverName:  solverName,
+					ClusterK:    4,
+					RoundBudget: budget,
+					Seed:        int64(100 + tn),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(res.Outcome.Deployment, want.Deployment) {
+					t.Fatalf("tenant %d: served deployment %v != unsharded %v", tn, res.Outcome.Deployment, want.Deployment)
+				}
+				if res.Outcome.Cost != want.Cost {
+					t.Fatalf("tenant %d: served cost %v != unsharded %v", tn, res.Outcome.Cost, want.Cost)
+				}
+			}
+		})
+	}
+}
+
+// Tenants sharing one matrix must share one preprocessing pass: every
+// artifact kind computes once and the rest of the fleet hits the cache.
+func TestServeCrossTenantCacheHits(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := testGraph(t, 3, 4)
+	m := testMatrix(rng, 16)
+	srv := New(Config{Shards: 4})
+	defer srv.Close()
+
+	const tenants = 8
+	tickets := make([]*Ticket, tenants)
+	for tn := range tickets {
+		var err error
+		tickets[tn], err = srv.Submit(Job{
+			Tenant:      fmt.Sprintf("t%d", tn),
+			Graph:       g,
+			Objective:   solver.LongestLink,
+			Matrix:      m,
+			SolverName:  "cp",
+			ClusterK:    4,
+			RoundBudget: solver.Budget{Nodes: 10_000},
+			Seed:        int64(tn),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits := 0
+	for _, tk := range tickets {
+		res := tk.Wait()
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		hits += res.CacheHits
+	}
+	if hits != tenants-1 {
+		t.Fatalf("cross-tenant hits = %d, want %d (one compute, rest adopt)", hits, tenants-1)
+	}
+	st := srv.Stats()
+	if st.Cache.Misses != 1 {
+		t.Fatalf("cache misses = %d, want exactly 1 compute for the shared matrix", st.Cache.Misses)
+	}
+	if st.Served != tenants {
+		t.Fatalf("served = %d, want %d", st.Served, tenants)
+	}
+}
+
+// One tenant key must always land on one shard; distinct keys spread.
+func TestServeRoutingStable(t *testing.T) {
+	srv := New(Config{Shards: 4})
+	defer srv.Close()
+	a := srv.shardFor("alice", "dc1")
+	for i := 0; i < 10; i++ {
+		if srv.shardFor("alice", "dc1") != a {
+			t.Fatal("routing is not stable")
+		}
+	}
+	if srv.shardFor("alice", "dc1") == srv.shardFor("alice", "dc2") &&
+		srv.shardFor("alice", "dc1") == srv.shardFor("bob", "dc1") &&
+		srv.shardFor("alice", "dc1") == srv.shardFor("carol", "dc1") {
+		t.Fatal("all distinct keys landed on one shard (suspicious hash)")
+	}
+}
+
+// Admission control: full queues reject with ErrBusy, budget exhaustion
+// with ErrOverBudget, closed servers with ErrClosed; rejected and drained
+// jobs release their accounted budget.
+func TestServeBackpressureAndBudget(t *testing.T) {
+	g := testGraph(t, 2, 3)
+	rng := rand.New(rand.NewSource(13))
+	m := testMatrix(rng, 8)
+
+	// Block the single shard with a job whose epoch channel we control, so
+	// queue and budget accounting can be observed deterministically.
+	gate := make(chan measure.Epoch)
+	srv := New(Config{Shards: 1, QueueDepth: 1, MaxPendingBudget: 250 * time.Millisecond})
+	blocker := Job{
+		Tenant: "blocker", Graph: g, Objective: solver.LongestLink,
+		Epochs: gate, SolverName: "g1", RoundBudget: solver.Budget{Time: 100 * time.Millisecond},
+	}
+	quick := Job{
+		Tenant: "quick", Graph: g, Objective: solver.LongestLink,
+		Matrix: m, SolverName: "g1", RoundBudget: solver.Budget{Time: 100 * time.Millisecond},
+	}
+	bt, err := srv.Submit(blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the worker picked the blocker up, freeing the queue slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(srv.shards[0]) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never picked up the blocker")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	qt, err := srv.Submit(quick) // occupies the queue slot
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := quick
+	over.Tenant = "over"
+	if _, err := srv.Submit(over); err != ErrOverBudget {
+		t.Fatalf("third concurrent job error = %v, want ErrOverBudget", err)
+	}
+	cheap := quick
+	cheap.Tenant = "cheap"
+	cheap.RoundBudget = solver.Budget{Time: 10 * time.Millisecond}
+	if _, err := srv.Submit(cheap); err != ErrBusy {
+		t.Fatalf("queue-full error = %v, want ErrBusy", err)
+	}
+	if got := srv.Stats().Rejected; got != 2 {
+		t.Fatalf("rejected = %d, want 2", got)
+	}
+
+	// Unblock: a single final epoch completes the blocker, then quick runs.
+	ep := evolveEpochs(t, rng, 8, 1)[0]
+	gate <- ep
+	close(gate)
+	if res := bt.Wait(); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res := qt.Wait(); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if got := srv.Stats().PendingBudget; got != 0 {
+		t.Fatalf("pending budget after drain = %v, want 0", got)
+	}
+	srv.Close()
+	if _, err := srv.Submit(quick); err != ErrClosed {
+		t.Fatalf("submit after close = %v, want ErrClosed", err)
+	}
+}
+
+// A job whose epoch source closes without publishing must surface its
+// error through the ticket and count as failed, not served.
+func TestServeJobFailureSurfaces(t *testing.T) {
+	g := testGraph(t, 2, 3)
+	empty := make(chan measure.Epoch)
+	close(empty)
+	srv := New(Config{Shards: 1})
+	defer srv.Close()
+	tk, err := srv.Submit(Job{
+		Tenant: "t", Graph: g, Objective: solver.LongestLink,
+		Epochs: empty, SolverName: "g1", RoundBudget: solver.Budget{Nodes: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tk.Wait()
+	if res.Err == nil {
+		t.Fatal("empty epoch stream did not fail the job")
+	}
+	st := srv.Stats()
+	if st.Failed != 1 || st.Served != 0 {
+		t.Fatalf("failed=%d served=%d, want 1 and 0", st.Failed, st.Served)
+	}
+	if srv.Cache() == nil {
+		t.Fatal("server has no cache")
+	}
+}
+
+// A non-canonical first requester (an evolved problem keeping its patch
+// lineage) must not poison the cache slot: it computes locally, and later
+// fresh requesters compute for themselves too instead of adopting nothing.
+func TestCacheRoundedNonCanonicalFirstRequester(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	m := testMatrix(rng, 10)
+	g := testGraph(t, 2, 4)
+	p1, err := solver.NewProblem(g, m, solver.LongestLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p1.Prep().Rounded(3); err != nil {
+		t.Fatal(err)
+	}
+	m2 := m.Clone()
+	m2.Set(0, 1, m2.At(0, 1)+1)
+	p2, err := p1.Evolve(m2, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(4)
+	fp2 := m2.Fingerprint()
+	// p2's entry is seeded for patching: computing it fills p2 but exports
+	// nothing canonical.
+	if hit, err := c.Rounded(fp2, 3, p2.Prep()); hit || err != nil {
+		t.Fatalf("hit=%v err=%v, want miss without error", hit, err)
+	}
+	// A fresh problem over the same content must still get artifacts (a
+	// local compute, reported as a miss) without erroring.
+	p3, err := solver.NewProblem(g, m2.Clone(), solver.LongestLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit, err := c.Rounded(fp2, 3, p3.Prep()); hit || err != nil {
+		t.Fatalf("hit=%v err=%v, want local-compute miss", hit, err)
+	}
+	if _, _, err := p3.Prep().Rounded(3); err != nil {
+		t.Fatal(err)
+	}
+	// Repeated requests from one Prep adopt nothing new: counted as misses,
+	// never as errors.
+	if hit, err := c.Rounded(fp2, 3, p3.Prep()); hit || err != nil {
+		t.Fatalf("repeat hit=%v err=%v, want miss", hit, err)
+	}
+}
+
+// Submit must validate jobs before touching any shard.
+func TestServeSubmitValidation(t *testing.T) {
+	g := testGraph(t, 2, 3)
+	rng := rand.New(rand.NewSource(17))
+	m := testMatrix(rng, 8)
+	srv := New(Config{Shards: 1})
+	defer srv.Close()
+	ok := Job{Tenant: "t", Graph: g, Objective: solver.LongestLink, Matrix: m,
+		SolverName: "g1", RoundBudget: solver.Budget{Nodes: 1000}}
+	bad := []func(*Job){
+		func(j *Job) { j.Tenant = "" },
+		func(j *Job) { j.Graph = nil },
+		func(j *Job) { j.Matrix = nil },
+		func(j *Job) { j.Epochs = make(chan measure.Epoch) },
+		func(j *Job) { j.RoundBudget = solver.Budget{} },
+	}
+	for i, mut := range bad {
+		j := ok
+		mut(&j)
+		if _, err := srv.Submit(j); err == nil {
+			t.Fatalf("bad job %d accepted", i)
+		}
+	}
+	tk, err := srv.Submit(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := tk.Wait(); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+}

@@ -1,0 +1,85 @@
+package cp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cloudia/internal/cluster"
+	"cloudia/internal/solver"
+)
+
+// The bucketed domain-size index must make exactly the choices of the
+// pre-index O(n) scan: on identical descents walked down the full threshold
+// ladder, every feasibility verdict, embedding, and node count must match
+// between an engine using the bucket index and one using the scan.
+func TestBucketedPickVarMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		weighted := trial%3 == 2
+		p := randomTinyProblem(t, rng, weighted)
+		k := 0
+		if trial%2 == 1 {
+			k = 3
+		}
+		_, pairs, err := cluster.RoundCostMatrixPairs(p.Costs, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		thresholds := distinctCosts(pairs)
+		if p.Graph.Weighted() {
+			thresholds = weightedThresholds(thresholds, p.Graph)
+		}
+		degFilter := !p.Graph.Weighted()
+		bucketed := newDescent(p, pairs, 1, degFilter)
+		scanning := newDescent(p, pairs, 1, degFilter)
+		scanning.engines[0].scanPick = true
+
+		for idx := len(thresholds) - 1; idx >= 0; idx-- {
+			c := thresholds[idx]
+			bClock := solver.NewClock(solver.Budget{Nodes: 5_000_000})
+			sClock := solver.NewClock(solver.Budget{Nodes: 5_000_000})
+			bOK, bDep, bEx := bucketed.feasible(c, bClock)
+			sOK, sDep, sEx := scanning.feasible(c, sClock)
+			if bOK != sOK || bEx != sEx {
+				t.Fatalf("trial %d (weighted=%v k=%d) c=%g: bucketed (ok=%v ex=%v) != scan (ok=%v ex=%v)",
+					trial, weighted, k, c, bOK, bEx, sOK, sEx)
+			}
+			if !reflect.DeepEqual(bDep, sDep) {
+				t.Fatalf("trial %d c=%g: embeddings diverge: %v vs %v", trial, c, bDep, sDep)
+			}
+			if bClock.Nodes() != sClock.Nodes() {
+				t.Fatalf("trial %d c=%g: node counts diverge: %d vs %d (different search trees)",
+					trial, c, bClock.Nodes(), sClock.Nodes())
+			}
+		}
+	}
+}
+
+// The index must stay consistent across reuse: after a full descent the
+// engine is reset per check, so interleaving feasible calls at jumping
+// thresholds (as the real descent does when the incumbent improves in big
+// steps) must keep verdicts equal too.
+func TestBucketedPickVarDescentReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 10; trial++ {
+		p := randomTinyProblem(t, rng, false)
+		_, pairs, err := cluster.RoundCostMatrixPairs(p.Costs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		thresholds := distinctCosts(pairs)
+		bucketed := newDescent(p, pairs, 1, true)
+		scanning := newDescent(p, pairs, 1, true)
+		scanning.engines[0].scanPick = true
+		// Walk every other threshold, descending, then the lowest.
+		for idx := len(thresholds) - 1; idx >= 0; idx -= 2 {
+			c := thresholds[idx]
+			bOK, _, bEx := bucketed.feasible(c, solver.NewClock(solver.Budget{Nodes: 5_000_000}))
+			sOK, _, sEx := scanning.feasible(c, solver.NewClock(solver.Budget{Nodes: 5_000_000}))
+			if bOK != sOK || bEx != sEx {
+				t.Fatalf("trial %d c=%g: reuse divergence (ok %v/%v ex %v/%v)", trial, c, bOK, sOK, bEx, sEx)
+			}
+		}
+	}
+}

@@ -28,6 +28,12 @@ type descent struct {
 	outClass [][]int   // weight class per out-adjacency slot of each node
 	inClass  [][]int   // weight class per in-adjacency slot of each node
 	nodeDeg  []int     // g.Degree per node, for variable-selection tie-breaks
+	// pickOrder holds the variables sorted by (degree descending, index
+	// ascending) — the static tie-break order of pickVar: given the
+	// smallest populated domain size from the engine's bucket counts, the
+	// first variable of that size in this order is exactly the variable
+	// the old full scan selected.
+	pickOrder []int32
 
 	pairs  []core.CostPair // all ordered instance pairs, ascending by cost
 	cursor []int           // per class: pairs[:cursor[ci]] are present in adj
@@ -101,7 +107,9 @@ func newDescent(p *solver.Problem, pairs []core.CostPair, workers int, degFilter
 	d.outClass = make([][]int, n)
 	d.inClass = make([][]int, n)
 	d.nodeDeg = make([]int, n)
+	d.pickOrder = make([]int32, n)
 	for v := 0; v < n; v++ {
+		d.pickOrder[v] = int32(v)
 		d.nodeDeg[v] = g.Degree(v)
 		for _, w := range g.Out(v) {
 			d.outClass[v] = append(d.outClass[v], classOf[g.Weight(v, w)])
@@ -110,6 +118,13 @@ func newDescent(p *solver.Problem, pairs []core.CostPair, workers int, degFilter
 			d.inClass[v] = append(d.inClass[v], classOf[g.Weight(u, v)])
 		}
 	}
+
+	slices.SortFunc(d.pickOrder, func(a, b int32) int {
+		if d.nodeDeg[a] != d.nodeDeg[b] {
+			return d.nodeDeg[b] - d.nodeDeg[a] // higher degree first
+		}
+		return int(a - b)
+	})
 
 	nc := len(d.weights)
 	d.cursor = make([]int, nc)

@@ -29,6 +29,27 @@ type engine struct {
 	domSize  []int32  // |dom[i]|, maintained incrementally
 	assigned []int32  // instance per variable, -1 if unassigned
 
+	// Bucketed domain-size index: bCnt[s] counts the unassigned variables
+	// whose current domain size is s, maintained by the same incremental
+	// updates that keep domSize exact (two counter bumps per size change —
+	// anything heavier, like per-variable bucket lists, costs more in the
+	// alldifferent loop than pickVar ever saved). pickVar walks bCnt up
+	// from the bMin hint to find the smallest populated size, then resolves
+	// the degree tie-break by walking the descent's static degree-ranked
+	// variable order and returning the first variable of that size — the
+	// smallest-domain variable is usually high-degree (that is why the
+	// heuristic tie-breaks on degree), so the walk exits within a few
+	// entries instead of scanning all n variables per search node (the
+	// scan was ~25% of BenchmarkCPThresholdDescent). bMin is a lower
+	// bound: size drops below it lower it; pickVar advances it past
+	// drained counts.
+	bCnt []int32 // per size s in [0, m]: unassigned variables with |dom| = s
+	bMin int32
+
+	// scanPick selects the pre-index O(n) pickVar scan; it exists so the
+	// equivalence property test can race both selectors on one descent.
+	scanPick bool
+
 	// Trail arenas; depth d's entries live in slots [d*n, d*n+len). The
 	// alldifferent constraint removes one known bit (the depth's assigned
 	// instance) from up to n-1 domains per assignment, so those removals are
@@ -64,6 +85,7 @@ func newEngine(d *descent) *engine {
 		snapWords: make([]uint64, n*n*d.wpd),
 		snapLen:   make([]int32, n),
 		savedAt:   make([]int64, n),
+		bCnt:      make([]int32, d.m+1),
 	}
 	for i := 0; i < n; i++ {
 		e.dom[i] = view(e.domWords[i*d.wpd : (i+1)*d.wpd])
@@ -72,14 +94,35 @@ func newEngine(d *descent) *engine {
 }
 
 // reset loads the descent's current root domains, clearing any leftover
-// search state from the previous check.
+// search state from the previous check, and rebuilds the bucket index.
 func (e *engine) reset() {
 	copy(e.domWords, e.d.rootWords)
 	copy(e.domSize, e.d.rootSize)
 	for i := range e.assigned {
 		e.assigned[i] = -1
 	}
+	for s := range e.bCnt {
+		e.bCnt[s] = 0
+	}
+	e.bMin = int32(e.d.m)
+	for i := 0; i < e.d.n; i++ {
+		s := e.domSize[i]
+		e.bCnt[s]++
+		if s < e.bMin {
+			e.bMin = s
+		}
+	}
 	e.limitHit = false
+}
+
+// bucketMove re-files one unassigned variable's count from size from to
+// size to, lowering the minimum hint when to undercuts it.
+func (e *engine) bucketMove(from, to int32) {
+	e.bCnt[from]--
+	e.bCnt[to]++
+	if to < e.bMin {
+		e.bMin = to
+	}
 }
 
 // run explores the root branches vals[start], vals[start+stride], ... and
@@ -144,9 +187,30 @@ func (e *engine) search(depth int) bool {
 }
 
 // pickVar selects the unassigned variable with the smallest domain,
-// tie-breaking on higher graph degree (most constrained first). Domain sizes
-// are maintained incrementally, so this never counts bitset words.
+// tie-breaking on higher graph degree then lower index (most constrained
+// first) — exactly the choice the pre-index O(n) scan made. The bucket
+// index narrows the candidates to the smallest non-empty bucket, so the
+// cost per search node is that bucket's population, not n.
 func (e *engine) pickVar() int {
+	if e.scanPick {
+		return e.pickVarScan()
+	}
+	s := e.bMin
+	for e.bCnt[s] == 0 {
+		s++
+	}
+	e.bMin = s
+	for _, v := range e.d.pickOrder {
+		if e.assigned[v] < 0 && e.domSize[v] == s {
+			return int(v)
+		}
+	}
+	return -1 // unreachable while any variable is unassigned
+}
+
+// pickVarScan is the pre-index selector, kept for the equivalence property
+// test: both selectors must pick the same variable at every node.
+func (e *engine) pickVarScan() int {
 	best, bestDeg := -1, -1
 	var bestSize int32
 	for i := 0; i < e.d.n; i++ {
@@ -183,6 +247,7 @@ func (e *engine) snapSave(v, depth int) {
 // It reports whether the assignment survived propagation; a wiped-out domain
 // rolls the trail back internally.
 func (e *engine) assign(i, j, depth int) bool {
+	e.bCnt[e.domSize[i]]-- // i leaves the unassigned pool
 	e.assigned[i] = int32(j)
 	e.epoch++
 	e.bitLen[depth] = 0
@@ -201,6 +266,7 @@ func (e *engine) assign(i, j, depth int) bool {
 		e.bitLen[depth]++
 		e.domWords[v*wpd+jw] &^= jb
 		e.domSize[v]--
+		e.bucketMove(e.domSize[v]+1, e.domSize[v])
 		if e.domSize[v] == 0 {
 			wipe = true
 			break
@@ -221,6 +287,7 @@ func (e *engine) assign(i, j, depth int) bool {
 			}
 			e.snapSave(w, depth)
 			sz := int32(nd.intersectCount(allowed))
+			e.bucketMove(e.domSize[w], sz)
 			e.domSize[w] = sz
 			if sz == 0 {
 				wipe = true
@@ -240,6 +307,7 @@ func (e *engine) assign(i, j, depth int) bool {
 			}
 			e.snapSave(u, depth)
 			sz := int32(nd.intersectCount(allowed))
+			e.bucketMove(e.domSize[u], sz)
 			e.domSize[u] = sz
 			if sz == 0 {
 				wipe = true
@@ -263,6 +331,7 @@ func (e *engine) undo(i, depth int) {
 		slot := depth*n + k
 		v := int(e.snapVar[slot])
 		copy(e.domWords[v*wpd:(v+1)*wpd], e.snapWords[slot*wpd:(slot+1)*wpd])
+		e.bucketMove(e.domSize[v], e.snapSize[slot])
 		e.domSize[v] = e.snapSize[slot]
 	}
 	e.snapLen[depth] = 0
@@ -272,9 +341,14 @@ func (e *engine) undo(i, depth int) {
 		v := int(e.bitVar[depth*n+k])
 		e.domWords[v*wpd+jw] |= jb
 		e.domSize[v]++
+		e.bucketMove(e.domSize[v]-1, e.domSize[v])
 	}
 	e.bitLen[depth] = 0
 	e.assigned[i] = -1
+	e.bCnt[e.domSize[i]]++ // i rejoins the unassigned pool
+	if e.domSize[i] < e.bMin {
+		e.bMin = e.domSize[i]
+	}
 }
 
 // deployment copies the found embedding out of the engine.

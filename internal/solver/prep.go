@@ -90,6 +90,12 @@ type prepRounded struct {
 	// into a spurious majority.
 	staleRows []bool
 	stale     int
+	// patched marks an entry built by merge-patching a previous epoch's
+	// entry rather than by a fresh fit. Patched artifacts depend on their
+	// patch lineage (which fit the changed rows were re-assigned against),
+	// so they are not canonical functions of the matrix content and are
+	// excluded from content-addressed export (prep_share.go).
+	patched bool
 
 	tOnce sync.Once
 	t     *core.CostMatrix
@@ -180,6 +186,7 @@ func (e *prepRounded) compute(pp *Prep, k int) {
 				e.pairs = cluster.PatchSortedPairs(e.m, s.pairs, changed)
 				e.res = s.res
 				e.staleRows, e.stale = staleRows, stale
+				e.patched = true
 				return
 			}
 		}
