@@ -8,9 +8,11 @@ package cloudia_test
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"runtime"
 	"slices"
+	"sync"
 	"testing"
 	"time"
 
@@ -706,6 +708,294 @@ func BenchmarkShardedServe(b *testing.B) {
 	b.ReportMetric(seqMS/float64(b.N), "sequential-ms/op")
 	b.ReportMetric(shardMS/float64(b.N), "sharded-ms/op")
 	b.ReportMetric(speedup/float64(b.N), "speedup/op")
+}
+
+// skewedTenants returns one hot tenant name plus `lights` light tenant
+// names that all hash to shard 0 of a `shards`-wide server (the hash is
+// Server.shardFor's: fnv32a over tenant NUL datacenter). This is the
+// adversarial skew static sharding cannot rebalance: every tenant homes to
+// the same worker while the others sit idle.
+func skewedTenants(b *testing.B, shards, lights int) (hot string, light []string) {
+	b.Helper()
+	home := func(tenant string) int {
+		h := fnv.New32a()
+		h.Write([]byte(tenant))
+		h.Write([]byte{0}) // empty datacenter
+		return int(h.Sum32() % uint32(shards))
+	}
+	for i := 0; hot == ""; i++ {
+		if name := fmt.Sprintf("hot-%d", i); home(name) == 0 {
+			hot = name
+		}
+	}
+	for i := 0; len(light) < lights; i++ {
+		if name := fmt.Sprintf("light-%d", i); home(name) == 0 {
+			light = append(light, name)
+		}
+	}
+	return hot, light
+}
+
+// BenchmarkSkewedServe is the work-stealing ablation: one hot tenant with a
+// four-job backlog plus three light tenants, every tenant hash-homed to
+// shard 0 of a two-shard server. Each job consumes a live two-epoch
+// measurement stream — an initial matrix, then a dispatch-paced gap (the
+// stream is unbuffered, so the producer's clock starts when the worker
+// pulls), then a final epoch with a handful of re-measured rows riding the
+// pair-list delta — so a job spends part of its life blocked on
+// measurement, not CPU. With stealing disabled (the push-era static
+// routing) shard 1's worker idles while shard 0 serializes every job's
+// epoch wait; with stealing the idle worker pulls the most-starved ready
+// tenant across shards and fills those waits with other tenants' solves.
+// Jobs are node-budgeted CP, so the two configurations must produce
+// bit-equal deployments — stealing may only move work, never change it.
+//
+// The light tenants are submitted first, so the earliest tenant completion
+// (the spread's denominator) is the same single light job dispatched first
+// under either configuration; what stealing changes is how late the hot
+// backlog — and the fleet — finishes.
+//
+// Reported metrics (recorded in BENCH_PR6.json):
+//
+//   - static-ms/op / stealing-ms/op: fleet makespan (first Submit to last
+//     Wait) under each configuration.
+//   - steal-speedup/op: static over stealing. The win is the overlapped
+//     epoch waits (it survives even a single-CPU runner, where shard
+//     parallelism alone buys nothing).
+//   - static-spread/op / stealing-spread/op: max/min per-tenant completion
+//     time. Stealing drains the hot backlog while the lights' epoch waits
+//     tick, pulling the max down against the anchored min.
+//
+// Both comparisons are live wall-clock timings, so they are logged rather
+// than asserted (cf. BenchmarkStreamingAdvise); bit-equality and the
+// steal counters are asserted.
+func BenchmarkSkewedServe(b *testing.B) {
+	// A mid-size problem (each serialized stream replay re-pays its own
+	// Prep after Supersede retires the prior epoch's artifacts, so this
+	// tier keeps the per-job solve cost comparable to the epoch gap).
+	const (
+		nodes     = 150
+		instances = 300
+		shards    = 2
+		lights    = 3
+		hotJobs   = 4
+		epochGap  = 300 * time.Millisecond
+	)
+	rng := rand.New(rand.NewSource(43))
+	g := core.NewGraph(nodes)
+	for v := 0; v+1 < nodes; v++ {
+		if err := g.AddEdge(v, v+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for k := 0; k < 4*nodes; k++ {
+		x, y := rng.Intn(nodes), rng.Intn(nodes)
+		if x > y {
+			x, y = y, x
+		}
+		if x != y && !g.HasEdge(x, y) {
+			if err := g.AddEdge(x, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	mm := core.NewMutableCostMatrix(instances)
+	for i := 0; i < instances; i++ {
+		for j := 0; j < instances; j++ {
+			if i != j {
+				mm.Set(i, j, 0.2+rng.Float64())
+			}
+		}
+	}
+	first, _ := mm.Snapshot()
+	// The final epoch: 8 rows re-measured, so the second round rides the
+	// incremental Prep evolution instead of a fresh sort.
+	for r := 0; r < 8; r++ {
+		row := (r * 113) % instances
+		for j := 0; j < instances; j++ {
+			if row != j {
+				mm.Set(row, j, 0.2+rng.Float64())
+			}
+		}
+	}
+	final, changedRows := mm.Snapshot()
+
+	budget := solver.Budget{Nodes: 30_000}
+	hot, light := skewedTenants(b, shards, lights)
+	stream := func() <-chan measure.Epoch {
+		ch := make(chan measure.Epoch) // unbuffered: paced by the consumer
+		go func() {
+			defer close(ch)
+			ch <- measure.Epoch{Index: 1, Matrix: first}
+			time.Sleep(epochGap)
+			ch <- measure.Epoch{Index: 2, Final: true, Matrix: final, ChangedRows: changedRows}
+		}()
+		return ch
+	}
+	type submission struct {
+		tenant string
+		seed   int64
+	}
+	jobs := make([]submission, 0, hotJobs+lights)
+	for i, l := range light {
+		jobs = append(jobs, submission{l, int64(100 + i)})
+	}
+	for i := 0; i < hotJobs; i++ {
+		jobs = append(jobs, submission{hot, int64(i)})
+	}
+
+	// run submits the whole fleet up front and records, per job, the
+	// wall-clock from fleet start to that job's completion; a tenant's
+	// completion time is its slowest job's.
+	run := func(it int, static bool) (ms, spread float64, deps []core.Deployment, steals int64) {
+		srv := serve.New(serve.Config{Shards: shards, DisableStealing: static})
+		defer srv.Close()
+		deps = make([]core.Deployment, len(jobs))
+		errs := make([]error, len(jobs))
+		done := make([]time.Duration, len(jobs))
+		var wg sync.WaitGroup
+		start := time.Now()
+		for idx, j := range jobs {
+			tk, err := srv.Submit(serve.Job{
+				Tenant:      j.tenant,
+				Graph:       g,
+				Objective:   solver.LongestLink,
+				Epochs:      stream(),
+				SolverName:  "cp",
+				RoundBudget: budget,
+				Seed:        int64(1000*it) + j.seed,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			wg.Add(1)
+			go func(idx int, tk *serve.Ticket) {
+				defer wg.Done()
+				res := tk.Wait()
+				done[idx] = time.Since(start)
+				errs[idx] = res.Err
+				deps[idx] = res.Outcome.Deployment
+			}(idx, tk)
+		}
+		wg.Wait()
+		ms = float64(time.Since(start)) / float64(time.Millisecond)
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		completion := map[string]time.Duration{}
+		for idx, j := range jobs {
+			if done[idx] > completion[j.tenant] {
+				completion[j.tenant] = done[idx]
+			}
+		}
+		minC, maxC := time.Duration(0), time.Duration(0)
+		for _, c := range completion {
+			if minC == 0 || c < minC {
+				minC = c
+			}
+			if c > maxC {
+				maxC = c
+			}
+		}
+		spread = float64(maxC) / float64(minC)
+		return ms, spread, deps, srv.Stats().Steals
+	}
+
+	var staticMS, stealMS, speedup, staticSpread, stealSpread float64
+	for it := 0; it < b.N; it++ {
+		sMS, sSpread, sDeps, sSteals := run(it, true)
+		if sSteals != 0 {
+			b.Fatalf("static configuration recorded %d steals, want 0", sSteals)
+		}
+		wMS, wSpread, wDeps, wSteals := run(it, false)
+		if wSteals == 0 {
+			b.Fatal("stealing configuration recorded no steals on a skewed fleet")
+		}
+		for i := range jobs {
+			if !slices.Equal(sDeps[i], wDeps[i]) {
+				b.Fatalf("job %d (%s): stealing changed the deployment", i, jobs[i].tenant)
+			}
+		}
+		if wMS >= sMS {
+			b.Logf("stealing makespan %.1f ms not below static %.1f ms", wMS, sMS)
+		}
+		staticMS += sMS
+		stealMS += wMS
+		speedup += sMS / wMS
+		staticSpread += sSpread
+		stealSpread += wSpread
+	}
+	b.ReportMetric(staticMS/float64(b.N), "static-ms/op")
+	b.ReportMetric(stealMS/float64(b.N), "stealing-ms/op")
+	b.ReportMetric(speedup/float64(b.N), "steal-speedup/op")
+	b.ReportMetric(staticSpread/float64(b.N), "static-spread/op")
+	b.ReportMetric(stealSpread/float64(b.N), "stealing-spread/op")
+}
+
+// patchBench1000 builds the pair-delta workload at the 1000-instance tier:
+// a uniform cost matrix, its sorted pair list, and a successor epoch where
+// 8 of the 1000 rows changed.
+func patchBench1000(b *testing.B) (m1 *core.CostMatrix, pairs0 []core.CostPair, rows []int) {
+	b.Helper()
+	const instances = 1000
+	const changedRows = 8
+	rng := rand.New(rand.NewSource(29))
+	m0 := core.NewCostMatrix(instances)
+	for i := 0; i < instances; i++ {
+		for j := 0; j < instances; j++ {
+			if i != j {
+				m0.Set(i, j, 0.2+rng.Float64())
+			}
+		}
+	}
+	pairs0 = m0.SortedPairs()
+	m1 = m0.Clone()
+	for r := 0; r < changedRows; r++ {
+		row := (r * 113) % instances
+		rows = append(rows, row)
+		for j := 0; j < instances; j++ {
+			if row != j {
+				m1.Set(row, j, 0.2+rng.Float64())
+			}
+		}
+	}
+	return m1, pairs0, rows
+}
+
+// BenchmarkPatchSortedPairs measures the fused pair-list delta (changed
+// rows rebuilt as sorted runs, merged into the previous list in one pass)
+// on the 1000-instance tier with 8 changed rows — the per-epoch cost the
+// streaming pipeline pays to keep Prep's pair list current.
+// BenchmarkSortedPairsRebuild below is the same epoch advanced by a full
+// re-sort; the pair of numbers in BENCH_PR6.json is the before/after of the
+// delta path.
+func BenchmarkPatchSortedPairs(b *testing.B) {
+	m1, pairs0, rows := patchBench1000(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := cluster.PatchSortedPairs(m1, pairs0, rows)
+		if len(out) != len(pairs0) {
+			b.Fatalf("patched list has %d pairs, want %d", len(out), len(pairs0))
+		}
+	}
+}
+
+// BenchmarkSortedPairsRebuild is the comparator for
+// BenchmarkPatchSortedPairs: advancing the pair list to the 8-changed-rows
+// epoch by re-sorting all ~10^6 pairs from scratch.
+func BenchmarkSortedPairsRebuild(b *testing.B) {
+	m1, pairs0, _ := patchBench1000(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := m1.SortedPairs()
+		if len(out) != len(pairs0) {
+			b.Fatalf("rebuilt list has %d pairs, want %d", len(out), len(pairs0))
+		}
+	}
 }
 
 func BenchmarkNetsimMessages(b *testing.B) {

@@ -227,9 +227,15 @@ func runServe(cfg runConfig) error {
 		groupMatrix[group] = meas.MeanMatrix()
 	}
 
+	// The batch submits every tenant before waiting on any, so admission
+	// capacity (Shards*QueueDepth in total) must cover the whole batch.
+	shards := batch.Shards
+	if shards <= 0 {
+		shards = 2 // serve.New's default
+	}
 	queue := batch.QueueDepth
-	if queue < len(batch.Tenants) {
-		queue = len(batch.Tenants)
+	if shards*queue < len(batch.Tenants) {
+		queue = (len(batch.Tenants) + shards - 1) / shards
 	}
 	srv := serve.New(serve.Config{Shards: batch.Shards, QueueDepth: queue})
 	defer srv.Close()
@@ -259,6 +265,7 @@ func runServe(cfg runConfig) error {
 		Tenant      string  `json:"tenant"`
 		Group       string  `json:"group"`
 		Shard       int     `json:"shard"`
+		Stolen      bool    `json:"stolen,omitempty"`
 		Nodes       int     `json:"nodes"`
 		DefaultCost float64 `json:"default_cost_ms"`
 		TunedCost   float64 `json:"tuned_cost_ms"`
@@ -281,7 +288,7 @@ func runServe(cfg runConfig) error {
 			improv = (def - res.Outcome.Cost) / def
 		}
 		out = append(out, servedJSON{
-			Tenant: st.spec.Name, Group: st.group, Shard: res.Shard, Nodes: n,
+			Tenant: st.spec.Name, Group: st.group, Shard: res.Shard, Stolen: res.Stolen, Nodes: n,
 			DefaultCost: def, TunedCost: res.Outcome.Cost, Improvement: improv,
 			CacheHits: res.CacheHits, CacheMisses: res.CacheMisses,
 			QueuedMS: float64(res.Queued) / float64(time.Millisecond),
@@ -295,18 +302,23 @@ func runServe(cfg runConfig) error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(struct {
 			Tenants []servedJSON     `json:"tenants"`
+			Steals  int64            `json:"steals"`
 			Cache   serve.CacheStats `json:"cache"`
-		}{out, stats.Cache})
+		}{out, stats.Steals, stats.Cache})
 	}
 	fmt.Printf("ClouDiA sharded serving: %d tenants, %d measurement groups\n", len(tenants), len(groupOrder))
-	fmt.Printf("  %-12s %-10s %5s %5s %10s %10s %7s %11s %8s\n",
+	fmt.Printf("  %-12s %-10s %6s %5s %10s %10s %7s %11s %8s\n",
 		"tenant", "group", "shard", "nodes", "default", "tuned", "improv", "cache(h/m)", "ran")
 	for _, r := range out {
-		fmt.Printf("  %-12s %-10s %5d %5d %9.4f %10.4f %6.1f%% %8d/%-2d %7.0fms\n",
-			r.Tenant, r.Group, r.Shard, r.Nodes, r.DefaultCost, r.TunedCost,
+		shard := fmt.Sprintf("%d", r.Shard)
+		if r.Stolen {
+			shard += "*" // ran on a worker other than its home shard
+		}
+		fmt.Printf("  %-12s %-10s %6s %5d %9.4f %10.4f %6.1f%% %8d/%-2d %7.0fms\n",
+			r.Tenant, r.Group, shard, r.Nodes, r.DefaultCost, r.TunedCost,
 			100*r.Improvement, r.CacheHits, r.CacheMisses, r.RanMS)
 	}
-	fmt.Printf("  cache: %d hits, %d misses, %d matrices held\n",
-		stats.Cache.Hits, stats.Cache.Misses, stats.Cache.Matrices)
+	fmt.Printf("  cache: %d hits, %d misses, %d matrices held; %d steals (* = stolen dispatch)\n",
+		stats.Cache.Hits, stats.Cache.Misses, stats.Cache.Matrices, stats.Steals)
 	return nil
 }

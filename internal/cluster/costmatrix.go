@@ -11,10 +11,12 @@ import (
 // the preprocessing step the paper applies before handing the matrix to the
 // CP or MIP solvers (Sect. 6.3.1): it shrinks the number of distinct cost
 // values (and hence CP threshold iterations) at the price of objective
-// precision. k <= 0 disables clustering and returns a plain clone.
+// precision. k <= 0 disables clustering and returns m itself — rounded
+// matrices are shared immutable snapshots everywhere downstream, so the
+// disabled path is zero-copy; callers must not modify the result.
 func RoundCostMatrix(m *core.CostMatrix, k int) (*core.CostMatrix, error) {
 	if k <= 0 || m.Size() < 2 {
-		return m.Clone(), nil
+		return m, nil
 	}
 	r, err := KMeans1D(m.OffDiagonal(), k)
 	if err != nil {
@@ -48,8 +50,7 @@ func RoundCostMatrixPairs(m *core.CostMatrix, k int) (*core.CostMatrix, []core.C
 // when clustering is disabled (k <= 0 or a sub-2x2 matrix).
 func RoundCostMatrixPairsResult(m *core.CostMatrix, k int) (*core.CostMatrix, []core.CostPair, *Result, error) {
 	if k <= 0 || m.Size() < 2 {
-		out := m.Clone()
-		return out, out.SortedPairs(), nil, nil
+		return m, m.SortedPairs(), nil, nil
 	}
 	pairs := m.SortedPairs()
 	vals := make([]float64, len(pairs))
@@ -97,57 +98,115 @@ func PatchRoundedRows(src, prev *core.CostMatrix, r *Result, rows []int) *core.C
 
 // PatchSortedPairs advances a cost-sorted pair list to a new matrix epoch
 // where only the given rows of m changed. A row change affects exactly the
-// pairs originating at that row, so the unchanged pairs are filtered out of
-// prevPairs in their existing order (one linear pass), the changed rows'
-// pairs are rebuilt from m and sorted, and the two sorted runs are merged —
-// O(n^2 + changed * n * log(changed * n)) against the O(n^2 log n) full
-// re-sort. Ties between kept and rebuilt pairs keep the kept pair first, so
-// the output is deterministic (though tie order may differ from a full
-// SortedPairs re-sort; consumers only require ascending cost). prevPairs is
-// not modified.
+// pairs originating at that row, so the changed rows' pairs are rebuilt as
+// per-row sorted runs merged into one ascending run (O(n log n) per row plus
+// an O(changed*n*log changed) run merge), and that run is merged into the
+// output in a single fused pass over prevPairs that skips superseded pairs
+// as it goes — no intermediate kept-pair list is materialized, and unbroken
+// spans of kept pairs are copied in bulk rather than element-at-a-time.
+// Total O(n^2 + changed * n * log(changed * n)) with one output-sized
+// allocation, against the O(n^2 log n) full re-sort (and against the older
+// delta path's second output-sized intermediate). Ties between kept and
+// rebuilt pairs keep the kept pair first, so the output is deterministic
+// (though tie order may differ from a full SortedPairs re-sort; consumers
+// only require ascending cost). prevPairs is not modified.
 func PatchSortedPairs(m *core.CostMatrix, prevPairs []core.CostPair, rows []int) []core.CostPair {
 	n := m.Size()
+	// Normalize rows ascending and duplicate-free: run construction order
+	// (and therefore tie order among rebuilt pairs) must not depend on the
+	// caller's row order.
+	rs := slices.Clone(rows)
+	slices.Sort(rs)
+	rs = slices.Compact(rs)
+
 	changed := make([]bool, n)
-	for _, i := range rows {
+	for _, i := range rs {
 		changed[i] = true
 	}
+	fresh := freshSortedRuns(m, rs)
 
-	kept := make([]core.CostPair, 0, len(prevPairs))
-	for _, pr := range prevPairs {
-		if !changed[pr.From] {
-			kept = append(kept, pr)
-		}
-	}
-	fresh := make([]core.CostPair, 0, len(rows)*(n-1))
-	for _, i := range rows {
-		for j := 0; j < n; j++ {
-			if i != j {
-				fresh = append(fresh, core.CostPair{From: int32(i), To: int32(j), Cost: m.At(i, j)})
-			}
-		}
-	}
-	slices.SortStableFunc(fresh, func(a, b core.CostPair) int {
-		switch {
-		case a.Cost < b.Cost:
-			return -1
-		case a.Cost > b.Cost:
-			return 1
-		}
-		return 0
-	})
-
-	out := make([]core.CostPair, 0, len(kept)+len(fresh))
+	out := make([]core.CostPair, 0, len(prevPairs))
 	i, j := 0, 0
-	for i < len(kept) && j < len(fresh) {
-		if kept[i].Cost <= fresh[j].Cost {
-			out = append(out, kept[i])
+	for i < len(prevPairs) {
+		pr := prevPairs[i]
+		if changed[pr.From] {
 			i++
-		} else {
+			continue
+		}
+		if j < len(fresh) && fresh[j].Cost < pr.Cost {
 			out = append(out, fresh[j])
 			j++
+			continue
 		}
+		// Copy the longest span of kept pairs sorting at or before the next
+		// rebuilt pair in one append.
+		s := i
+		for i < len(prevPairs) && !changed[prevPairs[i].From] &&
+			(j >= len(fresh) || prevPairs[i].Cost <= fresh[j].Cost) {
+			i++
+		}
+		out = append(out, prevPairs[s:i]...)
 	}
-	out = append(out, kept[i:]...)
-	out = append(out, fresh[j:]...)
-	return out
+	return append(out, fresh[j:]...)
+}
+
+// freshSortedRuns rebuilds the given (ascending, duplicate-free) rows' pairs
+// from m as one cost-ascending run: each row's n-1 pairs are materialized
+// contiguously and sorted independently, then equal-length row runs are
+// merged bottom-up, left run first on ties — so equal costs keep (row, To)
+// order exactly as the previous full-list stable sort produced.
+func freshSortedRuns(m *core.CostMatrix, rows []int) []core.CostPair {
+	n := m.Size()
+	if len(rows) == 0 || n < 2 {
+		return nil
+	}
+	per := n - 1
+	a := make([]core.CostPair, 0, len(rows)*per)
+	for _, i := range rows {
+		start := len(a)
+		row := m.Row(i)
+		for j := 0; j < n; j++ {
+			if i != j {
+				a = append(a, core.CostPair{From: int32(i), To: int32(j), Cost: row[j]})
+			}
+		}
+		run := a[start:]
+		slices.SortStableFunc(run, func(x, y core.CostPair) int {
+			switch {
+			case x.Cost < y.Cost:
+				return -1
+			case x.Cost > y.Cost:
+				return 1
+			}
+			return 0
+		})
+	}
+	b := make([]core.CostPair, len(a))
+	for width := per; width < len(a); width *= 2 {
+		for lo := 0; lo < len(a); lo += 2 * width {
+			mid := min(lo+width, len(a))
+			hi := min(lo+2*width, len(a))
+			mergePairRuns(a[lo:mid], a[mid:hi], b[lo:hi])
+		}
+		a, b = b, a
+	}
+	return a
+}
+
+// mergePairRuns merges two ascending runs into out (len(out) = len(x)+len(y)),
+// taking from x first on cost ties.
+func mergePairRuns(x, y, out []core.CostPair) {
+	i, j, k := 0, 0, 0
+	for i < len(x) && j < len(y) {
+		if x[i].Cost <= y[j].Cost {
+			out[k] = x[i]
+			i++
+		} else {
+			out[k] = y[j]
+			j++
+		}
+		k++
+	}
+	copy(out[k:], x[i:])
+	copy(out[k+len(x)-i:], y[j:])
 }

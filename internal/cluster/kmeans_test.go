@@ -381,11 +381,10 @@ func TestRoundCostMatrixDisabled(t *testing.T) {
 		t.Fatal(err)
 	}
 	if out.At(0, 1) != 3 || out.At(1, 0) != 4 {
-		t.Fatal("k<=0 should clone unchanged")
+		t.Fatal("k<=0 should pass values through unchanged")
 	}
-	out.Set(0, 1, 9)
-	if m.At(0, 1) != 3 {
-		t.Fatal("clone shares storage with original")
+	if out != m {
+		t.Fatal("k<=0 should share the matrix, not clone it")
 	}
 }
 

@@ -37,7 +37,15 @@ type Cache struct {
 
 	mu       sync.Mutex
 	matrices map[core.Fingerprint]*matrixEntry
-	tick     int64
+	// graphs is the per-family sub-key space for graph-content artifacts:
+	// the transposed-graph family is a function of the communication graph
+	// alone, so it is keyed by core.Graph.Fingerprint in its own map —
+	// longest-path fleets over one topology share the transpose across
+	// every matrix epoch, and a matrix fingerprint can never alias a graph
+	// fingerprint. Graph entries share the LRU tick but have their own
+	// capacity (graphs weigh O(|E|), matrices O(n^2)).
+	graphs map[core.Fingerprint]*graphEntry
+	tick   int64
 
 	hits       atomic.Int64
 	misses     atomic.Int64
@@ -63,6 +71,13 @@ type rowsSlot struct {
 	art  *solver.RowsArtifact
 }
 
+// graphEntry holds the transposed-graph family for one graph content.
+type graphEntry struct {
+	lastUse int64
+	once    sync.Once
+	art     *solver.GraphArtifact
+}
+
 // DefaultMaxMatrices bounds a serving cache that was not given an explicit
 // capacity. A 1000-instance matrix's artifacts weigh ~10^6 entries each, so
 // the default keeps the cache in the low hundreds of MB at that scale.
@@ -74,7 +89,11 @@ func NewCache(maxMatrices int) *Cache {
 	if maxMatrices <= 0 {
 		maxMatrices = DefaultMaxMatrices
 	}
-	return &Cache{maxMatrices: maxMatrices, matrices: make(map[core.Fingerprint]*matrixEntry)}
+	return &Cache{
+		maxMatrices: maxMatrices,
+		matrices:    make(map[core.Fingerprint]*matrixEntry),
+		graphs:      make(map[core.Fingerprint]*graphEntry),
+	}
 }
 
 // entryLocked returns fp's artifact set, creating (and LRU-evicting) as
@@ -188,6 +207,55 @@ func (c *Cache) CheapestRows(fp core.Fingerprint, prep *solver.Prep) (hit bool) 
 	return true
 }
 
+// TransposedGraph ensures prep holds the transposed-graph family (the
+// reversed communication graph and its topological order) for the graph
+// identified by gfp — which must be core.Graph.Fingerprint of prep's
+// problem graph — serving it from the cache on a hit and computing through
+// prep on a miss. Longest-path portfolios branch-and-bound over the
+// transpose, so a fleet of tenants sharing one topology builds it once even
+// as their cost matrices (and matrix-keyed artifacts) churn every epoch.
+func (c *Cache) TransposedGraph(gfp core.Fingerprint, prep *solver.Prep) (hit bool) {
+	c.mu.Lock()
+	c.tick++
+	e, ok := c.graphs[gfp]
+	if !ok {
+		if len(c.graphs) >= c.maxMatrices {
+			var victim core.Fingerprint
+			oldest := int64(1<<63 - 1)
+			for f, g := range c.graphs {
+				if g.lastUse < oldest {
+					victim, oldest = f, g.lastUse
+				}
+			}
+			delete(c.graphs, victim)
+			c.evictions.Add(1)
+		}
+		e = &graphEntry{}
+		c.graphs[gfp] = e
+	}
+	e.lastUse = c.tick
+	c.mu.Unlock()
+
+	computed := false
+	e.once.Do(func() {
+		computed = true
+		prep.TransposedGraph()
+		e.art, _ = prep.ExportTransposedGraph()
+	})
+	if computed || e.art == nil {
+		c.misses.Add(1)
+		return false
+	}
+	adopted := prep.AdoptTransposedGraph(e.art)
+	prep.TransposedGraph()
+	if !adopted {
+		c.misses.Add(1)
+		return false
+	}
+	c.hits.Add(1)
+	return true
+}
+
 // Supersede is the inter-shard invalidation message derived from a
 // streaming epoch: the matrix identified by old was replaced by the one
 // identified by next, with changedRows differing. old's artifacts are
@@ -224,14 +292,16 @@ type CacheStats struct {
 	// Evictions counts LRU capacity evictions; Superseded counts
 	// fingerprints retired by epoch invalidation messages.
 	Evictions, Superseded int64
-	// Matrices is the number of distinct fingerprints currently held.
+	// Matrices is the number of distinct matrix fingerprints currently
+	// held; Graphs counts the graph-content family entries.
 	Matrices int
+	Graphs   int
 }
 
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
-	n := len(c.matrices)
+	n, ng := len(c.matrices), len(c.graphs)
 	c.mu.Unlock()
 	return CacheStats{
 		Hits:       c.hits.Load(),
@@ -239,5 +309,6 @@ func (c *Cache) Stats() CacheStats {
 		Evictions:  c.evictions.Load(),
 		Superseded: c.superseded.Load(),
 		Matrices:   n,
+		Graphs:     ng,
 	}
 }

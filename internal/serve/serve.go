@@ -1,16 +1,20 @@
 // Package serve implements sharded multi-tenant advisor serving: one
 // process hosting many concurrent advising problems instead of the
-// one-problem-at-a-time advisor the paper describes. Jobs are routed by a
-// stable hash of their tenant/datacenter key onto worker-pool shards; each
-// shard runs warm-started portfolio rounds over the job's matrix epochs
-// exactly as advisor.SolveStream does, so a served job's result is
-// bit-equal to running the same tenant through the unsharded streaming
-// path. What the serving layer adds is sharing: a content-addressed Prep
+// one-problem-at-a-time advisor the paper describes. Jobs enter per-tenant
+// FIFO queues behind a shared weighted-fair ready queue; shard workers
+// *pull* the next job lazily — preferring tenants whose key hashes to their
+// shard, stealing the most-starved tenant from other shards when their own
+// are idle — and each runs warm-started portfolio rounds over the job's
+// matrix epochs exactly as advisor.SolveStream does, so a served job's
+// result is bit-equal to running the same tenant through the unsharded
+// streaming path regardless of where (or when) it was dispatched. What the
+// serving layer adds is sharing and isolation: a content-addressed Prep
 // artifact cache (see Cache) lets tenants with identical cost matrices —
 // common when they measure the same datacenter slice, or when a fleet of
 // problems is re-advised against one published matrix — split the dominant
-// preprocessing cost across the whole fleet, with streaming-epoch
-// changed-row sets serving as the cross-shard invalidation messages.
+// preprocessing cost across the whole fleet, while per-tenant fairness
+// accounting stops one hot tenant's backlog from starving everyone else
+// (see sched.go for the scheduling model).
 package serve
 
 import (
@@ -30,11 +34,12 @@ import (
 // epoch source feeding its cost matrices.
 type Job struct {
 	// Tenant identifies the requesting tenant; with Datacenter it forms the
-	// routing key, so one tenant's jobs always land on one shard (and so
-	// never race each other's warm state). Required.
+	// scheduling key: one tenant's jobs run serialized in submission order
+	// (never racing each other's warm state), with fairness accounted per
+	// key. Required.
 	Tenant string
-	// Datacenter optionally scopes the routing key for tenants deployed in
-	// several datacenters.
+	// Datacenter optionally scopes the scheduling key for tenants deployed
+	// in several datacenters.
 	Datacenter string
 
 	// Graph and Objective define the deployment problem; required.
@@ -43,26 +48,41 @@ type Job struct {
 
 	// Epochs supplies the job's matrix epochs, as measure.Stream (or any
 	// custom producer) publishes them; the job completes when the channel
-	// closes. Exactly one of Epochs and Matrix must be set.
+	// closes. Epoch matrices are immutable snapshots and flow down to the
+	// solvers by reference — the serving layer never copies them. Exactly
+	// one of Epochs and Matrix must be set.
 	Epochs <-chan measure.Epoch
 	// Matrix is the single-epoch convenience: a job over one already
-	// measured matrix, equivalent to a one-epoch stream.
+	// measured matrix, equivalent to a one-epoch stream (shared by
+	// reference; the caller must not mutate it after Submit).
 	Matrix *core.CostMatrix
 
 	// SolverName, ClusterK, RoundBudget, Seed, and Coalesce have their
-	// advisor.StreamSolveConfig meanings. RoundBudget is required.
+	// advisor.StreamSolveConfig meanings. RoundBudget is required — beyond
+	// bounding the solve, it is the job's fairness charge: each dispatch
+	// advances the tenant's virtual time by the declared budget over its
+	// weight, so tenants promising more work cede priority sooner.
 	SolverName  string
 	ClusterK    int
 	RoundBudget solver.Budget
 	Seed        int64
 	Coalesce    bool
+
+	// Weight is the tenant's fairness weight; <= 0 selects 1. A tenant with
+	// weight 2 is entitled to twice the service share of a weight-1 tenant
+	// before its jobs sort behind theirs. The first admitted job fixes the
+	// tenant's weight for the server's lifetime.
+	Weight float64
 }
 
 // Result is one served job's outcome.
 type Result struct {
 	Tenant string
-	// Shard is the worker shard that served the job.
-	Shard int
+	// Shard is the worker shard that executed the job; Stolen reports that
+	// it was not the tenant's home shard (a cross-shard steal). Steals
+	// affect only placement and latency, never the outcome.
+	Shard  int
+	Stolen bool
 	// Outcome is the streaming solve outcome (nil when Err is set); its
 	// final deployment and cost are bit-equal to unsharded
 	// advisor.SolveStream over the same epochs and configuration.
@@ -71,8 +91,8 @@ type Result struct {
 	// CacheHits and CacheMisses count the job's Prep artifact requests
 	// served from, respectively computed into, the shared cache.
 	CacheHits, CacheMisses int
-	// Queued is how long the job waited for its shard; Ran is the solve
-	// wall-clock time.
+	// Queued is how long the job waited to be pulled by a worker; Ran is
+	// the solve wall-clock time.
 	Queued, Ran time.Duration
 }
 
@@ -90,14 +110,17 @@ func (t *Ticket) Wait() *Result {
 
 // Config sizes a Server.
 type Config struct {
-	// Shards is the number of worker-pool shards, each served by one
-	// worker goroutine; <= 0 selects 2. Jobs on one shard run
-	// sequentially; distinct shards run concurrently, so Shards bounds the
-	// number of portfolio solves racing for the machine at once.
+	// Shards is the number of worker goroutines; <= 0 selects 2. Jobs of
+	// one tenant run sequentially; distinct tenants run concurrently, so
+	// Shards bounds the number of portfolio solves racing for the machine
+	// at once. Tenant keys hash to a home shard that its worker prefers,
+	// but any idle worker steals ready work from other shards' tenants.
 	Shards int
-	// QueueDepth is each shard's pending-job capacity; <= 0 selects 16.
-	// Submit rejects with ErrBusy when the routed shard's queue is full —
-	// backpressure surfaces at admission instead of as unbounded memory.
+	// QueueDepth sizes admission: the server accepts at most
+	// Shards*QueueDepth admitted-but-undispatched jobs in total (the
+	// shared-queue successor of the old per-shard depth); <= 0 selects 16.
+	// Submit rejects with ErrBusy beyond it — backpressure surfaces at
+	// admission instead of as unbounded memory.
 	QueueDepth int
 	// MaxPendingBudget, when positive, caps the summed per-round solver
 	// time budgets of admitted-but-unfinished jobs. It is admission
@@ -109,6 +132,19 @@ type Config struct {
 	// is admitted without consuming the cap — operators capping pending
 	// work should hand tenants time budgets (or both axes).
 	MaxPendingBudget time.Duration
+	// MaxTenantPendingBudget, when positive, is MaxPendingBudget per
+	// tenant key: one tenant cannot hold more admitted-but-unfinished
+	// declared wall-clock budget than this, however empty the rest of the
+	// server is. It bounds how far a hot tenant's backlog can grow at all,
+	// complementing the fairness accounting that bounds how much of it
+	// runs ahead of other tenants.
+	MaxTenantPendingBudget time.Duration
+	// DisableStealing pins every tenant to its home shard's worker,
+	// restoring the static routing of the push-based serving layer. It
+	// exists for ablation — the skewed-tenant benchmark measures exactly
+	// what stealing buys — and for operators who want hard shard isolation
+	// over utilization.
+	DisableStealing bool
 	// Cache is the shared artifact cache; nil builds a fresh
 	// NewCache(DefaultMaxMatrices). Several servers may share one cache.
 	Cache *Cache
@@ -117,35 +153,30 @@ type Config struct {
 // Exported admission errors, so callers can tell transient rejection
 // (retry later, or elsewhere) from permanent failure.
 var (
-	ErrBusy       = fmt.Errorf("serve: shard queue full")
+	ErrBusy       = fmt.Errorf("serve: admission queue full")
 	ErrOverBudget = fmt.Errorf("serve: pending solve budget exhausted")
 	ErrClosed     = fmt.Errorf("serve: server closed")
 )
 
-// Server routes jobs onto shards and serves them against the shared cache.
+// Server schedules jobs onto pulling shard workers over the shared cache.
 type Server struct {
-	cfg    Config
-	cache  *Cache
-	shards []chan task
-	wg     sync.WaitGroup
+	cfg   Config
+	cache *Cache
+	sched *sched
+	wg    sync.WaitGroup
 
-	closed        atomic.Bool
-	pendingBudget atomic.Int64 // summed RoundBudget.Time of admitted jobs, ns
-	submitted     atomic.Int64
-	rejected      atomic.Int64
-	served        atomic.Int64
-	failed        atomic.Int64
-
-	// submitMu serializes Submit against Close: a send on a closed shard
-	// channel would panic, so Close flips the flag and closes queues under
-	// the same lock Submit holds while enqueueing.
-	submitMu sync.Mutex
+	closed    atomic.Bool
+	submitted atomic.Int64
+	rejected  atomic.Int64
+	served    atomic.Int64
+	failed    atomic.Int64
 }
 
 type task struct {
 	job      Job
 	ticket   *Ticket
 	enqueued time.Time
+	seq      int64
 }
 
 // New starts a server. Callers must Close it to release the workers.
@@ -160,9 +191,13 @@ func New(cfg Config) *Server {
 	if cache == nil {
 		cache = NewCache(0)
 	}
-	s := &Server{cfg: cfg, cache: cache, shards: make([]chan task, cfg.Shards)}
-	for i := range s.shards {
-		s.shards[i] = make(chan task, cfg.QueueDepth)
+	s := &Server{
+		cfg:   cfg,
+		cache: cache,
+		sched: newSched(cfg.Shards, cfg.Shards*cfg.QueueDepth,
+			cfg.MaxPendingBudget, cfg.MaxTenantPendingBudget, cfg.DisableStealing),
+	}
+	for i := 0; i < cfg.Shards; i++ {
 		s.wg.Add(1)
 		go s.worker(i)
 	}
@@ -172,17 +207,23 @@ func New(cfg Config) *Server {
 // Cache returns the server's shared artifact cache.
 func (s *Server) Cache() *Cache { return s.cache }
 
-// shardFor routes a tenant/datacenter key to a shard index.
+// shardFor maps a tenant/datacenter key to its home shard index.
 func (s *Server) shardFor(tenant, datacenter string) int {
 	h := fnv.New32a()
 	h.Write([]byte(tenant))
 	h.Write([]byte{0})
 	h.Write([]byte(datacenter))
-	return int(h.Sum32() % uint32(len(s.shards)))
+	return int(h.Sum32() % uint32(s.cfg.Shards))
 }
 
-// Submit validates and routes a job. It never blocks: a full shard queue
-// rejects with ErrBusy, an exhausted pending budget with ErrOverBudget.
+// schedKey is the per-tenant scheduling key.
+func schedKey(tenant, datacenter string) string {
+	return tenant + "\x00" + datacenter
+}
+
+// Submit validates and enqueues a job for the pulling workers. It never
+// blocks: an exhausted pending budget (global or per-tenant) rejects with
+// ErrOverBudget, a full admission queue with ErrBusy.
 func (s *Server) Submit(job Job) (*Ticket, error) {
 	if job.Tenant == "" {
 		return nil, fmt.Errorf("serve: job without a tenant key")
@@ -203,59 +244,42 @@ func (s *Server) Submit(job Job) (*Ticket, error) {
 	if s.closed.Load() {
 		return nil, ErrClosed
 	}
-	if max := s.cfg.MaxPendingBudget; max > 0 {
-		if pending := s.pendingBudget.Add(int64(job.RoundBudget.Time)); pending > int64(max) {
-			s.pendingBudget.Add(-int64(job.RoundBudget.Time))
-			s.rejected.Add(1)
-			return nil, ErrOverBudget
-		}
-	}
 	t := &Ticket{done: make(chan struct{})}
-	tk := task{job: job, ticket: t, enqueued: time.Now()}
-
-	s.submitMu.Lock()
-	if s.closed.Load() {
-		s.submitMu.Unlock()
-		s.releaseBudget(job)
-		return nil, ErrClosed
-	}
-	select {
-	case s.shards[s.shardFor(job.Tenant, job.Datacenter)] <- tk:
-		s.submitMu.Unlock()
+	err := s.sched.submit(schedKey(job.Tenant, job.Datacenter),
+		s.shardFor(job.Tenant, job.Datacenter), job.Weight, job, t)
+	switch err {
+	case nil:
 		s.submitted.Add(1)
 		return t, nil
-	default:
-		s.submitMu.Unlock()
-		s.releaseBudget(job)
+	case ErrBusy, ErrOverBudget:
 		s.rejected.Add(1)
-		return nil, ErrBusy
-	}
-}
-
-func (s *Server) releaseBudget(job Job) {
-	if s.cfg.MaxPendingBudget > 0 {
-		s.pendingBudget.Add(-int64(job.RoundBudget.Time))
+		return nil, err
+	default:
+		return nil, err
 	}
 }
 
 // Close stops admission, drains the queued jobs, and waits for the workers
 // to finish them. Safe to call once.
 func (s *Server) Close() {
-	s.submitMu.Lock()
 	if !s.closed.Swap(true) {
-		for _, ch := range s.shards {
-			close(ch)
-		}
+		s.sched.close()
 	}
-	s.submitMu.Unlock()
 	s.wg.Wait()
 }
 
+// worker is one shard's pull loop: take the fairest ready job — own home
+// tenants first, stolen otherwise — run it, retire it, repeat.
 func (s *Server) worker(idx int) {
 	defer s.wg.Done()
-	for tk := range s.shards[idx] {
+	for {
+		tk, stolen, ok := s.sched.next(idx)
+		if !ok {
+			return
+		}
 		res := s.runJob(idx, tk)
-		s.releaseBudget(tk.job)
+		res.Stolen = stolen
+		s.sched.done(schedKey(tk.job.Tenant, tk.job.Datacenter), tk)
 		if res.Err != nil {
 			s.failed.Add(1)
 		} else {
@@ -274,13 +298,21 @@ func (s *Server) runJob(shard int, tk task) *Result {
 
 	epochs := job.Epochs
 	if epochs == nil {
+		// The matrix flows down as-is: the one-epoch channel wraps the
+		// caller's snapshot, it does not clone it.
 		ch := make(chan measure.Epoch, 1)
 		ch <- measure.Epoch{Index: 1, Final: true, Matrix: job.Matrix}
 		close(ch)
 		epochs = ch
 	}
 
-	br := &cacheBridge{cache: s.cache, solverName: job.SolverName, clusterK: job.ClusterK}
+	br := &cacheBridge{
+		cache:      s.cache,
+		solverName: job.SolverName,
+		clusterK:   job.ClusterK,
+		objective:  job.Objective,
+		graph:      job.Graph,
+	}
 	start := time.Now()
 	out, err := advisor.SolveStream(epochs, advisor.StreamSolveConfig{
 		Graph:       job.Graph,
@@ -303,8 +335,11 @@ type Stats struct {
 	// Submitted counts admitted jobs; Rejected counts ErrBusy and
 	// ErrOverBudget refusals; Served and Failed partition completed jobs.
 	Submitted, Rejected, Served, Failed int64
-	// PendingBudget is the summed round budget of admitted-but-unfinished
-	// jobs (0 unless MaxPendingBudget is configured).
+	// Steals counts dispatches where an idle worker pulled a tenant homed
+	// on another shard.
+	Steals int64
+	// PendingBudget is the summed declared round budget of
+	// admitted-but-unfinished jobs.
 	PendingBudget time.Duration
 	// Cache is the shared cache's snapshot.
 	Cache CacheStats
@@ -317,7 +352,8 @@ func (s *Server) Stats() Stats {
 		Rejected:      s.rejected.Load(),
 		Served:        s.served.Load(),
 		Failed:        s.failed.Load(),
-		PendingBudget: time.Duration(s.pendingBudget.Load()),
+		Steals:        s.sched.stealCount(),
+		PendingBudget: s.sched.pending(),
 		Cache:         s.cache.Stats(),
 	}
 }
@@ -332,6 +368,8 @@ type cacheBridge struct {
 	cache      *Cache
 	solverName string
 	clusterK   int
+	objective  solver.Objective
+	graph      *core.Graph
 
 	prevFP       core.Fingerprint
 	hits, misses int
@@ -383,6 +421,14 @@ func (b *cacheBridge) onProblem(prob, prev *solver.Problem, ep measure.Epoch, ch
 	switch name {
 	case "g1", "portfolio":
 		b.count(b.cache.CheapestRows(fp, prep))
+	}
+	// Longest-path problems run the branch-and-bound member over the
+	// transposed graph; the transpose and its topological order are
+	// graph-content artifacts shared under the graph's own fingerprint
+	// (the per-family sub-key), so longest-path fleets share more than
+	// matrix-derived entries.
+	if b.objective == solver.LongestPath && (name == "mip" || name == "portfolio") {
+		b.count(b.cache.TransposedGraph(b.graph.Fingerprint(), prep))
 	}
 	return nil
 }

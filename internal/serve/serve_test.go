@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -230,9 +231,9 @@ func TestServeBackpressureAndBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Wait until the worker picked the blocker up, freeing the queue slot.
+	// Wait until the worker pulled the blocker, freeing the queue slot.
 	deadline := time.Now().Add(2 * time.Second)
-	for len(srv.shards[0]) > 0 {
+	for srv.sched.queuedTasks() > 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("worker never picked up the blocker")
 		}
@@ -379,5 +380,275 @@ func TestServeSubmitValidation(t *testing.T) {
 	}
 	if res := tk.Wait(); res.Err != nil {
 		t.Fatal(res.Err)
+	}
+}
+
+// End-to-end starvation check: with one worker, a hot tenant's 4-job
+// backlog must yield to later-arriving light tenants after its first
+// dispatch. Each job's epoch channel is an unbuffered gate, so the running
+// job is exactly the one whose gate send succeeds — observing the true
+// dispatch order without races.
+func TestServeHotTenantCannotStarveLights(t *testing.T) {
+	g := testGraph(t, 2, 3)
+	rng := rand.New(rand.NewSource(29))
+	ep := evolveEpochs(t, rng, 8, 1)[0]
+	srv := New(Config{Shards: 1})
+	defer srv.Close()
+
+	type sub struct {
+		tenant string
+		gate   chan measure.Epoch
+		tk     *Ticket
+	}
+	var subs []*sub
+	submit := func(tenant string) {
+		t.Helper()
+		s := &sub{tenant: tenant, gate: make(chan measure.Epoch)}
+		var err error
+		s.tk, err = srv.Submit(Job{
+			Tenant: tenant, Graph: g, Objective: solver.LongestLink,
+			Epochs: s.gate, SolverName: "g1", RoundBudget: solver.Budget{Nodes: 1000},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, s)
+	}
+	for i := 0; i < 4; i++ {
+		submit("hot")
+	}
+	for _, l := range []string{"light-a", "light-b", "light-c"} {
+		submit(l)
+	}
+
+	var order []string
+	remaining := subs
+	for len(remaining) > 0 {
+		cases := make([]reflect.SelectCase, len(remaining))
+		for i, s := range remaining {
+			cases[i] = reflect.SelectCase{
+				Dir: reflect.SelectSend, Chan: reflect.ValueOf(s.gate), Send: reflect.ValueOf(ep),
+			}
+		}
+		chosen, _, _ := reflect.Select(cases)
+		s := remaining[chosen]
+		close(s.gate)
+		if res := s.tk.Wait(); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		order = append(order, s.tenant)
+		remaining = append(remaining[:chosen:chosen], remaining[chosen+1:]...)
+	}
+	want := []string{"hot", "light-a", "light-b", "light-c", "hot", "hot", "hot"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("completion order %v, want %v", order, want)
+	}
+}
+
+// Work stealing must occur when one shard homes all the load — and must not
+// change a single output bit: stolen jobs produce deployments identical to
+// the unsharded streaming path, and to a stealing-disabled server.
+func TestServeWorkStealingBitEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := testGraph(t, 3, 4)
+	shared := evolveEpochs(t, rng, 16, 3)
+	budget := solver.Budget{Nodes: 30_000}
+
+	srv := New(Config{Shards: 2})
+	// Two tenants whose keys both home on shard 0, so shard 1 can only ever
+	// run stolen work.
+	var tenants []string
+	for i := 0; len(tenants) < 2; i++ {
+		name := fmt.Sprintf("tenant-%d", i)
+		if srv.shardFor(name, "") == 0 {
+			tenants = append(tenants, name)
+		}
+	}
+	const jobsPer = 4
+	run := func(srv *Server) map[string][]*advisor.StreamOutcome {
+		t.Helper()
+		defer srv.Close()
+		var tks []*Ticket
+		var names []string
+		for j := 0; j < jobsPer; j++ {
+			for _, tn := range tenants {
+				tk, err := srv.Submit(Job{
+					Tenant: tn, Graph: g, Objective: solver.LongestLink,
+					Epochs: epochSeq(shared), SolverName: "cp", ClusterK: 4,
+					RoundBudget: budget, Seed: int64(j),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				tks = append(tks, tk)
+				names = append(names, tn)
+			}
+		}
+		out := map[string][]*advisor.StreamOutcome{}
+		for i, tk := range tks {
+			res := tk.Wait()
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			out[names[i]] = append(out[names[i]], res.Outcome)
+		}
+		return out
+	}
+
+	stealing := run(srv)
+	if got := srv.Stats().Steals; got == 0 {
+		t.Fatal("no steals despite an idle shard and a loaded one")
+	}
+	pinned := New(Config{Shards: 2, DisableStealing: true})
+	static := run(pinned)
+	if got := pinned.Stats().Steals; got != 0 {
+		t.Fatalf("stealing-disabled server stole %d times", got)
+	}
+
+	for j := 0; j < jobsPer; j++ {
+		for _, tn := range tenants {
+			want, err := advisor.SolveStream(epochSeq(shared), advisor.StreamSolveConfig{
+				Graph: g, Objective: solver.LongestLink, SolverName: "cp",
+				ClusterK: 4, RoundBudget: budget, Seed: int64(j),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, got := range map[string]*advisor.StreamOutcome{
+				"stealing": stealing[tn][j], "static": static[tn][j],
+			} {
+				if !reflect.DeepEqual(got.Deployment, want.Deployment) || got.Cost != want.Cost {
+					t.Fatalf("%s server diverged from unsharded for %s seed %d", name, tn, j)
+				}
+			}
+		}
+	}
+}
+
+// The per-tenant pending-budget cap rejects one tenant's excess while other
+// tenants keep submitting, through the public Config surface.
+func TestServePerTenantBudget(t *testing.T) {
+	g := testGraph(t, 2, 3)
+	srv := New(Config{Shards: 1, MaxTenantPendingBudget: 250 * time.Millisecond})
+	job := func(tenant string) (Job, chan measure.Epoch) {
+		gate := make(chan measure.Epoch, 1)
+		return Job{
+			Tenant: tenant, Graph: g, Objective: solver.LongestLink,
+			Epochs: gate, SolverName: "g1", RoundBudget: solver.Budget{Time: 100 * time.Millisecond},
+		}, gate
+	}
+	var tks []*Ticket
+	var gates []chan measure.Epoch
+	for i := 0; i < 2; i++ {
+		j, gate := job("greedy-tenant")
+		tk, err := srv.Submit(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tks, gates = append(tks, tk), append(gates, gate)
+	}
+	if j, _ := job("greedy-tenant"); func() error { _, err := srv.Submit(j); return err }() != ErrOverBudget {
+		t.Fatal("third 100ms job for one tenant was not rejected with ErrOverBudget")
+	}
+	j, gate := job("modest-tenant")
+	tk, err := srv.Submit(j)
+	if err != nil {
+		t.Fatalf("other tenant rejected: %v", err)
+	}
+	tks, gates = append(tks, tk), append(gates, gate)
+
+	rng := rand.New(rand.NewSource(37))
+	ep := evolveEpochs(t, rng, 8, 1)[0]
+	for _, gate := range gates {
+		gate <- ep
+		close(gate)
+	}
+	for _, tk := range tks {
+		if res := tk.Wait(); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	srv.Close()
+}
+
+// The transposed-graph family is keyed by graph content: tenants with
+// different matrices over one topology share the transpose, and the adopted
+// artifact is pointer-identical.
+func TestCacheTransposedGraphFamily(t *testing.T) {
+	g := core.NewGraph(4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 2}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(41))
+	p1, err := solver.NewProblem(g, testMatrix(rng, 6), solver.LongestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := solver.NewProblem(g, testMatrix(rng, 6), solver.LongestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(4)
+	gfp := g.Fingerprint()
+	if c.TransposedGraph(gfp, p1.Prep()) {
+		t.Fatal("first requester reported a hit")
+	}
+	if !c.TransposedGraph(gfp, p2.Prep()) {
+		t.Fatal("second requester over the same graph missed")
+	}
+	if p1.Prep().TransposedGraph() != p2.Prep().TransposedGraph() {
+		t.Fatal("transposed graph not shared by reference")
+	}
+	if st := c.Stats(); st.Graphs != 1 {
+		t.Fatalf("graph entries = %d, want 1", st.Graphs)
+	}
+	// Repeated requests from a Prep that already holds its own build are
+	// misses, never errors.
+	if c.TransposedGraph(gfp, p1.Prep()) {
+		t.Fatal("repeat adoption reported a hit")
+	}
+}
+
+// 16 goroutines hammer submission, evolving epochs (Supersede), a
+// 2-fingerprint cache (eviction), and 4 pulling shards (steals) at once;
+// run under -race in CI, any ordering bug surfaces as a data race or a
+// failed job.
+func TestServeRaceHammer(t *testing.T) {
+	g := testGraph(t, 2, 4)
+	srv := New(Config{Shards: 4, Cache: NewCache(2), QueueDepth: 32})
+	defer srv.Close()
+
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*3)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(43 + w)))
+			for j := 0; j < 3; j++ {
+				tk, err := srv.Submit(Job{
+					Tenant: fmt.Sprintf("tenant-%d", w%5), Graph: g,
+					Objective:  solver.LongestLink,
+					Epochs:     epochSeq(evolveEpochs(t, rng, 10, 3)),
+					SolverName: "cp", ClusterK: 3,
+					RoundBudget: solver.Budget{Nodes: 2000}, Seed: int64(w*10 + j),
+				})
+				if err != nil {
+					errs <- err
+					continue
+				}
+				if res := tk.Wait(); res.Err != nil {
+					errs <- res.Err
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }

@@ -2,6 +2,7 @@ package greedy
 
 import (
 	"testing"
+	"time"
 
 	"cloudia/internal/core"
 	"cloudia/internal/solver"
@@ -155,6 +156,51 @@ func TestGreedySingleEdgeGraph(t *testing.T) {
 		min := p.Costs.DistinctValues()[0]
 		if res.Cost != min {
 			t.Fatalf("%s cost %g, want cheapest link %g", New(v).Name(), res.Cost, min)
+		}
+	}
+}
+
+// A nearly-spent time budget must trigger the cheap completion: the solver
+// still returns a complete valid deployment, and a generous time budget
+// produces the same deployment as an untimed run (the fallback never fires).
+func TestGreedyTimeBudgetFallback(t *testing.T) {
+	g, err := core.Mesh2D(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := solvertest.Realistic(g, 24, solver.LongestLink, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []Variant{G1, G2} {
+		s := New(v)
+		// A 1ns budget is spent before the first step: everything beyond the
+		// seed placement goes through completeCheap.
+		res, err := s.Solve(p, solver.Budget{Time: time.Nanosecond})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := res.Deployment.Validate(p.NumInstances()); err != nil {
+			t.Fatalf("%s fallback produced invalid deployment: %v", s.Name(), err)
+		}
+		if len(res.Deployment) != p.NumNodes() {
+			t.Fatalf("%s fallback deployed %d nodes, want %d", s.Name(), len(res.Deployment), p.NumNodes())
+		}
+		if got := p.Cost(res.Deployment); got != res.Cost {
+			t.Fatalf("%s fallback reported cost %g, actual %g", s.Name(), res.Cost, got)
+		}
+
+		// With hours of budget the clock checks pass and the run matches the
+		// node-budgeted (untimed) construction exactly.
+		slow, err := s.Solve(p, solver.Budget{Time: time.Hour})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := solveValid(t, s, p)
+		for i := range want.Deployment {
+			if slow.Deployment[i] != want.Deployment[i] {
+				t.Fatalf("%s with generous time budget diverged from untimed run", s.Name())
+			}
 		}
 	}
 }

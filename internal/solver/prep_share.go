@@ -1,5 +1,7 @@
 package solver
 
+import "cloudia/internal/core"
+
 // This file implements the export/adopt path that lets a serving layer
 // share Prep artifacts across Problems: cluster-K memo entries and
 // cheapest-link rows are immutable once built and are deterministic
@@ -80,6 +82,47 @@ func (pp *Prep) ExportCheapestRows() (*RowsArtifact, bool) {
 		return nil, false
 	}
 	return &RowsArtifact{rows: pp.rows}, true
+}
+
+// GraphArtifact is an exported transposed-graph family — the reversed
+// communication graph and its topological order — shared read-only between
+// every Prep that adopts it. Unlike the matrix-derived artifacts it is keyed
+// by the graph's content (core.Graph.Fingerprint), so longest-path fleets
+// over one topology share the transpose even when their cost matrices all
+// differ.
+type GraphArtifact struct {
+	g        *core.Graph
+	order    []core.NodeID
+	orderErr error
+}
+
+// ExportTransposedGraph returns the computed transposed-graph family as a
+// shareable artifact, or ok=false when it has not been built yet. The
+// transpose is a pure function of the graph's edge list (in order), so it is
+// always canonical.
+func (pp *Prep) ExportTransposedGraph() (*GraphArtifact, bool) {
+	if !pp.tGraphDone.Load() {
+		return nil, false
+	}
+	return &GraphArtifact{g: pp.tGraph, order: pp.tOrder, orderErr: pp.tOrderErr}, true
+}
+
+// AdoptTransposedGraph installs an exported transposed-graph family, so
+// TransposedGraph and TransposedTopoOrder serve the shared artifact. It
+// reports false when this Prep already built its own (adoption raced a
+// solver, or was repeated). Callers must only adopt artifacts whose source
+// graph content (fingerprint) matches this problem's graph.
+func (pp *Prep) AdoptTransposedGraph(a *GraphArtifact) bool {
+	if a == nil || a.g == nil {
+		return false
+	}
+	adopted := false
+	pp.tGraphOnce.Do(func() {
+		pp.tGraph, pp.tOrder, pp.tOrderErr = a.g, a.order, a.orderErr
+		pp.tGraphDone.Store(true)
+		adopted = true
+	})
+	return adopted
 }
 
 // AdoptCheapestRows installs an exported row set, so CheapestRows serves
