@@ -7,27 +7,27 @@ GO ?= go
 # macro benchmarks are ms-scale whole solver passes (20 iterations), heavy
 # benchmarks are seconds-scale 1000-instance passes (3 iterations), and
 # micro benchmarks are ns-scale move evaluations (thousands).
-BENCH_PATTERN_MACRO ?= BenchmarkCPPerNodeBudget|BenchmarkCPThresholdDescent|BenchmarkCPSearchNode|BenchmarkCPTighten|BenchmarkDeltaEvalPortfolio|BenchmarkKMeans1D$$|BenchmarkPatchSortedPairs
+BENCH_PATTERN_MACRO ?= BenchmarkCPPerNodeBudget|BenchmarkCPThresholdDescent|BenchmarkCPSearchNode|BenchmarkCPTighten|BenchmarkDeltaEvalPortfolio|BenchmarkKMeans1D$$|BenchmarkPatchSortedPairs|BenchmarkWALReplay
 BENCH_PATTERN_HEAVY ?= BenchmarkKMeans1DLarge|BenchmarkPortfolio1000|BenchmarkStreamingAdvise|BenchmarkShardedServe|BenchmarkSkewedServe|BenchmarkSortedPairsRebuild
 BENCH_PATTERN_MICRO ?= BenchmarkDeltaEvalLL|BenchmarkDeltaEvalLP
 BENCH_PATTERN ?= $(BENCH_PATTERN_MACRO)|$(BENCH_PATTERN_HEAVY)|$(BENCH_PATTERN_MICRO)
-BENCH_OUT ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR7.json
 
 # The perf trajectory: BENCH_BASE is the previous PR's recorded run,
 # BENCH_NEW the current one; bench-diff flags regressions beyond
 # BENCH_THRESHOLD percent. Only benchmarks named in BENCH_ALLOWLIST gate
 # the exit status (stable whole-pass benchmarks); the rest print as
 # informational.
-BENCH_BASE ?= BENCH_PR5.json
-BENCH_NEW ?= BENCH_PR6.json
+BENCH_BASE ?= BENCH_PR6.json
+BENCH_NEW ?= BENCH_PR7.json
 BENCH_THRESHOLD ?= 20
 BENCH_ALLOWLIST ?= BENCH_ALLOWLIST
 
 # Per-package statement-coverage floors enforced by `make cover` (and CI).
 COVER_OUT ?= coverprofile
-COVER_FLOORS ?= cloudia/internal/measure=90 cloudia/internal/solver=90 cloudia/internal/serve=90
+COVER_FLOORS ?= cloudia/internal/measure=90 cloudia/internal/solver=90 cloudia/internal/serve=90 cloudia/internal/wal=90
 
-.PHONY: build vet test bench bench-smoke bench-diff cover fmt-check
+.PHONY: build vet test bench bench-smoke bench-diff cover fmt-check crash-test
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,13 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# crash-test runs the fault-injection suite on its own: the daemon is
+# killed at every WAL crashpoint (in-process and by re-execed child dying
+# with exit 137), restarted, and must replay to a prefix of the
+# uninterrupted history and serve bit-equal advice.
+crash-test:
+	$(GO) test -run 'TestCrash' -count=1 -v ./internal/serve/
 
 # bench runs the solver benchmarks and records them as JSON so the perf
 # trajectory is tracked across PRs (BENCH_PR<N>.json per PR). -p 1 keeps

@@ -57,6 +57,10 @@ func main() {
 		stream    = flag.Bool("stream", false, "stream measurement into incremental advising (warm-started rounds per matrix epoch)")
 		epochMS   = flag.Float64("epoch-ms", 0, "streaming epoch period in virtual ms (0 = measurement budget / 8)")
 		servePath = flag.String("serve", "", "serve a JSON batch of tenant jobs through the sharded multi-tenant advisor (path to batch file)")
+		listen    = flag.String("listen", "", "run the durable serve daemon on this address (e.g. :8080)")
+		walDir    = flag.String("wal-dir", "cloudia-wal", "write-ahead log directory for -listen")
+		fsync     = flag.String("fsync", "always", "WAL fsync policy for -listen: always, batch, none")
+		shards    = flag.Int("shards", 0, "worker shards for -listen (0 = default)")
 	)
 	flag.Parse()
 
@@ -71,6 +75,7 @@ func main() {
 		seed: *seed, asJSON: *asJSON,
 		stream: *stream, epochMS: *epochMS,
 		servePath: *servePath,
+		listen:    *listen, walDir: *walDir, fsync: *fsync, shards: *shards,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "cloudia:", err)
 		os.Exit(1)
@@ -92,6 +97,8 @@ type runConfig struct {
 	stream                            bool
 	epochMS                           float64
 	servePath                         string
+	listen, walDir, fsync             string
+	shards                            int
 }
 
 // validateFlags rejects flag combinations that can never run, before any
@@ -105,12 +112,29 @@ func validateFlags(cfg runConfig) error {
 	if cfg.servePath != "" && cfg.stream {
 		return fmt.Errorf("-serve batches cannot be combined with -stream (epoch sources are per-job in a batch)")
 	}
+	if cfg.listen != "" {
+		if cfg.servePath != "" {
+			return fmt.Errorf("-listen runs a daemon; batch jobs go to it over HTTP, not via -serve")
+		}
+		if cfg.stream {
+			return fmt.Errorf("-listen daemons receive epochs over HTTP; -stream is the single-run mode")
+		}
+		if cfg.walDir == "" {
+			return fmt.Errorf("-listen requires a -wal-dir")
+		}
+		if _, err := parseFsync(cfg.fsync); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 func run(cfg runConfig) error {
 	if err := validateFlags(cfg); err != nil {
 		return err
+	}
+	if cfg.listen != "" {
+		return runDaemon(cfg)
 	}
 	if cfg.servePath != "" {
 		return runServe(cfg)

@@ -30,7 +30,9 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"time"
 
@@ -76,7 +78,10 @@ type serveTenant struct {
 	// single-tenant -overalloc flag; an explicit 0 disables it.
 	OverAlloc *float64 `json:"overalloc"`
 	BudgetMS  int      `json:"budget_ms"`
-	Seed      int64    `json:"seed"`
+	// DeadlineMS bounds the tenant's whole solve: past it the job returns
+	// the best deployment found so far instead of running its budget out.
+	DeadlineMS int   `json:"deadline_ms"`
+	Seed       int64 `json:"seed"`
 }
 
 // parseObjective maps the CLI objective spelling to the solver constant.
@@ -108,6 +113,28 @@ func orDefault(v, def int) int {
 		return def
 	}
 	return v
+}
+
+// submitWithRetry submits a job, riding out transient ErrBusy rejections
+// with a bounded, jittered exponential backoff: 7 attempts, sleeping
+// 10ms · 2^attempt scaled by a uniform [0.5,1.5) jitter between them, about
+// 1.3s worst case. Only ErrBusy retries — it means the admission queue is
+// momentarily full and workers are draining it; every other error
+// (ErrOverBudget included: the pending-budget cap does not clear on its
+// own while nothing of ours is queued) is the caller's to handle. The
+// sleep function is injected for tests.
+func submitWithRetry(srv *serve.Server, job serve.Job, rng *rand.Rand, sleep func(time.Duration)) (*serve.Ticket, error) {
+	const attempts = 7
+	delay := 10 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		tk, err := srv.Submit(job)
+		if err == nil || !errors.Is(err, serve.ErrBusy) || attempt == attempts-1 {
+			return tk, err
+		}
+		jitter := 0.5 + rng.Float64()
+		sleep(time.Duration(float64(delay) * jitter))
+		delay *= 2
+	}
 }
 
 // servedTenant pairs a parsed tenant with its built graph and ticket.
@@ -227,25 +254,33 @@ func runServe(cfg runConfig) error {
 		groupMatrix[group] = meas.MeanMatrix()
 	}
 
-	// The batch submits every tenant before waiting on any, so admission
-	// capacity (Shards*QueueDepth in total) must cover the whole batch.
+	// The batch submits every tenant before waiting on any. When the batch
+	// leaves QueueDepth unset, admission capacity (Shards*QueueDepth in
+	// total) is sized to cover the whole batch; an explicit QueueDepth is
+	// respected as real backpressure, and submission rides it out with a
+	// bounded, jittered exponential backoff — workers drain the queue while
+	// the submitter sleeps.
 	shards := batch.Shards
 	if shards <= 0 {
 		shards = 2 // serve.New's default
 	}
 	queue := batch.QueueDepth
-	if shards*queue < len(batch.Tenants) {
+	if queue <= 0 {
 		queue = (len(batch.Tenants) + shards - 1) / shards
+		if queue < 16 {
+			queue = 16
+		}
 	}
 	srv := serve.New(serve.Config{Shards: batch.Shards, QueueDepth: queue})
 	defer srv.Close()
+	backoffRNG := rand.New(rand.NewSource(batch.Seed + 2))
 	for _, st := range tenants {
 		obj, _ := parseObjective(st.spec.Objective)
 		budget := st.spec.BudgetMS
 		if budget == 0 {
 			budget = 500
 		}
-		st.ticket, err = srv.Submit(serve.Job{
+		st.ticket, err = submitWithRetry(srv, serve.Job{
 			Tenant:      st.spec.Name,
 			Datacenter:  st.group,
 			Graph:       st.graph,
@@ -254,8 +289,9 @@ func runServe(cfg runConfig) error {
 			SolverName:  st.spec.Solver,
 			ClusterK:    st.spec.ClusterK,
 			RoundBudget: solver.Budget{Time: time.Duration(budget) * time.Millisecond},
+			Timeout:     time.Duration(st.spec.DeadlineMS) * time.Millisecond,
 			Seed:        st.spec.Seed,
-		})
+		}, backoffRNG, time.Sleep)
 		if err != nil {
 			return fmt.Errorf("tenant %q: %w", st.spec.Name, err)
 		}

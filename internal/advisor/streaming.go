@@ -1,6 +1,7 @@
 package advisor
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -77,6 +78,10 @@ type StreamOutcome struct {
 	Rounds []Round
 	// FirstAdvice is the wall-clock time to the first feasible advice.
 	FirstAdvice time.Duration
+	// Interrupted reports that cfg.Ctx expired before the stream closed:
+	// Deployment is the best incumbent found so far rather than the final
+	// epoch's, and any unconsumed epochs were left on the channel.
+	Interrupted bool
 }
 
 // StreamSolveConfig drives SolveStream.
@@ -111,6 +116,21 @@ type StreamSolveConfig struct {
 	OnProblem func(prob, prev *solver.Problem, ep measure.Epoch, changedRows []int) error
 	// OnRound, when non-nil, observes each round as it completes.
 	OnRound func(Round)
+	// Ctx, when non-nil, bounds the whole run: once it is done (deadline
+	// or cancellation) the loop stops consuming epochs, cuts short the
+	// round in flight (context-aware solvers return their best-so-far
+	// immediately), and returns the incumbent with Outcome.Interrupted
+	// set. A context that expires before the first round still gets one
+	// short round — solvers produce a feasible deployment even on an
+	// exhausted budget — so an interrupted run returns advice, not an
+	// error, as long as one epoch arrived.
+	Ctx context.Context
+	// WarmStart, when non-nil, seeds the incumbent before the first round,
+	// exactly as if a previous round had produced it: it is priced under
+	// the first epoch's matrix and survives until a round beats it. It is
+	// validated against the first problem; an out-of-range deployment
+	// fails the run.
+	WarmStart core.Deployment
 }
 
 // SolveStream runs the incremental advising loop over an epoch stream: for
@@ -137,12 +157,25 @@ func SolveStream(epochs <-chan measure.Epoch, cfg StreamSolveConfig) (*StreamOut
 		clusterK = 20
 	}
 
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
 	start := time.Now()
 	out := &StreamOutcome{}
 	var incumbent core.Deployment
 	incumbentCost := math.Inf(1)
 
-	for ep := range epochs {
+	for {
+		ep, ok, interrupted := nextEpoch(epochs, ctx)
+		if interrupted {
+			out.Interrupted = true
+			break
+		}
+		if !ok {
+			break
+		}
 		skipped := 0
 		changedRows := ep.ChangedRows
 		if cfg.Coalesce {
@@ -179,6 +212,12 @@ func SolveStream(epochs <-chan measure.Epoch, cfg StreamSolveConfig) (*StreamOut
 		}
 		out.Problem = prob
 
+		if prev == nil && cfg.WarmStart != nil {
+			if err := cfg.WarmStart.Validate(prob.NumInstances()); err != nil {
+				return nil, fmt.Errorf("advisor: warm start: %w", err)
+			}
+			incumbent = cfg.WarmStart
+		}
 		if incumbent != nil {
 			if err := prob.Prep().WarmStart(incumbent); err != nil {
 				return nil, err
@@ -193,7 +232,12 @@ func SolveStream(epochs <-chan measure.Epoch, cfg StreamSolveConfig) (*StreamOut
 		if err != nil {
 			return nil, err
 		}
-		res, err := sol.Solve(prob, cfg.RoundBudget)
+		var res *solver.Result
+		if cs, isCtx := sol.(solver.ContextSolver); isCtx {
+			res, err = cs.SolveContext(ctx, prob, cfg.RoundBudget)
+		} else {
+			res, err = sol.Solve(prob, cfg.RoundBudget)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -222,8 +266,17 @@ func SolveStream(epochs <-chan measure.Epoch, cfg StreamSolveConfig) (*StreamOut
 		if cfg.OnRound != nil {
 			cfg.OnRound(r)
 		}
+		if ctx.Err() != nil {
+			// The deadline landed during this round; its (possibly cut
+			// short) result stands as the best-so-far advice.
+			out.Interrupted = true
+			break
+		}
 	}
 	if out.Problem == nil {
+		if out.Interrupted {
+			return nil, fmt.Errorf("advisor: %w before the first epoch", ctx.Err())
+		}
 		return nil, fmt.Errorf("advisor: epoch stream closed before the first epoch")
 	}
 	out.Deployment = incumbent
@@ -253,6 +306,25 @@ func unionRows(a, b []int) []int {
 	}
 	out = append(out, a[i:]...)
 	return append(out, b[j:]...)
+}
+
+// nextEpoch receives the next epoch or reports an interrupt. A pending
+// epoch wins over an already-expired context: the round it feeds still runs
+// (context-aware solvers cut it short), so an interrupted run returns
+// best-so-far advice instead of nothing; the post-round ctx check then
+// stops the loop.
+func nextEpoch(epochs <-chan measure.Epoch, ctx context.Context) (ep measure.Epoch, ok, interrupted bool) {
+	select {
+	case ep, ok = <-epochs:
+		return ep, ok, false
+	default:
+	}
+	select {
+	case ep, ok = <-epochs:
+		return ep, ok, false
+	case <-ctx.Done():
+		return measure.Epoch{}, false, true
+	}
 }
 
 // pendingEpoch performs a non-blocking receive. A closed channel reports no

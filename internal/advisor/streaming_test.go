@@ -1,6 +1,7 @@
 package advisor
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -286,5 +287,121 @@ func rngFill(m *core.CostMatrix, seed int64) {
 				m.Set(i, j, 0.2+next())
 			}
 		}
+	}
+}
+
+// TestSolveStreamWarmStart: a supplied warm start is adopted as the round-0
+// incumbent — the outcome can only improve on it — and an invalid one fails
+// the run before any solving.
+func TestSolveStreamWarmStart(t *testing.T) {
+	g := meshGraph(t, 3, 3)
+	m := core.NewCostMatrix(12)
+	rngFill(m, 81)
+
+	oneEpoch := func() chan measure.Epoch {
+		ch := make(chan measure.Epoch, 1)
+		ch <- measure.Epoch{Index: 1, AtMS: 1, Final: true, Matrix: m.Clone()}
+		close(ch)
+		return ch
+	}
+	warm := core.Identity(g.NumNodes())
+	out, err := SolveStream(oneEpoch(), StreamSolveConfig{
+		Graph:       g,
+		Objective:   solver.LongestLink,
+		SolverName:  "g1",
+		RoundBudget: solver.Budget{Nodes: 1},
+		WarmStart:   warm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cost > out.Problem.Cost(warm) {
+		t.Fatalf("outcome cost %g worse than the warm start's %g", out.Cost, out.Problem.Cost(warm))
+	}
+
+	for _, bad := range []core.Deployment{
+		{0, 1},                                 // wrong length
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 99}, // instance out of range
+	} {
+		if _, err := SolveStream(oneEpoch(), StreamSolveConfig{
+			Graph:       g,
+			Objective:   solver.LongestLink,
+			SolverName:  "g1",
+			RoundBudget: solver.Budget{Nodes: 1},
+			WarmStart:   bad,
+		}); err == nil {
+			t.Fatalf("warm start %v accepted", bad)
+		}
+	}
+}
+
+// TestSolveStreamDeadline covers the ctx-bounded run: an expired context
+// still yields one round of best-so-far advice when an epoch is pending, a
+// mid-stream cancellation stops consuming epochs after the round in flight,
+// and a context that dies before any epoch arrives is an error.
+func TestSolveStreamDeadline(t *testing.T) {
+	g := meshGraph(t, 3, 3)
+	m := core.NewCostMatrix(12)
+	rngFill(m, 83)
+	fill := func(n int) chan measure.Epoch {
+		ch := make(chan measure.Epoch, n)
+		for i := 1; i <= n; i++ {
+			ch <- measure.Epoch{Index: i, AtMS: float64(i), Final: i == n, Matrix: m.Clone()}
+		}
+		close(ch)
+		return ch
+	}
+
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := SolveStream(fill(3), StreamSolveConfig{
+		Graph:       g,
+		Objective:   solver.LongestLink,
+		RoundBudget: solver.Budget{Nodes: 50_000},
+		Seed:        3,
+		Ctx:         expired,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Interrupted {
+		t.Fatal("expired-context run not marked Interrupted")
+	}
+	if len(out.Rounds) != 1 {
+		t.Fatalf("expired-context run consumed %d epochs, want 1", len(out.Rounds))
+	}
+	if err := out.Deployment.Validate(12); err != nil {
+		t.Fatalf("interrupted run returned no usable advice: %v", err)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	out2, err := SolveStream(fill(4), StreamSolveConfig{
+		Graph:       g,
+		Objective:   solver.LongestLink,
+		SolverName:  "g2",
+		RoundBudget: solver.Budget{Nodes: 2_000},
+		OnRound: func(r Round) {
+			if r.Epoch == 2 {
+				cancel2()
+			}
+		},
+		Ctx: ctx2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out2.Interrupted || len(out2.Rounds) != 2 {
+		t.Fatalf("mid-stream cancel: interrupted=%v rounds=%d, want true/2", out2.Interrupted, len(out2.Rounds))
+	}
+
+	starved := make(chan measure.Epoch) // open, never fed
+	if _, err := SolveStream(starved, StreamSolveConfig{
+		Graph:       g,
+		Objective:   solver.LongestLink,
+		RoundBudget: solver.Budget{Nodes: 10},
+		Ctx:         expired,
+	}); err == nil {
+		t.Fatal("interrupt before the first epoch produced advice from nothing")
 	}
 }

@@ -45,6 +45,26 @@ type Epoch struct {
 	Samples int64
 }
 
+// PublishEpoch folds one snapshot of a mutable estimate into an Epoch
+// value: the immutable matrix copy, the exact changed-row set since the
+// previous snapshot, and the incrementally maintained fingerprint. It is
+// the single point where an epoch's invariants are assembled — the
+// streaming measurement publishes through it, and so does the durable
+// serve daemon when a tenant posts an epoch over HTTP, which is what keeps
+// daemon-side fingerprints bit-compatible with measurement-side ones.
+func PublishEpoch(mm *core.MutableCostMatrix, atMS float64, final bool, samples int64) Epoch {
+	snap, changed := mm.Snapshot()
+	return Epoch{
+		Index:       mm.Epoch(),
+		AtMS:        atMS,
+		Final:       final,
+		Matrix:      snap,
+		ChangedRows: changed,
+		Fingerprint: mm.Fingerprint(),
+		Samples:     samples,
+	}
+}
+
 // Streamer is a measurement in flight. Epochs delivers the matrix epochs in
 // order and is closed after the final epoch; Wait blocks until the
 // measurement completes and returns the full aggregate result.
@@ -124,16 +144,7 @@ func Stream(dc *topology.Datacenter, instances []cloud.Instance, opts Options) (
 					}
 				}
 			}
-			snap, changed := mm.Snapshot()
-			ch <- Epoch{
-				Index:       mm.Epoch(),
-				AtMS:        at,
-				Final:       final,
-				Matrix:      snap,
-				ChangedRows: changed,
-				Fingerprint: mm.Fingerprint(),
-				Samples:     m.res.TotalSamples,
-			}
+			ch <- PublishEpoch(mm, at, final, m.res.TotalSamples)
 		}
 
 		// Schedule the intermediate epochs exactly where Run schedules its

@@ -1,0 +1,495 @@
+package serve
+
+import (
+	"encoding/hex"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"cloudia/internal/advisor"
+	"cloudia/internal/core"
+	"cloudia/internal/measure"
+	"cloudia/internal/solver"
+	"cloudia/internal/wal"
+)
+
+// This file implements the durable serve daemon: the long-lived, crash-safe
+// face of the sharded Server. Where the Server is a scheduling fabric with
+// no memory — every Job carries its own matrix and dies with the process —
+// the Daemon owns per-tenant state that must survive restarts: each
+// tenant's evolving cost matrix and its last served advice live in an
+// append-only WAL (internal/wal), written before the mutation is
+// acknowledged. On restart, recovery replays every tenant's log, rebuilds
+// the MutableCostMatrix, verifies each epoch's fingerprint bit-for-bit
+// against the logged one, and re-seeds the content-addressed artifact cache
+// from the recovered matrices before any traffic is admitted — so a killed
+// and restarted daemon serves advice bit-equal to one that never died.
+
+// ErrUnknownTenant rejects an advise call for a tenant with no epochs.
+var ErrUnknownTenant = fmt.Errorf("serve: unknown tenant")
+
+// DaemonConfig sizes a Daemon.
+type DaemonConfig struct {
+	// Dir is the WAL root; each tenant's log lives in
+	// Dir/tenants/<hex(tenant)>. Required.
+	Dir string
+	// Serve configures the underlying Server.
+	Serve Config
+	// WAL configures each tenant's log (fsync policy, segment size).
+	WAL wal.Options
+	// CompactEvery compacts a tenant's log to a snapshot record every this
+	// many epochs; <= 0 selects 32.
+	CompactEvery int
+	// DefaultTimeout bounds jobs whose request carries no deadline; zero
+	// leaves them unbounded.
+	DefaultTimeout time.Duration
+}
+
+// Daemon is a Server plus durable per-tenant state.
+type Daemon struct {
+	cfg   DaemonConfig
+	srv   *Server
+	cache *Cache
+
+	mu      sync.Mutex
+	tenants map[string]*tenantSession
+}
+
+// tenantSession is one tenant's durable state: the mutable matrix its
+// epochs fold into, the immutable snapshot jobs solve over, and the WAL
+// that makes both survive a crash. The session lock serializes epoch
+// appends, advice logging, and compaction, so WAL order always matches
+// state mutation order — the property replay depends on.
+type tenantSession struct {
+	name string
+
+	mu           sync.Mutex
+	log          *wal.Log
+	mm           *core.MutableCostMatrix
+	snap         *core.CostMatrix
+	fp           core.Fingerprint
+	epoch        int
+	lastAdvice   *wal.AdviceRecord
+	sinceCompact int
+}
+
+// OpenDaemon opens (or creates) the WAL root, recovers every tenant found
+// there — replaying epochs into rebuilt matrices, verifying fingerprints
+// bit-for-bit, restoring each tenant's last advice as its warm-start
+// incumbent, and re-seeding the shared artifact cache — and only then
+// starts the serving fabric. A fingerprint mismatch or mid-log corruption
+// fails the open: serving advice from silently divergent state is the one
+// thing a durable daemon must never do.
+func OpenDaemon(cfg DaemonConfig) (*Daemon, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("serve: daemon requires a WAL directory")
+	}
+	if cfg.CompactEvery <= 0 {
+		cfg.CompactEvery = 32
+	}
+	if cfg.Serve.Cache == nil {
+		cfg.Serve.Cache = NewCache(0)
+	}
+	root := filepath.Join(cfg.Dir, "tenants")
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	d := &Daemon{cfg: cfg, cache: cfg.Serve.Cache, tenants: map[string]*tenantSession{}}
+
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		raw, err := hex.DecodeString(e.Name())
+		if err != nil {
+			return nil, fmt.Errorf("serve: alien tenant directory %q", e.Name())
+		}
+		sess, err := openSession(filepath.Join(root, e.Name()), string(raw), cfg.WAL)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.reseedCache(sess); err != nil {
+			return nil, err
+		}
+		d.tenants[sess.name] = sess
+	}
+
+	d.srv = New(cfg.Serve)
+	return d, nil
+}
+
+// openSession opens one tenant's log and replays it into a fresh session.
+// Every epoch's fingerprint is re-derived from the rebuilt matrix and
+// compared bit-for-bit with the logged one.
+func openSession(dir, tenant string, opts wal.Options) (*tenantSession, error) {
+	sess := &tenantSession{name: tenant}
+	var mm *core.MutableCostMatrix
+	apply := func(epoch int, fp core.Fingerprint) error {
+		if got := mm.Fingerprint(); got != fp {
+			return fmt.Errorf("serve: tenant %q epoch %d: recovered fingerprint %016x != logged %016x",
+				tenant, epoch, uint64(got), uint64(fp))
+		}
+		sess.epoch, sess.fp = epoch, fp
+		return nil
+	}
+	log, err := wal.Open(dir, opts, func(rec wal.Record) error {
+		switch r := rec.(type) {
+		case *wal.EpochRecord:
+			if mm == nil {
+				mm = core.NewMutableCostMatrix(r.N)
+			} else if mm.Size() != r.N {
+				return fmt.Errorf("serve: tenant %q: epoch %d resizes the matrix %d -> %d",
+					tenant, r.Epoch, mm.Size(), r.N)
+			}
+			for _, delta := range r.Rows {
+				for j, v := range delta.Values {
+					mm.Set(delta.Row, j, v)
+				}
+			}
+			return apply(r.Epoch, r.Fingerprint)
+		case *wal.AdviceRecord:
+			sess.lastAdvice = r
+			return nil
+		case *wal.SnapshotRecord:
+			// A snapshot resets state: whatever preceded it is history the
+			// compaction already folded in.
+			n := r.Matrix.Size()
+			mm = core.NewMutableCostMatrix(n)
+			for i := 0; i < n; i++ {
+				for j, v := range r.Matrix.Row(i) {
+					mm.Set(i, j, v)
+				}
+			}
+			sess.lastAdvice = r.Advice
+			return apply(r.Epoch, r.Fingerprint)
+		}
+		return fmt.Errorf("serve: tenant %q: unexpected record %T", tenant, rec)
+	})
+	if err != nil {
+		return nil, err
+	}
+	sess.log = log
+	if mm != nil {
+		snap, _ := mm.Snapshot()
+		sess.mm, sess.snap = mm, snap
+	}
+	return sess, nil
+}
+
+// reseedCache warms the shared cache with the recovered tenant's matrix
+// artifacts under its current fingerprint, keyed by the solver
+// configuration of its last advice — the configuration its next advise is
+// overwhelmingly likely to repeat. Matrix artifacts derive from costs
+// alone, so a minimal one-node problem is enough to compute them; graph
+// family artifacts are not persisted and re-warm on first use.
+func (d *Daemon) reseedCache(sess *tenantSession) error {
+	adv := sess.lastAdvice
+	if adv == nil || sess.snap == nil {
+		return nil
+	}
+	prob, err := solver.NewProblem(core.NewGraph(1), sess.snap, solver.LongestLink)
+	if err != nil {
+		return fmt.Errorf("serve: tenant %q: re-seeding cache: %w", sess.name, err)
+	}
+	prep := prob.Prep()
+	name := adv.SolverName
+	if name == "" {
+		name = "portfolio"
+	}
+	k := adv.ClusterK
+	if k == 0 && (name == "cp" || name == "portfolio") {
+		k = 20
+	}
+	switch name {
+	case "cp", "portfolio":
+		if _, err := d.cache.Rounded(sess.fp, k, prep); err != nil {
+			return err
+		}
+	case "mip":
+		if k > 0 {
+			if _, err := d.cache.Rounded(sess.fp, k, prep); err != nil {
+				return err
+			}
+		}
+	}
+	if name == "g1" || name == "portfolio" {
+		d.cache.CheapestRows(sess.fp, prep)
+	}
+	return nil
+}
+
+// session returns the tenant's session, creating its directory and log on
+// first use when create is set.
+func (d *Daemon) session(tenant string, create bool) (*tenantSession, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if s, ok := d.tenants[tenant]; ok {
+		return s, nil
+	}
+	if !create {
+		return nil, fmt.Errorf("%w %q", ErrUnknownTenant, tenant)
+	}
+	dir := filepath.Join(d.cfg.Dir, "tenants", hex.EncodeToString([]byte(tenant)))
+	s, err := openSession(dir, tenant, d.cfg.WAL)
+	if err != nil {
+		return nil, err
+	}
+	d.tenants[tenant] = s
+	return s, nil
+}
+
+// AppendEpoch applies one epoch of cost updates to the tenant's matrix:
+// validate, fold into the mutable matrix, log the actually-changed rows
+// (with the new fingerprint) to the WAL, and only then publish the new
+// snapshot and retire the previous fingerprint from the cache. When
+// AppendEpoch returns, the epoch is as durable as the fsync policy
+// promises. Rows beyond the changed set cost nothing: a Set that does not
+// change a bit leaves the row clean and unlogged.
+func (d *Daemon) AppendEpoch(tenant string, n int, rows []wal.RowDelta) (epoch int, fp core.Fingerprint, err error) {
+	if tenant == "" {
+		return 0, 0, fmt.Errorf("serve: epoch without a tenant")
+	}
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("serve: epoch with matrix size %d", n)
+	}
+	for _, delta := range rows {
+		if delta.Row < 0 || delta.Row >= n {
+			return 0, 0, fmt.Errorf("serve: epoch row %d out of range [0,%d)", delta.Row, n)
+		}
+		if len(delta.Values) != n {
+			return 0, 0, fmt.Errorf("serve: epoch row %d carries %d values, want %d", delta.Row, len(delta.Values), n)
+		}
+		for j, v := range delta.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return 0, 0, fmt.Errorf("serve: epoch row %d col %d: invalid cost %g", delta.Row, j, v)
+			}
+			if j == delta.Row && v != 0 {
+				return 0, 0, fmt.Errorf("serve: epoch row %d: nonzero diagonal %g", delta.Row, v)
+			}
+		}
+	}
+	sess, err := d.session(tenant, true)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.mm == nil {
+		sess.mm = core.NewMutableCostMatrix(n)
+	} else if sess.mm.Size() != n {
+		return 0, 0, fmt.Errorf("serve: tenant %q matrix is %d x %d, epoch says %d", tenant, sess.mm.Size(), sess.mm.Size(), n)
+	}
+	for _, delta := range rows {
+		for j, v := range delta.Values {
+			sess.mm.Set(delta.Row, j, v)
+		}
+	}
+	oldFP := sess.fp
+	ep := measure.PublishEpoch(sess.mm, 0, true, 0)
+	sess.epoch++
+
+	rec := &wal.EpochRecord{Epoch: sess.epoch, Fingerprint: ep.Fingerprint, N: n}
+	for _, row := range ep.ChangedRows {
+		vals := make([]float64, n)
+		copy(vals, ep.Matrix.Row(row))
+		rec.Rows = append(rec.Rows, wal.RowDelta{Row: row, Values: vals})
+	}
+	if err := sess.log.Append(rec); err != nil {
+		return 0, 0, err
+	}
+
+	if oldFP != 0 && oldFP != ep.Fingerprint {
+		d.cache.Supersede(oldFP, ep.Fingerprint, ep.ChangedRows)
+	}
+	sess.snap, sess.fp = ep.Matrix, ep.Fingerprint
+
+	sess.sinceCompact++
+	if sess.sinceCompact >= d.cfg.CompactEvery {
+		snap := &wal.SnapshotRecord{Epoch: sess.epoch, Fingerprint: sess.fp, Matrix: sess.snap, Advice: sess.lastAdvice}
+		if err := sess.log.Compact(snap); err != nil {
+			return 0, 0, err
+		}
+		sess.sinceCompact = 0
+	}
+	return sess.epoch, sess.fp, nil
+}
+
+// AdviseRequest is one advise call against a tenant's current matrix.
+type AdviseRequest struct {
+	// Tenant selects whose matrix to solve over; it must have at least one
+	// epoch. Required.
+	Tenant string
+	// Graph and Objective define the deployment problem; required.
+	Graph     *core.Graph
+	Objective solver.Objective
+	// SolverName, ClusterK, RoundBudget, Seed: as in Job.
+	SolverName  string
+	ClusterK    int
+	RoundBudget solver.Budget
+	Seed        int64
+	// Timeout bounds the solve; zero selects DaemonConfig.DefaultTimeout.
+	Timeout time.Duration
+	// NoWarmStart suppresses seeding the solve from the tenant's last
+	// logged advice.
+	NoWarmStart bool
+	// OnRound, when non-nil, streams each round as it completes (worker
+	// goroutine; the HTTP front end flushes one JSON line per round).
+	OnRound func(advisor.Round)
+}
+
+// Advise solves the request over the tenant's current matrix snapshot and,
+// on success, logs the served advice to the tenant's WAL — making it the
+// warm-start incumbent for the tenant's next advise, in this process
+// lifetime or any later one. Admission errors (ErrBusy, ErrOverBudget)
+// pass through for the caller's retry policy.
+func (d *Daemon) Advise(req AdviseRequest) (*Result, error) {
+	sess, err := d.session(req.Tenant, false)
+	if err != nil {
+		return nil, err
+	}
+	sess.mu.Lock()
+	if sess.snap == nil {
+		sess.mu.Unlock()
+		return nil, fmt.Errorf("serve: tenant %q has no epochs", req.Tenant)
+	}
+	snap, fp, epoch := sess.snap, sess.fp, sess.epoch
+	var warm core.Deployment
+	if !req.NoWarmStart && sess.lastAdvice != nil && req.Graph != nil {
+		dep := core.Deployment(sess.lastAdvice.Deployment)
+		// Adopt the incumbent only when it fits this request's problem
+		// shape; a tenant re-advising a different graph starts cold.
+		if len(dep) == req.Graph.NumNodes() && dep.Validate(snap.Size()) == nil {
+			warm = dep.Clone()
+		}
+	}
+	sess.mu.Unlock()
+
+	timeout := req.Timeout
+	if timeout == 0 {
+		timeout = d.cfg.DefaultTimeout
+	}
+	tk, err := d.srv.Submit(Job{
+		Tenant:      req.Tenant,
+		Graph:       req.Graph,
+		Objective:   req.Objective,
+		Matrix:      snap,
+		SolverName:  req.SolverName,
+		ClusterK:    req.ClusterK,
+		RoundBudget: req.RoundBudget,
+		Seed:        req.Seed,
+		Timeout:     timeout,
+		WarmStart:   warm,
+		OnRound:     req.OnRound,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := tk.Wait()
+	if res.Err == nil && res.Outcome != nil && res.Outcome.Deployment != nil {
+		rec := &wal.AdviceRecord{
+			Epoch:       epoch,
+			Fingerprint: fp,
+			SolverName:  req.SolverName,
+			ClusterK:    req.ClusterK,
+			Objective:   string(req.Objective),
+			Winner:      outcomeWinner(res.Outcome),
+			Cost:        res.Outcome.Cost,
+			Deployment:  res.Outcome.Deployment,
+		}
+		// The session lock holds advice logging and incumbent adoption
+		// together, so WAL order matches incumbent order and replay
+		// restores exactly the incumbent a living daemon would hold.
+		sess.mu.Lock()
+		err := sess.log.Append(rec)
+		if err == nil {
+			sess.lastAdvice = rec
+		}
+		sess.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// outcomeWinner is the most recent round winner, skipping rounds the
+// carried incumbent survived.
+func outcomeWinner(out *advisor.StreamOutcome) string {
+	for i := len(out.Rounds) - 1; i >= 0; i-- {
+		if out.Rounds[i].Winner != "" {
+			return out.Rounds[i].Winner
+		}
+	}
+	return ""
+}
+
+// TenantStatus is one tenant's durable-state snapshot.
+type TenantStatus struct {
+	Tenant      string
+	Epoch       int
+	Fingerprint core.Fingerprint
+	Advised     bool
+	WAL         wal.Stats
+}
+
+// DaemonStats combines the serving fabric's counters with every tenant's
+// durable state.
+type DaemonStats struct {
+	Server  Stats
+	Tenants []TenantStatus
+}
+
+// Stats snapshots the daemon.
+func (d *Daemon) Stats() DaemonStats {
+	st := DaemonStats{Server: d.srv.Stats()}
+	d.mu.Lock()
+	sessions := make([]*tenantSession, 0, len(d.tenants))
+	for _, s := range d.tenants {
+		sessions = append(sessions, s)
+	}
+	d.mu.Unlock()
+	for _, s := range sessions {
+		s.mu.Lock()
+		st.Tenants = append(st.Tenants, TenantStatus{
+			Tenant:      s.name,
+			Epoch:       s.epoch,
+			Fingerprint: s.fp,
+			Advised:     s.lastAdvice != nil,
+			WAL:         s.log.Stats(),
+		})
+		s.mu.Unlock()
+	}
+	sort.Slice(st.Tenants, func(i, j int) bool { return st.Tenants[i].Tenant < st.Tenants[j].Tenant })
+	return st
+}
+
+// Server exposes the underlying serving fabric (tests and the batch CLI
+// path share it).
+func (d *Daemon) Server() *Server { return d.srv }
+
+// Close drains the serving fabric — in-flight jobs finish, their advice is
+// logged — then flushes and closes every tenant's WAL. This is the SIGTERM
+// path: drain first, sync last, so nothing acknowledged is lost.
+func (d *Daemon) Close() error {
+	d.srv.Close()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var firstErr error
+	for _, s := range d.tenants {
+		s.mu.Lock()
+		if err := s.log.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		s.mu.Unlock()
+	}
+	return firstErr
+}

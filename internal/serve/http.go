@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"cloudia/internal/advisor"
+	"cloudia/internal/graphio"
+	"cloudia/internal/solver"
+	"cloudia/internal/wal"
+)
+
+// HTTP/JSON front end over the Daemon: a thin, stateless translation layer
+// — all durable state and all scheduling live behind Daemon's Go API.
+//
+//	POST /v1/epoch    {"tenant","n","rows":[{"row","values"}]}
+//	POST /v1/advise   {"tenant","graph",...} — add "stream":true for
+//	                  one JSON line per solve round before the final advice
+//	GET  /v1/stats    daemon + per-tenant counters
+//	GET  /healthz     liveness
+//
+// Transient admission rejections (ErrBusy, ErrOverBudget) map to 429 with
+// a Retry-After hint, so HTTP clients inherit the same retry-later
+// contract the Go API documents.
+
+// Handler returns the daemon's HTTP front end.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/epoch", d.handleEpoch)
+	mux.HandleFunc("POST /v1/advise", d.handleAdvise)
+	mux.HandleFunc("GET /v1/stats", d.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+type rowDeltaJSON struct {
+	Row    int       `json:"row"`
+	Values []float64 `json:"values"`
+}
+
+type epochRequest struct {
+	Tenant string         `json:"tenant"`
+	N      int            `json:"n"`
+	Rows   []rowDeltaJSON `json:"rows"`
+}
+
+type epochResponse struct {
+	Tenant      string `json:"tenant"`
+	Epoch       int    `json:"epoch"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+func (d *Daemon) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	var req epochRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, fmt.Errorf("serve: bad epoch request: %w", err))
+		return
+	}
+	rows := make([]wal.RowDelta, len(req.Rows))
+	for i, rd := range req.Rows {
+		rows[i] = wal.RowDelta{Row: rd.Row, Values: rd.Values}
+	}
+	epoch, fp, err := d.AppendEpoch(req.Tenant, req.N, rows)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, epochResponse{Tenant: req.Tenant, Epoch: epoch, Fingerprint: fmt.Sprintf("%016x", uint64(fp))})
+}
+
+type adviseRequestJSON struct {
+	Tenant      string          `json:"tenant"`
+	Graph       json.RawMessage `json:"graph"`
+	Objective   string          `json:"objective"`
+	Solver      string          `json:"solver"`
+	ClusterK    int             `json:"cluster_k"`
+	BudgetMS    float64         `json:"budget_ms"`
+	BudgetNodes int64           `json:"budget_nodes"`
+	Seed        int64           `json:"seed"`
+	DeadlineMS  float64         `json:"deadline_ms"`
+	NoWarmStart bool            `json:"no_warm_start"`
+	Stream      bool            `json:"stream"`
+}
+
+type roundJSON struct {
+	Round    int     `json:"round"`
+	Epoch    int     `json:"epoch"`
+	Cost     float64 `json:"cost"`
+	Improved bool    `json:"improved"`
+	Winner   string  `json:"winner,omitempty"`
+}
+
+type adviseResponse struct {
+	Tenant      string  `json:"tenant"`
+	Deployment  []int   `json:"deployment"`
+	Cost        float64 `json:"cost"`
+	Winner      string  `json:"winner,omitempty"`
+	Rounds      int     `json:"rounds"`
+	Interrupted bool    `json:"interrupted"`
+	CacheHits   int     `json:"cache_hits"`
+	CacheMisses int     `json:"cache_misses"`
+	Err         string  `json:"error,omitempty"`
+}
+
+func (d *Daemon) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	var jr adviseRequestJSON
+	if err := json.NewDecoder(r.Body).Decode(&jr); err != nil {
+		httpError(w, fmt.Errorf("serve: bad advise request: %w", err))
+		return
+	}
+	if len(jr.Graph) == 0 {
+		httpError(w, fmt.Errorf("serve: advise request without a graph"))
+		return
+	}
+	g, err := graphio.ReadGraph(bytes.NewReader(jr.Graph))
+	if err != nil {
+		httpError(w, fmt.Errorf("serve: advise graph: %w", err))
+		return
+	}
+	var obj solver.Objective
+	switch jr.Objective {
+	case "", string(solver.LongestLink):
+		obj = solver.LongestLink
+	case string(solver.LongestPath):
+		obj = solver.LongestPath
+	default:
+		httpError(w, fmt.Errorf("serve: unknown objective %q", jr.Objective))
+		return
+	}
+	req := AdviseRequest{
+		Tenant:      jr.Tenant,
+		Graph:       g,
+		Objective:   obj,
+		SolverName:  jr.Solver,
+		ClusterK:    jr.ClusterK,
+		RoundBudget: solver.Budget{Time: msToDuration(jr.BudgetMS), Nodes: jr.BudgetNodes},
+		Seed:        jr.Seed,
+		Timeout:     msToDuration(jr.DeadlineMS),
+		NoWarmStart: jr.NoWarmStart,
+	}
+
+	var flush func()
+	if jr.Stream {
+		// One JSON line per round, flushed as the solve produces it, then
+		// the final advice as the last line. OnRound runs on the worker
+		// goroutine, but strictly before Advise returns, so the writes
+		// never interleave with the final one.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		if f, ok := w.(http.Flusher); ok {
+			flush = f.Flush
+		}
+		round := 0
+		req.OnRound = func(r advisor.Round) {
+			round++
+			enc.Encode(roundJSON{Round: round, Epoch: r.Epoch, Cost: r.Cost, Improved: r.Improved, Winner: r.Winner})
+			if flush != nil {
+				flush()
+			}
+		}
+	}
+
+	res, err := d.Advise(req)
+	if err != nil {
+		if jr.Stream {
+			// Headers are potentially gone; deliver the error in-band.
+			json.NewEncoder(w).Encode(adviseResponse{Tenant: jr.Tenant, Err: err.Error()})
+			return
+		}
+		httpError(w, err)
+		return
+	}
+	resp := adviseResponse{Tenant: jr.Tenant}
+	if res.Err != nil {
+		resp.Err = res.Err.Error()
+	} else {
+		resp.Deployment = res.Outcome.Deployment
+		resp.Cost = res.Outcome.Cost
+		resp.Winner = outcomeWinner(res.Outcome)
+		resp.Rounds = len(res.Outcome.Rounds)
+		resp.Interrupted = res.Outcome.Interrupted
+	}
+	resp.CacheHits, resp.CacheMisses = res.CacheHits, res.CacheMisses
+	if jr.Stream {
+		json.NewEncoder(w).Encode(resp)
+		if flush != nil {
+			flush()
+		}
+		return
+	}
+	writeJSON(w, resp)
+}
+
+type tenantStatusJSON struct {
+	Tenant      string    `json:"tenant"`
+	Epoch       int       `json:"epoch"`
+	Fingerprint string    `json:"fingerprint"`
+	Advised     bool      `json:"advised"`
+	WAL         wal.Stats `json:"wal"`
+}
+
+type statsResponse struct {
+	Server  Stats              `json:"server"`
+	Tenants []tenantStatusJSON `json:"tenants"`
+}
+
+func (d *Daemon) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := d.Stats()
+	resp := statsResponse{Server: st.Server, Tenants: []tenantStatusJSON{}}
+	for _, tn := range st.Tenants {
+		resp.Tenants = append(resp.Tenants, tenantStatusJSON{
+			Tenant:      tn.Tenant,
+			Epoch:       tn.Epoch,
+			Fingerprint: fmt.Sprintf("%016x", uint64(tn.Fingerprint)),
+			Advised:     tn.Advised,
+			WAL:         tn.WAL,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+func msToDuration(ms float64) (d time.Duration) {
+	if ms > 0 {
+		d = time.Duration(ms * float64(time.Millisecond))
+	}
+	return d
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// httpError maps daemon errors onto HTTP status codes: transient admission
+// rejections become 429 with a Retry-After hint, unknown tenants 404,
+// everything else a 400 — the daemon never blames itself for a request it
+// validated and refused.
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrOverBudget):
+		w.Header().Set("Retry-After", "1")
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrUnknownTenant):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrClosed):
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

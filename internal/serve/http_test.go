@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cloudia/internal/graphio"
+)
+
+func postJSON(t *testing.T, client *http.Client, url string, body any) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func graphPayload(t *testing.T, rows, cols int) json.RawMessage {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := graphio.WriteGraph(&buf, testGraph(t, rows, cols)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func epochPayload(t *testing.T, tenant string, n int) map[string]any {
+	t.Helper()
+	rng := rand.New(rand.NewSource(71))
+	m := testMatrix(rng, n)
+	rows := make([]map[string]any, n)
+	for i := 0; i < n; i++ {
+		rows[i] = map[string]any{"row": i, "values": m.Row(i)}
+	}
+	return map[string]any{"tenant": tenant, "n": n, "rows": rows}
+}
+
+func TestHTTPEpochAdviseStats(t *testing.T) {
+	d := openDaemon(t, DaemonConfig{Dir: t.TempDir(), Serve: Config{Shards: 1}})
+	defer d.Close()
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts.Client(), ts.URL+"/v1/epoch", epochPayload(t, "acme", 8))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("epoch status %d", resp.StatusCode)
+	}
+	var er epochResponse
+	decodeBody(t, resp, &er)
+	if er.Epoch != 1 || len(er.Fingerprint) != 16 {
+		t.Fatalf("epoch response %+v", er)
+	}
+
+	resp = postJSON(t, ts.Client(), ts.URL+"/v1/advise", map[string]any{
+		"tenant": "acme", "graph": graphPayload(t, 2, 3),
+		"solver": "cp", "cluster_k": 4, "budget_nodes": 5000, "seed": 3,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("advise status %d", resp.StatusCode)
+	}
+	var ar adviseResponse
+	decodeBody(t, resp, &ar)
+	if ar.Err != "" || len(ar.Deployment) != 6 || ar.Rounds == 0 {
+		t.Fatalf("advise response %+v", ar)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	decodeBody(t, resp, &st)
+	if len(st.Tenants) != 1 || st.Tenants[0].Tenant != "acme" || !st.Tenants[0].Advised {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Server.Served != 1 {
+		t.Fatalf("served = %d", st.Server.Served)
+	}
+
+	resp, err = ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPAdviseStream(t *testing.T) {
+	d := openDaemon(t, DaemonConfig{Dir: t.TempDir(), Serve: Config{Shards: 1}})
+	defer d.Close()
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts.Client(), ts.URL+"/v1/epoch", epochPayload(t, "acme", 8))
+	resp.Body.Close()
+
+	resp = postJSON(t, ts.Client(), ts.URL+"/v1/advise", map[string]any{
+		"tenant": "acme", "graph": graphPayload(t, 2, 3),
+		"solver": "cp", "cluster_k": 4, "budget_nodes": 5000, "stream": true,
+	})
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if len(lines) < 2 {
+		t.Fatalf("stream produced %d lines, want at least one round plus the advice", len(lines))
+	}
+	var round roundJSON
+	if err := json.Unmarshal([]byte(lines[0]), &round); err != nil || round.Round != 1 {
+		t.Fatalf("first stream line %q (err %v)", lines[0], err)
+	}
+	var final adviseResponse
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &final); err != nil || final.Err != "" || len(final.Deployment) != 6 {
+		t.Fatalf("final stream line %q (err %v)", lines[len(lines)-1], err)
+	}
+
+	// Streaming against an unknown tenant delivers the error in-band.
+	resp = postJSON(t, ts.Client(), ts.URL+"/v1/advise", map[string]any{
+		"tenant": "ghost", "graph": graphPayload(t, 2, 3), "stream": true,
+	})
+	var inBand adviseResponse
+	decodeBody(t, resp, &inBand)
+	if !strings.Contains(inBand.Err, "unknown tenant") {
+		t.Fatalf("in-band stream error %q", inBand.Err)
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	d := openDaemon(t, DaemonConfig{Dir: t.TempDir(), Serve: Config{Shards: 1}})
+	defer d.Close()
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts.Client(), ts.URL+"/v1/epoch", epochPayload(t, "acme", 8))
+	resp.Body.Close()
+
+	cases := []struct {
+		name string
+		path string
+		body any
+		code int
+	}{
+		{"malformed epoch", "/v1/epoch", "not json", http.StatusBadRequest},
+		{"invalid epoch", "/v1/epoch", map[string]any{"tenant": "acme", "n": 3}, http.StatusBadRequest},
+		{"malformed advise", "/v1/advise", "not json", http.StatusBadRequest},
+		{"advise without graph", "/v1/advise", map[string]any{"tenant": "acme"}, http.StatusBadRequest},
+		{"advise bad graph", "/v1/advise", map[string]any{"tenant": "acme", "graph": map[string]any{"bogus": 1}}, http.StatusBadRequest},
+		{"advise bad objective", "/v1/advise", map[string]any{
+			"tenant": "acme", "graph": graphPayload(t, 2, 2), "objective": "shortest-selfie",
+		}, http.StatusBadRequest},
+		{"advise unknown tenant", "/v1/advise", map[string]any{
+			"tenant": "ghost", "graph": graphPayload(t, 2, 2),
+		}, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		resp := postJSON(t, ts.Client(), ts.URL+tc.path, tc.body)
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.code)
+		}
+		var e map[string]string
+		decodeBody(t, resp, &e)
+		if e["error"] == "" {
+			t.Errorf("%s: no error body", tc.name)
+		}
+	}
+
+	// Transient admission rejections advertise a retry.
+	rec := httptest.NewRecorder()
+	httpError(rec, fmt.Errorf("wrapped: %w", ErrBusy))
+	if rec.Code != http.StatusTooManyRequests || rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("ErrBusy mapped to %d (Retry-After %q)", rec.Code, rec.Header().Get("Retry-After"))
+	}
+	rec = httptest.NewRecorder()
+	httpError(rec, fmt.Errorf("wrapped: %w", ErrClosed))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("ErrClosed mapped to %d", rec.Code)
+	}
+}

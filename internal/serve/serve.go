@@ -18,8 +18,10 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -73,6 +75,19 @@ type Job struct {
 	// before its jobs sort behind theirs. The first admitted job fixes the
 	// tenant's weight for the server's lifetime.
 	Weight float64
+
+	// Timeout, when positive, bounds the job's solve wall clock from the
+	// moment a worker picks it up. On expiry the job completes normally
+	// with its best-so-far incumbent and Outcome.Interrupted set — a
+	// deadline is degraded advice, not an error.
+	Timeout time.Duration
+	// WarmStart, when non-nil, seeds the job's incumbent before its first
+	// round (advisor.StreamSolveConfig.WarmStart). The durable daemon uses
+	// it to resume a recovered tenant from its last served advice.
+	WarmStart core.Deployment
+	// OnRound, when non-nil, observes each round as it completes, on the
+	// worker goroutine. The daemon streams per-round advice through it.
+	OnRound func(advisor.Round)
 }
 
 // Result is one served job's outcome.
@@ -156,6 +171,11 @@ var (
 	ErrBusy       = fmt.Errorf("serve: admission queue full")
 	ErrOverBudget = fmt.Errorf("serve: pending solve budget exhausted")
 	ErrClosed     = fmt.Errorf("serve: server closed")
+	// ErrJobPanicked marks a Result whose solve panicked: the worker
+	// recovered, released the tenant's in-flight slot and pending budget,
+	// and kept serving — only the poisoned job failed. The wrapped error
+	// carries the panic value and the captured stack.
+	ErrJobPanicked = fmt.Errorf("serve: job panicked in the solver")
 )
 
 // Server schedules jobs onto pulling shard workers over the shared cache.
@@ -291,10 +311,22 @@ func (s *Server) worker(idx int) {
 }
 
 // runJob serves one job: the unsharded streaming loop with the cache
-// bridge plugged into its OnProblem hook.
-func (s *Server) runJob(shard int, tk task) *Result {
+// bridge plugged into its OnProblem hook. A panic anywhere in the solve —
+// a poisoned matrix, a faulty solver, a hostile callback — is recovered
+// into ErrJobPanicked on the job's own Result: the worker survives, and
+// the caller in worker() still retires the task so the tenant's in-flight
+// slot and pending budget are released exactly as for a clean failure.
+func (s *Server) runJob(shard int, tk task) (res *Result) {
 	job := tk.job
-	res := &Result{Tenant: job.Tenant, Shard: shard, Queued: time.Since(tk.enqueued)}
+	res = &Result{Tenant: job.Tenant, Shard: shard, Queued: time.Since(tk.enqueued)}
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			res.Ran = time.Since(start)
+			res.Outcome = nil
+			res.Err = fmt.Errorf("%w: %v\n%s", ErrJobPanicked, r, debug.Stack())
+		}
+	}()
 
 	epochs := job.Epochs
 	if epochs == nil {
@@ -313,7 +345,12 @@ func (s *Server) runJob(shard int, tk task) *Result {
 		objective:  job.Objective,
 		graph:      job.Graph,
 	}
-	start := time.Now()
+	var ctx context.Context
+	if job.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(context.Background(), job.Timeout)
+		defer cancel()
+	}
 	out, err := advisor.SolveStream(epochs, advisor.StreamSolveConfig{
 		Graph:       job.Graph,
 		Objective:   job.Objective,
@@ -323,6 +360,9 @@ func (s *Server) runJob(shard int, tk task) *Result {
 		Seed:        job.Seed,
 		Coalesce:    job.Coalesce,
 		OnProblem:   br.onProblem,
+		OnRound:     job.OnRound,
+		Ctx:         ctx,
+		WarmStart:   job.WarmStart,
 	})
 	res.Ran = time.Since(start)
 	res.Outcome, res.Err = out, err

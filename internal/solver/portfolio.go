@@ -3,6 +3,7 @@ package solver
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"sync"
 )
@@ -86,6 +87,16 @@ func (pf *Portfolio) SolveContext(ctx context.Context, p *Problem, budget Budget
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// A panicking member loses only its own lane: the panic is
+			// captured as that member's error (with the stack, for the
+			// serving layer's logs) while the other members keep racing.
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					lastErr = fmt.Errorf("solver: portfolio member %s panicked: %v\n%s", member.Name(), r, debug.Stack())
+					mu.Unlock()
+				}
+			}()
 			var res *Result
 			var err error
 			if cs, ok := member.(ContextSolver); ok {

@@ -1,6 +1,7 @@
 package solver_test
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -162,5 +163,40 @@ func TestLocalSearchSingleNodeProblem(t *testing.T) {
 	pf := advisor.NewPortfolio(0, 1)
 	if _, err := pf.Solve(p, solver.Budget{Nodes: 1000}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// panicSolver is a portfolio member that dies mid-search.
+type panicSolver struct{}
+
+func (panicSolver) Name() string { return "panicker" }
+func (panicSolver) Solve(*solver.Problem, solver.Budget) (*solver.Result, error) {
+	panic("injected solver fault")
+}
+
+// TestPortfolioIsolatesPanickingMember: a member that panics loses only its
+// own lane — the panic is captured as that member's error (with its stack)
+// and the surviving members still produce the result.
+func TestPortfolioIsolatesPanickingMember(t *testing.T) {
+	p, _, err := solvertest.PlantedLL(3, 3, 4, 0.1, 1.0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := solver.NewPortfolio(panicSolver{}, greedy.New(greedy.G2))
+	res, err := pf.Solve(p, solver.Budget{Nodes: 5_000})
+	if err != nil {
+		t.Fatalf("surviving member's result lost: %v", err)
+	}
+	if res.Winner != "G2" {
+		t.Fatalf("winner = %q, want the surviving member", res.Winner)
+	}
+
+	// With every member panicking there is no result; the error must carry
+	// the panic value and a stack trace.
+	all := solver.NewPortfolio(panicSolver{}, panicSolver{})
+	if _, err := all.Solve(p, solver.Budget{Nodes: 100}); err == nil {
+		t.Fatal("all-panicked portfolio returned a result")
+	} else if !strings.Contains(err.Error(), "injected solver fault") || !strings.Contains(err.Error(), "goroutine") {
+		t.Fatalf("panic error lacks value or stack: %v", err)
 	}
 }

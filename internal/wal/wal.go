@@ -1,0 +1,426 @@
+// Package wal implements the append-only per-tenant log behind the durable
+// serve daemon: an ordered sequence of CRC32C-framed records (epoch deltas,
+// emitted advice, compaction snapshots) in rotated segment files. The
+// layout follows the append-friendly write pattern of the SSD literature —
+// records are written strictly sequentially, segments are immutable once
+// rotated, and reclamation happens at segment granularity (compaction
+// writes a snapshot into a fresh segment and unlinks whole old segments)
+// rather than by rewriting in place.
+//
+// Durability is governed by a configurable fsync policy; recovery replays
+// every record in order and tolerates a torn or corrupt tail by truncating
+// the final segment at the last valid frame. Corruption anywhere before the
+// tail fails recovery loudly: a mid-log hole means acknowledged state is
+// gone, which must never be papered over by serving advice computed from a
+// silently shortened history.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Frame layout: u32 length (kind byte + payload), u32 CRC32C over the same
+// bytes, then the body. Little-endian throughout.
+const (
+	frameHeaderBytes = 8
+	// maxFrameBytes bounds a single record; a length field beyond it marks
+	// the frame corrupt without attempting a giant allocation.
+	maxFrameBytes = 1 << 30
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncPolicy selects when appended records reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged record
+	// survives any crash. The default, and the policy the serve daemon
+	// uses for epoch records before acknowledging them.
+	SyncAlways SyncPolicy = iota
+	// SyncBatch fsyncs every Options.BatchAppends appends and on rotation,
+	// compaction, and Close: a crash loses at most one batch of
+	// acknowledged records. The group-commit point on the
+	// durability/throughput curve.
+	SyncBatch
+	// SyncNone never fsyncs outside rotation, compaction, and Close; the
+	// OS page cache decides. A process crash still loses nothing the
+	// writer flushed; an OS crash may lose recent records.
+	SyncNone
+)
+
+// Options sizes a Log.
+type Options struct {
+	// SegmentBytes rotates the active segment once it reaches this many
+	// bytes; <= 0 selects 1 MiB. A record always lands whole in one
+	// segment — rotation happens between records, so a segment may
+	// overshoot by up to one frame.
+	SegmentBytes int
+	// Sync is the fsync policy; the zero value is SyncAlways.
+	Sync SyncPolicy
+	// BatchAppends is the SyncBatch group size; <= 0 selects 16.
+	BatchAppends int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	if o.BatchAppends <= 0 {
+		o.BatchAppends = 16
+	}
+	return o
+}
+
+// Stats is a point-in-time counter snapshot of one log.
+type Stats struct {
+	// Appends counts records appended this process lifetime; Syncs counts
+	// fsyncs; Rotations counts segment rotations; Compactions counts
+	// completed Compact calls.
+	Appends, Syncs, Rotations, Compactions int64
+	// Segments is the number of live segment files; ActiveBytes the bytes
+	// written to the active segment.
+	Segments    int
+	ActiveBytes int64
+	// RecoveredRecords is the number of records replayed at Open;
+	// TruncatedBytes is the size of the torn/corrupt tail Open discarded.
+	RecoveredRecords int64
+	TruncatedBytes   int64
+}
+
+// Log is one open append-only log. Not safe for concurrent use; the serve
+// daemon serializes each tenant's appends behind the tenant session lock.
+type Log struct {
+	dir  string
+	opts Options
+
+	f        *os.File
+	w        *bufio.Writer
+	segIndex int
+	segs     []int // live segment indices, ascending; last is active
+
+	sinceSync int
+	stats     Stats
+	buf       []byte // frame scratch, reused across appends
+}
+
+// segName formats a segment file name; segIndexOf parses one.
+func segName(idx int) string { return fmt.Sprintf("%08d.seg", idx) }
+
+func segIndexOf(name string) (int, bool) {
+	if !strings.HasSuffix(name, ".seg") || len(name) != 12 {
+		return 0, false
+	}
+	idx, err := strconv.Atoi(name[:8])
+	if err != nil || idx <= 0 {
+		return 0, false
+	}
+	return idx, true
+}
+
+// Open opens (creating if absent) the log in dir, replays every record in
+// order through replay (which may be nil), and leaves the log ready for
+// appending. A torn or corrupt tail in the final segment is truncated at
+// the last valid frame; corruption in any earlier segment fails the open.
+// A replay error aborts the open and is returned verbatim.
+func Open(dir string, opts Options, replay func(Record) error) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []int
+	for _, e := range entries {
+		if idx, ok := segIndexOf(e.Name()); ok && !e.IsDir() {
+			segs = append(segs, idx)
+		}
+	}
+	sort.Ints(segs)
+
+	l := &Log{dir: dir, opts: opts}
+	if len(segs) == 0 {
+		if err := l.createSegment(1); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	for i, idx := range segs {
+		last := i == len(segs)-1
+		if err := l.replaySegment(idx, last, replay); err != nil {
+			return nil, err
+		}
+	}
+	l.segs = segs
+	l.segIndex = segs[len(segs)-1]
+	f, err := os.OpenFile(l.segPath(l.segIndex), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	size, err := f.Seek(0, 2)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	l.stats.ActiveBytes = size
+	l.stats.Segments = len(l.segs)
+	return l, nil
+}
+
+func (l *Log) segPath(idx int) string { return filepath.Join(l.dir, segName(idx)) }
+
+// replaySegment reads one segment, feeding valid records to replay. In the
+// final segment a torn or corrupt tail truncates the file at the last valid
+// frame; anywhere else it is a hard error.
+func (l *Log) replaySegment(idx int, last bool, replay func(Record) error) error {
+	path := l.segPath(idx)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	off := 0
+	for off < len(data) {
+		rec, frameLen, ferr := parseFrame(data[off:])
+		if ferr != nil {
+			if !last {
+				return fmt.Errorf("wal: segment %s: corrupt frame at offset %d before the tail: %v", segName(idx), off, ferr)
+			}
+			// Torn/corrupt tail: drop everything from the bad frame on.
+			l.stats.TruncatedBytes = int64(len(data) - off)
+			if err := os.Truncate(path, int64(off)); err != nil {
+				return fmt.Errorf("wal: truncating torn tail of %s: %w", segName(idx), err)
+			}
+			return nil
+		}
+		if replay != nil {
+			if err := replay(rec); err != nil {
+				return err
+			}
+		}
+		l.stats.RecoveredRecords++
+		off += frameLen
+	}
+	return nil
+}
+
+// parseFrame decodes one frame from the head of data, returning the record
+// and the frame's total length. Any framing violation — short header, bad
+// length, CRC mismatch, truncated body — is an error the caller maps to
+// torn-tail truncation or hard corruption. A CRC-valid frame whose payload
+// fails to decode is also reported here: a torn write cannot forge a CRC,
+// so that case means format corruption and the caller treats it like any
+// other bad frame.
+func parseFrame(data []byte) (Record, int, error) {
+	if len(data) < frameHeaderBytes {
+		return nil, 0, fmt.Errorf("short header (%d bytes)", len(data))
+	}
+	length := binary.LittleEndian.Uint32(data)
+	if length < 1 || length > maxFrameBytes {
+		return nil, 0, fmt.Errorf("implausible frame length %d", length)
+	}
+	want := binary.LittleEndian.Uint32(data[4:])
+	body := data[frameHeaderBytes:]
+	if uint32(len(body)) < length {
+		return nil, 0, fmt.Errorf("truncated body (%d of %d bytes)", len(body), length)
+	}
+	body = body[:length]
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return nil, 0, fmt.Errorf("CRC mismatch (%08x != %08x)", got, want)
+	}
+	rec, err := decodeRecord(body[0], body[1:])
+	if err != nil {
+		return nil, 0, err
+	}
+	return rec, frameHeaderBytes + int(length), nil
+}
+
+// createSegment makes segment idx the active one.
+func (l *Log) createSegment(idx int) error {
+	f, err := os.OpenFile(l.segPath(idx), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	l.segIndex = idx
+	l.segs = append(l.segs, idx)
+	l.stats.ActiveBytes = 0
+	l.stats.Segments = len(l.segs)
+	return nil
+}
+
+// Append frames rec, writes it to the active segment, syncs per policy, and
+// rotates if the segment is full. When Append returns under SyncAlways the
+// record is on stable storage.
+func (l *Log) Append(rec Record) error {
+	if l.f == nil {
+		return fmt.Errorf("wal: log is closed")
+	}
+	Crashpoint("append.start")
+	frame, err := l.frame(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := l.w.Write(frame); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.stats.ActiveBytes += int64(len(frame))
+	l.stats.Appends++
+	Crashpoint("append.framed")
+
+	switch l.opts.Sync {
+	case SyncAlways:
+		if err := l.sync(); err != nil {
+			return err
+		}
+		Crashpoint("append.synced")
+	case SyncBatch:
+		l.sinceSync++
+		if l.sinceSync >= l.opts.BatchAppends {
+			if err := l.sync(); err != nil {
+				return err
+			}
+			Crashpoint("append.synced")
+		}
+	}
+
+	if l.stats.ActiveBytes >= int64(l.opts.SegmentBytes) {
+		if err := l.rotate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// frame encodes rec into the reusable scratch buffer.
+func (l *Log) frame(rec Record) ([]byte, error) {
+	l.buf = l.buf[:0]
+	l.buf = append(l.buf, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
+	l.buf = append(l.buf, rec.kind())
+	l.buf = rec.appendPayload(l.buf)
+	body := l.buf[frameHeaderBytes:]
+	if len(body) > maxFrameBytes {
+		return nil, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte frame cap", len(body), maxFrameBytes)
+	}
+	binary.LittleEndian.PutUint32(l.buf, uint32(len(body)))
+	binary.LittleEndian.PutUint32(l.buf[4:], crc32.Checksum(body, castagnoli))
+	return l.buf, nil
+}
+
+// sync flushes the writer and fsyncs the active segment.
+func (l *Log) sync() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.sinceSync = 0
+	l.stats.Syncs++
+	return nil
+}
+
+// Sync forces the buffered suffix to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	if l.f == nil {
+		return fmt.Errorf("wal: log is closed")
+	}
+	return l.sync()
+}
+
+// rotate seals the active segment and opens the next one.
+func (l *Log) rotate() error {
+	if err := l.sync(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	Crashpoint("rotate.closed")
+	if err := l.createSegment(l.segIndex + 1); err != nil {
+		return err
+	}
+	l.stats.Rotations++
+	Crashpoint("rotate.created")
+	return nil
+}
+
+// Compact seals the log's history into snap: the snapshot is written as the
+// first record of a fresh segment, made durable, and only then are all
+// older segments unlinked. A crash between those two steps leaves both the
+// old records and the snapshot on disk — replay applies the old records and
+// then resets to the snapshot, so recovery converges to the same state from
+// every intermediate crash point.
+func (l *Log) Compact(snap *SnapshotRecord) error {
+	if l.f == nil {
+		return fmt.Errorf("wal: log is closed")
+	}
+	if snap == nil || snap.Matrix == nil {
+		return fmt.Errorf("wal: nil compaction snapshot")
+	}
+	if err := l.sync(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	old := append([]int(nil), l.segs...)
+	l.segs = nil
+	if err := l.createSegment(l.segIndex + 1); err != nil {
+		return err
+	}
+	frame, err := l.frame(snap)
+	if err != nil {
+		return err
+	}
+	if _, err := l.w.Write(frame); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.stats.ActiveBytes += int64(len(frame))
+	l.stats.Appends++
+	if err := l.sync(); err != nil {
+		return err
+	}
+	Crashpoint("compact.written")
+	for _, idx := range old {
+		if err := os.Remove(l.segPath(idx)); err != nil {
+			return fmt.Errorf("wal: removing compacted segment: %w", err)
+		}
+	}
+	l.stats.Segments = len(l.segs)
+	l.stats.Compactions++
+	Crashpoint("compact.removed")
+	return nil
+}
+
+// Close flushes, syncs, and closes the log. The log is unusable afterwards.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.sync()
+	if cerr := l.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: %w", cerr)
+	}
+	l.f = nil
+	l.w = nil
+	return err
+}
+
+// Stats returns the log's counter snapshot.
+func (l *Log) Stats() Stats { return l.stats }
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
