@@ -23,6 +23,7 @@ import (
 	"cloudia/internal/core"
 	"cloudia/internal/measure"
 	"cloudia/internal/netsim"
+	"cloudia/internal/par"
 	"cloudia/internal/serve"
 	"cloudia/internal/solver"
 	"cloudia/internal/solver/cp"
@@ -30,6 +31,7 @@ import (
 	"cloudia/internal/solver/mip"
 	"cloudia/internal/solver/random"
 	"cloudia/internal/topology"
+	"cloudia/internal/wal"
 	"cloudia/internal/workload"
 )
 
@@ -1058,4 +1060,174 @@ func BenchmarkBehavioralSimTick(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkColdPrep1000 measures the data-parallel cold path on the
+// 1000-instance tier: the full Prep artifact set a cp-family tenant needs —
+// the k=20 rounded matrix with its sorted pair list (k-means over ~10^6
+// link costs plus the run-merge pair sort), the cheapest-rows table, and
+// the off-diagonal extraction — built from scratch once with a single
+// worker and once with the default worker pool. Both builds are bit-equal
+// by construction (the parallel-equality suites pin it); the benchmark
+// records how much wall-clock the worker pool buys.
+//
+// Reported metrics (recorded in BENCH_PR8.json):
+//
+//   - sequential-ms/op: cold build with par.SetWorkers(1).
+//   - parallel-ms/op: cold build at the default GOMAXPROCS workers.
+//   - speedup/op: sequential over parallel; ~1x on single-core runners,
+//     >= 2x expected at 4+ cores.
+func BenchmarkColdPrep1000(b *testing.B) {
+	p := portfolio1000Problem(b)
+	buildAll := func() {
+		np, err := solver.NewProblem(p.Graph, p.Costs.Clone(), solver.LongestLink)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prep := np.Prep()
+		var roundedErr error
+		par.Do(
+			func() { _, _, roundedErr = prep.Rounded(20) },
+			func() { prep.CheapestRows() },
+			func() { prep.OffDiagonal() },
+		)
+		if roundedErr != nil {
+			b.Fatal(roundedErr)
+		}
+	}
+	defer par.SetWorkers(0)
+	buildAll() // untimed warmup: allocator and page-cache first-touch
+	var seqMS, parMS, speedup float64
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		par.SetWorkers(1)
+		runtime.GC() // each side starts from a collected heap
+		t0 := time.Now()
+		buildAll()
+		seq := float64(time.Since(t0)) / float64(time.Millisecond)
+
+		par.SetWorkers(0)
+		runtime.GC()
+		t1 := time.Now()
+		buildAll()
+		parl := float64(time.Since(t1)) / float64(time.Millisecond)
+
+		seqMS += seq
+		parMS += parl
+		speedup += seq / parl
+	}
+	b.ReportMetric(seqMS/float64(b.N), "sequential-ms/op")
+	b.ReportMetric(parMS/float64(b.N), "parallel-ms/op")
+	b.ReportMetric(speedup/float64(b.N), "speedup/op")
+}
+
+// BenchmarkDaemonRestart measures concurrent multi-tenant WAL recovery: an
+// 8-tenant daemon (300x300 matrices, one full epoch, one advice, one row
+// delta each) is repeatedly reopened from the same on-disk logs, once with
+// a single replay worker and once with the default pool. Recovery replays
+// every log, verifies per-epoch fingerprints, and re-seeds the artifact
+// cache (the k=20 rounding dominates); parallel replay overlaps the
+// per-tenant work while keeping recovered state bit-equal (pinned by
+// TestDaemonParallelReplayBitEqual).
+//
+// Reported metrics (recorded in BENCH_PR8.json):
+//
+//   - sequential-ms/op: restart with par.SetWorkers(1).
+//   - parallel-ms/op: restart at the default GOMAXPROCS workers.
+//   - speedup/op: sequential over parallel; ~1x on single-core runners,
+//     >= 3x expected at 4+ cores with 8 tenants.
+func BenchmarkDaemonRestart(b *testing.B) {
+	const tenants, instances = 8, 300
+	g := core.NewGraph(40)
+	for v := 0; v+1 < 40; v++ {
+		if err := g.AddEdge(v, v+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	dir := b.TempDir()
+	d, err := serve.OpenDaemon(serve.DaemonConfig{Dir: dir, Serve: serve.Config{Shards: 1}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for tn := 0; tn < tenants; tn++ {
+		rng := rand.New(rand.NewSource(int64(500 + tn)))
+		m := core.NewCostMatrix(instances)
+		for i := 0; i < instances; i++ {
+			for j := 0; j < instances; j++ {
+				if i != j {
+					m.Set(i, j, 0.2+rng.Float64())
+				}
+			}
+		}
+		rows := make([]wal.RowDelta, instances)
+		for i := range rows {
+			rows[i] = wal.RowDelta{Row: i, Values: append([]float64(nil), m.Row(i)...)}
+		}
+		name := fmt.Sprintf("tenant-%d", tn)
+		if _, _, err := d.AppendEpoch(name, instances, rows); err != nil {
+			b.Fatal(err)
+		}
+		res, err := d.Advise(serve.AdviseRequest{
+			Tenant: name, Graph: g, Objective: solver.LongestLink,
+			SolverName: "cp", ClusterK: 20,
+			RoundBudget: solver.Budget{Nodes: 2000}, Seed: int64(tn),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		delta := append([]float64(nil), m.Row(tn)...)
+		for j := range delta {
+			if j != tn {
+				delta[j] *= 1.25
+			}
+		}
+		if _, _, err := d.AppendEpoch(name, instances, []wal.RowDelta{{Row: tn, Values: delta}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	// Recovery appends nothing, so the same directory replays identically
+	// on every reopen.
+	reopen := func() {
+		rd, err := serve.OpenDaemon(serve.DaemonConfig{Dir: dir, Serve: serve.Config{Shards: 1}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := len(rd.Stats().Tenants); got != tenants {
+			b.Fatalf("recovered %d tenants, want %d", got, tenants)
+		}
+		if err := rd.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	defer par.SetWorkers(0)
+	reopen() // untimed warmup: allocator and page-cache first-touch
+	var seqMS, parMS, speedup float64
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		par.SetWorkers(1)
+		runtime.GC() // each side starts from a collected heap
+		t0 := time.Now()
+		reopen()
+		seq := float64(time.Since(t0)) / float64(time.Millisecond)
+
+		par.SetWorkers(0)
+		runtime.GC()
+		t1 := time.Now()
+		reopen()
+		parl := float64(time.Since(t1)) / float64(time.Millisecond)
+
+		seqMS += seq
+		parMS += parl
+		speedup += seq / parl
+	}
+	b.ReportMetric(seqMS/float64(b.N), "sequential-ms/op")
+	b.ReportMetric(parMS/float64(b.N), "parallel-ms/op")
+	b.ReportMetric(speedup/float64(b.N), "speedup/op")
 }

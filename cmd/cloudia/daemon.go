@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,7 +50,21 @@ func runDaemon(cfg runConfig) error {
 		return err
 	}
 
-	httpSrv := &http.Server{Addr: cfg.listen, Handler: d.Handler()}
+	handler := d.Handler()
+	if cfg.pprof {
+		// Profiles mount on the daemon's own mux, never the default one, so
+		// the endpoints exist only when explicitly asked for: a production
+		// daemon does not expose heap contents and CPU samples by accident.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	httpSrv := &http.Server{Addr: cfg.listen, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() {
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {

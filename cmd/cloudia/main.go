@@ -25,6 +25,7 @@ import (
 	"cloudia/internal/core"
 	"cloudia/internal/graphio"
 	"cloudia/internal/measure"
+	"cloudia/internal/par"
 	"cloudia/internal/solver"
 	"cloudia/internal/topology"
 )
@@ -61,8 +62,11 @@ func main() {
 		walDir    = flag.String("wal-dir", "cloudia-wal", "write-ahead log directory for -listen")
 		fsync     = flag.String("fsync", "always", "WAL fsync policy for -listen: always, batch, none")
 		shards    = flag.Int("shards", 0, "worker shards for -listen (0 = default)")
+		workers   = flag.Int("workers", 0, "worker goroutines for data-parallel cold paths (0 = GOMAXPROCS, 1 = sequential)")
+		pprofFlag = flag.Bool("pprof", false, "expose net/http/pprof on the -listen address under /debug/pprof/")
 	)
 	flag.Parse()
+	par.SetWorkers(*workers)
 
 	if err := run(runConfig{
 		template: *template, rows: *rows, cols: *cols,
@@ -76,6 +80,7 @@ func main() {
 		stream: *stream, epochMS: *epochMS,
 		servePath: *servePath,
 		listen:    *listen, walDir: *walDir, fsync: *fsync, shards: *shards,
+		pprof: *pprofFlag,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "cloudia:", err)
 		os.Exit(1)
@@ -99,6 +104,7 @@ type runConfig struct {
 	servePath                         string
 	listen, walDir, fsync             string
 	shards                            int
+	pprof                             bool
 }
 
 // validateFlags rejects flag combinations that can never run, before any
@@ -125,6 +131,9 @@ func validateFlags(cfg runConfig) error {
 		if _, err := parseFsync(cfg.fsync); err != nil {
 			return err
 		}
+	}
+	if cfg.pprof && cfg.listen == "" {
+		return fmt.Errorf("-pprof exposes profiles on the daemon address and needs -listen")
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"slices"
 
 	"cloudia/internal/core"
+	"cloudia/internal/par"
 )
 
 // RoundCostMatrix returns a copy of m whose off-diagonal costs are rounded to
@@ -24,13 +25,17 @@ func RoundCostMatrix(m *core.CostMatrix, k int) (*core.CostMatrix, error) {
 	}
 	n := m.Size()
 	out := core.NewCostMatrix(n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i != j {
-				out.Set(i, j, r.Assign(m.At(i, j)))
+	// Assign is a read-only binary search and each row writes only its own
+	// backing range, so rounding is row-parallel and bit-equal.
+	par.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				if i != j {
+					out.Set(i, j, r.Assign(m.At(i, j)))
+				}
 			}
 		}
-	}
+	})
 	return out, nil
 }
 
@@ -62,11 +67,16 @@ func RoundCostMatrixPairsResult(m *core.CostMatrix, k int) (*core.CostMatrix, []
 		return nil, nil, nil, err
 	}
 	out := core.NewCostMatrix(m.Size())
-	for i := range pairs {
-		c := r.Assign(pairs[i].Cost)
-		out.Set(int(pairs[i].From), int(pairs[i].To), c)
-		pairs[i].Cost = c
-	}
+	// Each pair index appears once, so pair chunks write disjoint matrix
+	// cells and disjoint pair entries; Assign is a read-only binary search.
+	// The chunked loop is therefore bit-equal to the sequential one.
+	par.For(len(pairs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c := r.Assign(pairs[i].Cost)
+			out.Set(int(pairs[i].From), int(pairs[i].To), c)
+			pairs[i].Cost = c
+		}
+	})
 	return out, pairs, r, nil
 }
 
@@ -81,18 +91,25 @@ func RoundCostMatrixPairsResult(m *core.CostMatrix, k int) (*core.CostMatrix, []
 func PatchRoundedRows(src, prev *core.CostMatrix, r *Result, rows []int) *core.CostMatrix {
 	out := prev.Clone()
 	n := src.Size()
-	for _, i := range rows {
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
+	// Normalize to a duplicate-free list so chunks of it touch disjoint
+	// output rows; re-rounding the changed rows is then row-parallel.
+	rs := slices.Clone(rows)
+	slices.Sort(rs)
+	rs = slices.Compact(rs)
+	par.For(len(rs), func(lo, hi int) {
+		for _, i := range rs[lo:hi] {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				v := src.At(i, j)
+				if r != nil {
+					v = r.Assign(v)
+				}
+				out.Set(i, j, v)
 			}
-			v := src.At(i, j)
-			if r != nil {
-				v = r.Assign(v)
-			}
-			out.Set(i, j, v)
 		}
-	}
+	})
 	return out
 }
 
@@ -152,61 +169,32 @@ func PatchSortedPairs(m *core.CostMatrix, prevPairs []core.CostPair, rows []int)
 
 // freshSortedRuns rebuilds the given (ascending, duplicate-free) rows' pairs
 // from m as one cost-ascending run: each row's n-1 pairs are materialized
-// contiguously and sorted independently, then equal-length row runs are
-// merged bottom-up, left run first on ties — so equal costs keep (row, To)
-// order exactly as the previous full-list stable sort produced.
+// into its own fixed-stride range and sorted independently — row-parallel —
+// then equal-length row runs are merged bottom-up, left run first on ties
+// (core.MergeSortedPairRuns, shared with the full-matrix SortedPairs build)
+// — so equal costs keep (row, To) order exactly as the previous full-list
+// stable sort produced.
 func freshSortedRuns(m *core.CostMatrix, rows []int) []core.CostPair {
 	n := m.Size()
 	if len(rows) == 0 || n < 2 {
 		return nil
 	}
 	per := n - 1
-	a := make([]core.CostPair, 0, len(rows)*per)
-	for _, i := range rows {
-		start := len(a)
-		row := m.Row(i)
-		for j := 0; j < n; j++ {
-			if i != j {
-				a = append(a, core.CostPair{From: int32(i), To: int32(j), Cost: row[j]})
+	a := make([]core.CostPair, len(rows)*per)
+	par.For(len(rows), func(lo, hi int) {
+		for ri := lo; ri < hi; ri++ {
+			i := rows[ri]
+			run := a[ri*per : (ri+1)*per]
+			row := m.Row(i)
+			w := 0
+			for j := 0; j < n; j++ {
+				if i != j {
+					run[w] = core.CostPair{From: int32(i), To: int32(j), Cost: row[j]}
+					w++
+				}
 			}
+			core.SortPairRun(run)
 		}
-		run := a[start:]
-		slices.SortStableFunc(run, func(x, y core.CostPair) int {
-			switch {
-			case x.Cost < y.Cost:
-				return -1
-			case x.Cost > y.Cost:
-				return 1
-			}
-			return 0
-		})
-	}
-	b := make([]core.CostPair, len(a))
-	for width := per; width < len(a); width *= 2 {
-		for lo := 0; lo < len(a); lo += 2 * width {
-			mid := min(lo+width, len(a))
-			hi := min(lo+2*width, len(a))
-			mergePairRuns(a[lo:mid], a[mid:hi], b[lo:hi])
-		}
-		a, b = b, a
-	}
-	return a
-}
-
-// mergePairRuns merges two ascending runs into out (len(out) = len(x)+len(y)),
-// taking from x first on cost ties.
-func mergePairRuns(x, y, out []core.CostPair) {
-	i, j, k := 0, 0, 0
-	for i < len(x) && j < len(y) {
-		if x[i].Cost <= y[j].Cost {
-			out[k] = x[i]
-			i++
-		} else {
-			out[k] = y[j]
-			j++
-		}
-		k++
-	}
-	copy(out[k:], x[i:])
-	copy(out[k+len(x)-i:], y[j:])
+	})
+	return core.MergeSortedPairRuns(a, per)
 }

@@ -12,6 +12,8 @@ import (
 	"math"
 	"sort"
 	"sync"
+
+	"cloudia/internal/par"
 )
 
 // Result describes a clustering of one-dimensional values.
@@ -392,10 +394,11 @@ func (h *hirschberg) split(lo, hi, k int, out []int) float64 {
 	}
 	half := k / 2
 	var f, b []float64
-	if hi-lo+1 >= parallelMin {
+	if hi-lo+1 >= parallelMin && par.Workers() > 1 {
 		// The two meet passes touch disjoint scratch and disjoint outputs;
 		// racing them halves the wall time of the dominant top split on
-		// multi-core machines.
+		// multi-core machines. par.Workers() == 1 keeps the solve strictly
+		// single-goroutine, matching the rest of the cold path's fallback.
 		if h.sb == nil {
 			h.sb = newDPScratch(len(h.sf.prev))
 		}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"cloudia/internal/par"
+)
+
+// The parallel artifact builds promise bit-equality with their sequential
+// forms at every worker count. These tests pin that promise against
+// independent reference implementations — in particular SortedPairs against
+// a whole-list stable sort, on tie-heavy matrices where any divergence in
+// merge tie-breaking would reorder equal-cost pairs.
+
+// tieMatrix draws costs from only `distinct` values, so a large fraction of
+// pairs tie exactly and tie-order bugs cannot hide.
+func tieMatrix(t *testing.T, n, distinct int, seed int64) *CostMatrix {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, distinct)
+	for i := range vals {
+		vals[i] = 0.1 + rng.Float64()
+	}
+	m := NewCostMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				m.Set(i, j, vals[rng.Intn(distinct)])
+			}
+		}
+	}
+	return m
+}
+
+// refSortedPairs is the pre-parallel implementation: materialize every
+// off-diagonal pair in row-major order and stable-sort the whole list.
+func refSortedPairs(m *CostMatrix) []CostPair {
+	n := m.Size()
+	out := make([]CostPair, 0, n*(n-1))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				out = append(out, CostPair{From: int32(i), To: int32(j), Cost: m.At(i, j)})
+			}
+		}
+	}
+	slices.SortStableFunc(out, func(a, b CostPair) int {
+		switch {
+		case a.Cost < b.Cost:
+			return -1
+		case a.Cost > b.Cost:
+			return 1
+		}
+		return 0
+	})
+	return out
+}
+
+var workerCounts = []int{1, 2, 3, 8}
+
+func TestSortedPairsBitEqualAcrossWorkers(t *testing.T) {
+	defer par.SetWorkers(0)
+	for _, n := range []int{2, 3, 7, 40, 101} {
+		m := tieMatrix(t, n, 5, int64(n))
+		want := refSortedPairs(m)
+		for _, w := range workerCounts {
+			par.SetWorkers(w)
+			got := m.SortedPairs()
+			if !slices.Equal(got, want) {
+				t.Fatalf("n=%d workers=%d: SortedPairs diverges from the stable-sort reference", n, w)
+			}
+		}
+	}
+}
+
+func TestTransposedAndOffDiagonalBitEqualAcrossWorkers(t *testing.T) {
+	defer par.SetWorkers(0)
+	for _, n := range []int{2, 9, 64} {
+		m := testMatrix(t, n, int64(n))
+		// Sequential references.
+		par.SetWorkers(1)
+		wantT := m.Transposed()
+		wantOD := m.OffDiagonal()
+		for _, w := range workerCounts {
+			par.SetWorkers(w)
+			gotT := m.Transposed()
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if gotT.At(i, j) != wantT.At(i, j) {
+						t.Fatalf("n=%d workers=%d: Transposed[%d,%d] = %g, want %g", n, w, i, j, gotT.At(i, j), wantT.At(i, j))
+					}
+				}
+			}
+			if got := m.OffDiagonal(); !slices.Equal(got, wantOD) {
+				t.Fatalf("n=%d workers=%d: OffDiagonal diverges from sequential", n, w)
+			}
+		}
+	}
+}
+
+func TestMergeSortedPairRunsRaggedTail(t *testing.T) {
+	defer par.SetWorkers(0)
+	// Runs of width 3 with a short final run: the merge must treat the tail
+	// as just another (shorter) run and keep left-first tie order.
+	mk := func() []CostPair {
+		return []CostPair{
+			{From: 0, To: 1, Cost: 1}, {From: 0, To: 2, Cost: 2}, {From: 0, To: 3, Cost: 2},
+			{From: 1, To: 0, Cost: 1}, {From: 1, To: 2, Cost: 2}, {From: 1, To: 3, Cost: 9},
+			{From: 2, To: 0, Cost: 2},
+		}
+	}
+	par.SetWorkers(1)
+	want := MergeSortedPairRuns(mk(), 3)
+	for _, w := range []int{2, 4} {
+		par.SetWorkers(w)
+		if got := MergeSortedPairRuns(mk(), 3); !slices.Equal(got, want) {
+			t.Fatalf("workers=%d: ragged-tail merge diverges from sequential", w)
+		}
+	}
+	// And the sequential result itself must be ascending with 0-row ties
+	// ahead of 1-row ties.
+	if !slices.IsSortedFunc(want, func(a, b CostPair) int {
+		switch {
+		case a.Cost < b.Cost:
+			return -1
+		case a.Cost > b.Cost:
+			return 1
+		}
+		return 0
+	}) {
+		t.Fatalf("merged runs not ascending: %v", want)
+	}
+	if want[1] != (CostPair{From: 1, To: 0, Cost: 1}) {
+		t.Fatalf("tie order broken: %v", want)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"cloudia/internal/advisor"
 	"cloudia/internal/core"
 	"cloudia/internal/measure"
+	"cloudia/internal/par"
 	"cloudia/internal/solver"
 	"cloudia/internal/wal"
 )
@@ -104,6 +105,13 @@ func OpenDaemon(cfg DaemonConfig) (*Daemon, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
+	type recovery struct {
+		tenant string
+		dir    string
+		sess   *tenantSession
+		err    error
+	}
+	var recs []*recovery
 	for _, e := range entries {
 		if !e.IsDir() {
 			continue
@@ -112,14 +120,42 @@ func OpenDaemon(cfg DaemonConfig) (*Daemon, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: alien tenant directory %q", e.Name())
 		}
-		sess, err := openSession(filepath.Join(root, e.Name()), string(raw), cfg.WAL)
-		if err != nil {
+		recs = append(recs, &recovery{tenant: string(raw), dir: filepath.Join(root, e.Name())})
+	}
+
+	// Replay tenant logs concurrently: per-tenant logs are independent by
+	// construction, each replay applies its own records strictly in order,
+	// and fingerprint verification stays per-epoch inside openSession — so
+	// restart time scales with the slowest tenant, not the fleet. Everything
+	// order-sensitive happens after the barrier, in directory (sorted,
+	// os.ReadDir's contract) order: the error reported is the first failing
+	// tenant's in that order, and cache re-seeding is a deterministic
+	// sequential pass, so recovered cache state is bit-independent of how
+	// replays were scheduled.
+	par.For(len(recs), func(lo, hi int) {
+		for _, r := range recs[lo:hi] {
+			r.sess, r.err = openSession(r.dir, r.tenant, cfg.WAL)
+		}
+	})
+	closeAll := func() {
+		for _, r := range recs {
+			if r.sess != nil {
+				r.sess.log.Close()
+			}
+		}
+	}
+	for _, r := range recs {
+		if r.err != nil {
+			closeAll()
+			return nil, r.err
+		}
+	}
+	for _, r := range recs {
+		if err := d.reseedCache(r.sess); err != nil {
+			closeAll()
 			return nil, err
 		}
-		if err := d.reseedCache(sess); err != nil {
-			return nil, err
-		}
-		d.tenants[sess.name] = sess
+		d.tenants[r.sess.name] = r.sess
 	}
 
 	d.srv = New(cfg.Serve)

@@ -29,6 +29,7 @@ import (
 	"cloudia/internal/advisor"
 	"cloudia/internal/core"
 	"cloudia/internal/measure"
+	"cloudia/internal/par"
 	"cloudia/internal/solver"
 )
 
@@ -438,37 +439,60 @@ func (b *cacheBridge) onProblem(prob, prev *solver.Problem, ep measure.Epoch, ch
 		k = 20
 	}
 	prep := prob.Prep()
+
+	// The known solver family maps to a fixed artifact set; the artifacts
+	// are independent (distinct single-flight slots, distinct Prep cells),
+	// so they prefetch concurrently instead of each solver faulting them in
+	// serially under its sync.Once. Results are folded back in the fixed
+	// rounded/rows/graph order after the join, so hit/miss counts and the
+	// error a caller sees stay deterministic regardless of scheduling; with
+	// one worker the closures run sequentially inline, exactly the old path.
+	var (
+		doRounded, doRows, doGraph    bool
+		roundedHit, rowsHit, graphHit bool
+		roundedErr                    error
+	)
 	switch name {
 	case "cp", "portfolio":
 		// CP consumes the pair list at every k, clustered or not.
-		hit, err := b.cache.Rounded(fp, k, prep)
-		if err != nil {
-			return err
-		}
-		b.count(hit)
+		doRounded = true
 	case "mip":
 		// Unclustered MIP reads the raw matrix directly and never asks
 		// Prep for the k<=0 entry; warming it would sort ~m^2 pairs
 		// nobody reads.
-		if k > 0 {
-			hit, err := b.cache.Rounded(fp, k, prep)
-			if err != nil {
-				return err
-			}
-			b.count(hit)
-		}
+		doRounded = k > 0
 	}
-	switch name {
-	case "g1", "portfolio":
-		b.count(b.cache.CheapestRows(fp, prep))
-	}
+	doRows = name == "g1" || name == "portfolio"
 	// Longest-path problems run the branch-and-bound member over the
 	// transposed graph; the transpose and its topological order are
 	// graph-content artifacts shared under the graph's own fingerprint
 	// (the per-family sub-key), so longest-path fleets share more than
 	// matrix-derived entries.
-	if b.objective == solver.LongestPath && (name == "mip" || name == "portfolio") {
-		b.count(b.cache.TransposedGraph(b.graph.Fingerprint(), prep))
+	doGraph = b.objective == solver.LongestPath && (name == "mip" || name == "portfolio")
+
+	warms := make([]func(), 0, 3)
+	if doRounded {
+		warms = append(warms, func() { roundedHit, roundedErr = b.cache.Rounded(fp, k, prep) })
+	}
+	if doRows {
+		warms = append(warms, func() { rowsHit = b.cache.CheapestRows(fp, prep) })
+	}
+	if doGraph {
+		warms = append(warms, func() { graphHit = b.cache.TransposedGraph(b.graph.Fingerprint(), prep) })
+	}
+	par.Do(warms...)
+
+	if doRounded {
+		if roundedErr != nil {
+			return roundedErr
+		}
+		b.count(roundedHit)
+	}
+	if doRows {
+		b.count(rowsHit)
+	}
+	if doGraph {
+		b.count(graphHit)
 	}
 	return nil
 }

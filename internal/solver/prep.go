@@ -9,6 +9,7 @@ import (
 
 	"cloudia/internal/cluster"
 	"cloudia/internal/core"
+	"cloudia/internal/par"
 )
 
 // Prep is a problem's shared preprocessing cache: every derived artifact the
@@ -287,10 +288,12 @@ func cheapestRow(m *core.CostMatrix, u int, row []int32) []int32 {
 
 // CheapestRows returns, for every instance u, the other instances sorted
 // ascending by (cost from u, index) — the candidate rows consumed by the G1
-// greedy's cheapest-free cursors. One flat backing array serves all rows.
-// When a previous epoch seeds the cache, only the changed rows are re-sorted
-// and the rest are shared with that epoch. Shared; callers must not modify
-// the rows.
+// greedy's cheapest-free cursors. One flat backing array serves all rows:
+// row u owns the fixed stride [u*(n-1), (u+1)*(n-1)), so rows fill and sort
+// in parallel while producing exactly the sequential build's bytes. When a
+// previous epoch seeds the cache, only the changed rows are re-sorted (also
+// in parallel; Evolve hands them over ascending and duplicate-free) and the
+// rest are shared with that epoch. Shared; callers must not modify the rows.
 func (pp *Prep) CheapestRows() [][]int32 {
 	pp.rowsOnce.Do(func() {
 		m := pp.p.Costs
@@ -298,21 +301,25 @@ func (pp *Prep) CheapestRows() [][]int32 {
 		if seed := pp.rowsSeed; seed != nil {
 			rows := make([][]int32, n)
 			copy(rows, seed)
-			for _, u := range pp.rowsSeedChanged {
-				rows[u] = cheapestRow(m, u, make([]int32, 0, n-1))
-			}
+			changed := pp.rowsSeedChanged
+			par.For(len(changed), func(lo, hi int) {
+				for _, u := range changed[lo:hi] {
+					rows[u] = cheapestRow(m, u, make([]int32, 0, n-1))
+				}
+			})
 			pp.rowsSeed, pp.rowsSeedChanged = nil, nil
 			pp.rows = rows
 			pp.rowsDone.Store(true)
 			return
 		}
 		rows := make([][]int32, n)
-		flat := make([]int32, 0, n*(n-1))
-		for u := 0; u < n; u++ {
-			row := cheapestRow(m, u, flat[len(flat):len(flat):len(flat)+n-1])
-			flat = flat[:len(flat)+len(row)]
-			rows[u] = row
-		}
+		per := n - 1
+		flat := make([]int32, n*per)
+		par.For(n, func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				rows[u] = cheapestRow(m, u, flat[u*per:u*per:(u+1)*per])
+			}
+		})
 		pp.rows = rows
 		pp.rowsDone.Store(true)
 	})

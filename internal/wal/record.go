@@ -244,9 +244,19 @@ func decodeRecord(kind byte, payload []byte) (Record, error) {
 		if p.err == nil && rows > r.N {
 			return nil, fmt.Errorf("wal: epoch record claims %d changed rows of %d", rows, r.N)
 		}
+		if p.err == nil && rows*(r.N*8+1) > len(p.b) {
+			// Each row delta is at least one index byte plus N fixed-width
+			// values; reject before allocating rows*N floats for a payload
+			// that cannot possibly hold them.
+			return nil, fmt.Errorf("wal: epoch record claims %d rows of %d values in %d bytes", rows, r.N, len(p.b))
+		}
 		r.Rows = make([]RowDelta, 0, rows)
+		// One flat backing array for all row values: replaying a large epoch
+		// costs two allocations instead of one per row, and the full-capacity
+		// subslices keep rows from ever growing into each other.
+		flat := make([]float64, rows*r.N)
 		for i := 0; i < rows && p.err == nil; i++ {
-			d := RowDelta{Row: p.uint(), Values: make([]float64, r.N)}
+			d := RowDelta{Row: p.uint(), Values: flat[i*r.N : (i+1)*r.N : (i+1)*r.N]}
 			for j := range d.Values {
 				d.Values[j] = p.f64()
 			}

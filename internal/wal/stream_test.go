@@ -1,0 +1,131 @@
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"reflect"
+	"testing"
+)
+
+// frameBytes encodes rec into a standalone frame.
+func frameBytes(t *testing.T, rec Record) []byte {
+	t.Helper()
+	l := &Log{}
+	f, err := l.frame(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append([]byte(nil), f...)
+}
+
+// TestReadFrameMatchesParseFrame pins the streaming reader to the
+// whole-buffer parser it replaced on the replay path: same records, same
+// frame lengths, and rejection of the same malformed inputs — so torn-tail
+// truncation decisions are unchanged by the buffer-reusing rewrite.
+func TestReadFrameMatchesParseFrame(t *testing.T) {
+	recs := []Record{
+		&EpochRecord{Epoch: 1, Fingerprint: 7, N: 3, Rows: []RowDelta{
+			{Row: 0, Values: []float64{0, 1, 2}},
+			{Row: 2, Values: []float64{3, 4, 0}},
+		}},
+		testAdvice(1),
+	}
+	var buf []byte
+	for _, r := range recs {
+		buf = append(buf, frameBytes(t, r)...)
+	}
+
+	// Whole-buffer parse.
+	var parsed []Record
+	off := 0
+	for off < len(buf) {
+		rec, n, err := parseFrame(buf[off:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed = append(parsed, rec)
+		off += n
+	}
+
+	// Streaming parse through the reusable scratch buffer.
+	l := &Log{}
+	r := bufio.NewReader(bytes.NewReader(buf))
+	var streamed []Record
+	remain := int64(len(buf))
+	for remain > 0 {
+		rec, n, err := l.readFrame(r, remain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed = append(streamed, rec)
+		remain -= int64(n)
+	}
+
+	if !reflect.DeepEqual(parsed, streamed) {
+		t.Fatalf("streaming parse diverges from parseFrame:\nparse:  %+v\nstream: %+v", parsed, streamed)
+	}
+}
+
+// TestReadFrameRejectsWhatParseFrameRejects drives both decoders through
+// every framing violation class and requires both to fail.
+func TestReadFrameRejectsWhatParseFrameRejects(t *testing.T) {
+	good := frameBytes(t, testAdvice(2))
+	cases := map[string][]byte{
+		"short header":   good[:frameHeaderBytes-2],
+		"truncated body": good[:len(good)-3],
+		"zero length":    make([]byte, frameHeaderBytes),
+		"crc mismatch": func() []byte {
+			b := append([]byte(nil), good...)
+			b[len(b)-1] ^= 0xff
+			return b
+		}(),
+		"over-cap length": func() []byte {
+			b := make([]byte, frameHeaderBytes)
+			binary.LittleEndian.PutUint32(b, maxFrameBytes+1)
+			return b
+		}(),
+		"bad payload": func() []byte {
+			// A CRC-valid frame whose body decodes to no known record kind.
+			body := []byte{99, 1, 2, 3}
+			b := make([]byte, frameHeaderBytes)
+			binary.LittleEndian.PutUint32(b, uint32(len(body)))
+			binary.LittleEndian.PutUint32(b[4:], crc32.Checksum(body, castagnoli))
+			return append(b, body...)
+		}(),
+	}
+	for name, data := range cases {
+		if _, _, err := parseFrame(data); err == nil {
+			t.Errorf("%s: parseFrame accepted it", name)
+		}
+		l := &Log{}
+		if _, _, err := l.readFrame(bufio.NewReader(bytes.NewReader(data)), int64(len(data))); err == nil {
+			t.Errorf("%s: readFrame accepted it", name)
+		}
+	}
+}
+
+// TestEpochDecodeRejectsOversizedRowClaim: a CRC-valid epoch payload whose
+// row count cannot fit in the remaining bytes must fail before the decoder
+// allocates rows*N values for it.
+func TestEpochDecodeRejectsOversizedRowClaim(t *testing.T) {
+	r := &EpochRecord{Epoch: 1, Fingerprint: 1, N: 4, Rows: []RowDelta{
+		{Row: 0, Values: []float64{0, 1, 2, 3}},
+	}}
+	payload := r.appendPayload(nil)
+	// Claim 3 rows (still <= N) but keep one row's bytes.
+	p2 := append([]byte(nil), payload...)
+	// Payload layout: uvarint epoch, 8-byte fingerprint, uvarint N,
+	// uvarint rowcount; all the uvarints here are single-byte.
+	p2[1+8+1] = 3
+	if _, err := decodeRecord(kindEpoch, p2); err == nil {
+		t.Fatal("row claim exceeding the payload accepted")
+	}
+	// And a claim beyond N keeps its own guard.
+	p3 := append([]byte(nil), payload...)
+	p3[1+8+1] = 5
+	if _, err := decodeRecord(kindEpoch, p3); err == nil {
+		t.Fatal("row claim exceeding N accepted")
+	}
+}

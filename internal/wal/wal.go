@@ -20,6 +20,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -181,25 +182,36 @@ func Open(dir string, opts Options, replay func(Record) error) (*Log, error) {
 
 func (l *Log) segPath(idx int) string { return filepath.Join(l.dir, segName(idx)) }
 
-// replaySegment reads one segment, feeding valid records to replay. In the
-// final segment a torn or corrupt tail truncates the file at the last valid
-// frame; anywhere else it is a hard error.
+// replaySegment streams one segment frame by frame, feeding valid records to
+// replay. Frames are read through a fixed-size buffered reader into the log's
+// reusable scratch buffer, so replay memory is bounded by the largest single
+// frame rather than the segment size, and steady-state replay allocates only
+// what each decoded record retains. In the final segment a torn or corrupt
+// tail truncates the file at the last valid frame; anywhere else it is a
+// hard error.
 func (l *Log) replaySegment(idx int, last bool, replay func(Record) error) error {
 	path := l.segPath(idx)
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	off := 0
-	for off < len(data) {
-		rec, frameLen, ferr := parseFrame(data[off:])
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	size := fi.Size()
+	r := bufio.NewReaderSize(f, 1<<16)
+	var off int64
+	for off < size {
+		rec, frameLen, ferr := l.readFrame(r, size-off)
 		if ferr != nil {
 			if !last {
 				return fmt.Errorf("wal: segment %s: corrupt frame at offset %d before the tail: %v", segName(idx), off, ferr)
 			}
 			// Torn/corrupt tail: drop everything from the bad frame on.
-			l.stats.TruncatedBytes = int64(len(data) - off)
-			if err := os.Truncate(path, int64(off)); err != nil {
+			l.stats.TruncatedBytes = size - off
+			if err := os.Truncate(path, off); err != nil {
 				return fmt.Errorf("wal: truncating torn tail of %s: %w", segName(idx), err)
 			}
 			return nil
@@ -210,9 +222,48 @@ func (l *Log) replaySegment(idx int, last bool, replay func(Record) error) error
 			}
 		}
 		l.stats.RecoveredRecords++
-		off += frameLen
+		off += int64(frameLen)
 	}
 	return nil
+}
+
+// readFrame reads and decodes one frame from r, reusing the log's scratch
+// buffer for the frame body; decodeRecord never retains its input, so the
+// buffer is safe to overwrite on the next call. remain is the number of
+// unread segment bytes, used to distinguish a truncated body from an I/O
+// error so the caller's torn-tail handling matches the old whole-segment
+// parse exactly.
+func (l *Log) readFrame(r *bufio.Reader, remain int64) (Record, int, error) {
+	if remain < frameHeaderBytes {
+		return nil, 0, fmt.Errorf("short header (%d bytes)", remain)
+	}
+	var hdr [frameHeaderBytes]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("reading header: %v", err)
+	}
+	length := binary.LittleEndian.Uint32(hdr[:])
+	if length < 1 || length > maxFrameBytes {
+		return nil, 0, fmt.Errorf("implausible frame length %d", length)
+	}
+	want := binary.LittleEndian.Uint32(hdr[4:])
+	if int64(length) > remain-frameHeaderBytes {
+		return nil, 0, fmt.Errorf("truncated body (%d of %d bytes)", remain-frameHeaderBytes, length)
+	}
+	if cap(l.buf) < int(length) {
+		l.buf = make([]byte, length)
+	}
+	body := l.buf[:length]
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, 0, fmt.Errorf("reading body: %v", err)
+	}
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return nil, 0, fmt.Errorf("CRC mismatch (%08x != %08x)", got, want)
+	}
+	rec, err := decodeRecord(body[0], body[1:])
+	if err != nil {
+		return nil, 0, err
+	}
+	return rec, frameHeaderBytes + int(length), nil
 }
 
 // parseFrame decodes one frame from the head of data, returning the record
