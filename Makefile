@@ -8,24 +8,24 @@ GO ?= go
 # benchmarks are seconds-scale 1000-instance passes (3 iterations), and
 # micro benchmarks are ns-scale move evaluations (thousands).
 BENCH_PATTERN_MACRO ?= BenchmarkCPPerNodeBudget|BenchmarkCPThresholdDescent|BenchmarkCPSearchNode|BenchmarkCPTighten|BenchmarkDeltaEvalPortfolio|BenchmarkKMeans1D$$|BenchmarkPatchSortedPairs|BenchmarkWALReplay
-BENCH_PATTERN_HEAVY ?= BenchmarkColdPrep1000|BenchmarkDaemonRestart|BenchmarkKMeans1DLarge|BenchmarkPortfolio1000|BenchmarkStreamingAdvise|BenchmarkShardedServe|BenchmarkSkewedServe|BenchmarkSortedPairsRebuild
+BENCH_PATTERN_HEAVY ?= BenchmarkColdPrep1000|BenchmarkDaemonRestart|BenchmarkKMeans1DLarge|BenchmarkPortfolio1000|BenchmarkStreamingAdvise|BenchmarkStreamingP99Advise|BenchmarkShardedServe|BenchmarkSkewedServe|BenchmarkSortedPairsRebuild
 BENCH_PATTERN_MICRO ?= BenchmarkDeltaEvalLL|BenchmarkDeltaEvalLP
 BENCH_PATTERN ?= $(BENCH_PATTERN_MACRO)|$(BENCH_PATTERN_HEAVY)|$(BENCH_PATTERN_MICRO)
-BENCH_OUT ?= BENCH_PR8.json
+BENCH_OUT ?= BENCH_PR9.json
 
 # The perf trajectory: BENCH_BASE is the previous PR's recorded run,
 # BENCH_NEW the current one; bench-diff flags regressions beyond
 # BENCH_THRESHOLD percent. Only benchmarks named in BENCH_ALLOWLIST gate
 # the exit status (stable whole-pass benchmarks); the rest print as
 # informational.
-BENCH_BASE ?= BENCH_PR7.json
-BENCH_NEW ?= BENCH_PR8.json
+BENCH_BASE ?= BENCH_PR8.json
+BENCH_NEW ?= BENCH_PR9.json
 BENCH_THRESHOLD ?= 20
 BENCH_ALLOWLIST ?= BENCH_ALLOWLIST
 
 # Per-package statement-coverage floors enforced by `make cover` (and CI).
 COVER_OUT ?= coverprofile
-COVER_FLOORS ?= cloudia/internal/measure=90 cloudia/internal/solver=90 cloudia/internal/serve=90 cloudia/internal/wal=90
+COVER_FLOORS ?= cloudia/internal/measure=90 cloudia/internal/solver=90 cloudia/internal/serve=90 cloudia/internal/wal=90 cloudia/internal/sketch=90
 
 .PHONY: build vet test bench bench-smoke bench-diff cover fmt-check crash-test
 

@@ -579,11 +579,11 @@ func BenchmarkStreamingAdvise(b *testing.B) {
 		}()
 
 		out, err := advisor.SolveStream(ch, advisor.StreamSolveConfig{
-			Graph:       p.Graph,
-			Objective:   solver.LongestLink,
-			RoundBudget: solver.Budget{Time: roundBudget},
-			Seed:        int64(it),
-			Coalesce:    true,
+			Graph:         p.Graph,
+			ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink},
+			RoundBudget:   solver.Budget{Time: roundBudget},
+			Seed:          int64(it),
+			Coalesce:      true,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -617,6 +617,91 @@ func BenchmarkStreamingAdvise(b *testing.B) {
 	b.ReportMetric(firstMS/float64(b.N), "first-advice-ms/op")
 	b.ReportMetric(batchMS/float64(b.N), "batch-total-ms/op")
 	b.ReportMetric(ratioSum/float64(b.N), "final-cost-ratio/op")
+}
+
+// BenchmarkStreamingP99Advise measures the tail-latency streaming pipeline
+// on the 1000-instance tier: the same epoch cadence as
+// BenchmarkStreamingAdvise, but each epoch also publishes a p99 tail
+// matrix (as measure.Stream does from its per-link quantile sketches) and
+// the advisor optimizes that percentile matrix, tie-breaking on the mean.
+// The tail rides the mean's changed-row sets, so Evolve still patches only
+// the matured rows per epoch; the benchmark records how much the second
+// matrix (tie-break re-rounding plus tail fingerprint bookkeeping) costs
+// over mean-only streaming.
+//
+// Reported metrics (recorded in BENCH_PR9.json):
+//
+//   - first-advice-ms/op: wall-clock from measurement start to the first
+//     feasible p99-optimal advice.
+//   - rounds/op: epochs consumed (no coalescing here: the producer does
+//     not sleep, so all 8 epochs are solved back to back).
+func BenchmarkStreamingP99Advise(b *testing.B) {
+	p := portfolio1000Problem(b)
+	const (
+		instances   = 1000
+		epochs      = 8
+		roundBudget = 45 * time.Millisecond
+	)
+
+	// Deterministic per-link noise for the initial estimate, and a
+	// deterministic tail spread: the "true" p99 sits 10-60% above the mean,
+	// varying by link, so the percentile matrix orders links differently
+	// from the mean matrix and the p99 optimum is a genuinely different
+	// problem.
+	hash := func(i, j int) float64 {
+		h := uint64(i*instances+j) * 0x9e3779b97f4a7c15
+		h ^= h >> 33
+		return float64(h%1024) / 1024
+	}
+	tailOf := func(i, j, final float64) float64 { return final * (1.1 + 0.5*hash(int(i), int(j))) }
+
+	var firstMS, rounds float64
+	for it := 0; it < b.N; it++ {
+		ch := make(chan measure.Epoch, epochs)
+		go func() {
+			defer close(ch)
+			mm := core.NewMutableCostMatrix(instances)
+			tm := core.NewMutableCostMatrix(instances)
+			for i := 0; i < instances; i++ {
+				for j := 0; j < instances; j++ {
+					if i != j {
+						noisy := p.Costs.At(i, j) * (0.7 + 0.6*hash(i, j))
+						mm.Set(i, j, noisy)
+						tm.Set(i, j, tailOf(float64(i), float64(j), noisy))
+					}
+				}
+			}
+			for e := 1; e <= epochs; e++ {
+				lo, hi := (e-1)*instances/epochs, e*instances/epochs
+				for i := lo; i < hi; i++ {
+					for j := 0; j < instances; j++ {
+						if i != j {
+							final := p.Costs.At(i, j)
+							mm.Set(i, j, final)
+							tm.Set(i, j, tailOf(float64(i), float64(j), final))
+						}
+					}
+				}
+				ep := measure.PublishEpoch(mm, float64(e), e == epochs, 0)
+				ep.Tails = []measure.TailMatrix{measure.PublishTail(tm, 99)}
+				ch <- ep
+			}
+		}()
+
+		out, err := advisor.SolveStream(ch, advisor.StreamSolveConfig{
+			Graph:         p.Graph,
+			ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink, Metric: advisor.MetricP99},
+			RoundBudget:   solver.Budget{Time: roundBudget},
+			Seed:          int64(it),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		firstMS += float64(out.FirstAdvice) / float64(time.Millisecond)
+		rounds += float64(len(out.Rounds))
+	}
+	b.ReportMetric(firstMS/float64(b.N), "first-advice-ms/op")
+	b.ReportMetric(rounds/float64(b.N), "rounds/op")
 }
 
 // BenchmarkShardedServe measures what the serving layer's content-addressed
@@ -655,11 +740,11 @@ func BenchmarkShardedServe(b *testing.B) {
 		seqStart := time.Now()
 		for tn := 0; tn < tenants; tn++ {
 			out, err := advisor.SolveStream(singleEpoch(), advisor.StreamSolveConfig{
-				Graph:       p.Graph,
-				Objective:   solver.LongestLink,
-				SolverName:  "cp",
-				RoundBudget: budget,
-				Seed:        int64(1000*it + tn),
+				Graph:         p.Graph,
+				ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink},
+				SolverName:    "cp",
+				RoundBudget:   budget,
+				Seed:          int64(1000*it + tn),
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -675,13 +760,13 @@ func BenchmarkShardedServe(b *testing.B) {
 		for tn := 0; tn < tenants; tn++ {
 			var err error
 			tickets[tn], err = srv.Submit(serve.Job{
-				Tenant:      fmt.Sprintf("tenant-%d", tn),
-				Graph:       p.Graph,
-				Objective:   solver.LongestLink,
-				Epochs:      singleEpoch(),
-				SolverName:  "cp",
-				RoundBudget: budget,
-				Seed:        int64(1000*it + tn),
+				Tenant:        fmt.Sprintf("tenant-%d", tn),
+				Graph:         p.Graph,
+				ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink},
+				Epochs:        singleEpoch(),
+				SolverName:    "cp",
+				RoundBudget:   budget,
+				Seed:          int64(1000*it + tn),
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -859,13 +944,13 @@ func BenchmarkSkewedServe(b *testing.B) {
 		start := time.Now()
 		for idx, j := range jobs {
 			tk, err := srv.Submit(serve.Job{
-				Tenant:      j.tenant,
-				Graph:       g,
-				Objective:   solver.LongestLink,
-				Epochs:      stream(),
-				SolverName:  "cp",
-				RoundBudget: budget,
-				Seed:        int64(1000*it) + j.seed,
+				Tenant:        j.tenant,
+				Graph:         g,
+				ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink},
+				Epochs:        stream(),
+				SolverName:    "cp",
+				RoundBudget:   budget,
+				Seed:          int64(1000*it) + j.seed,
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -1164,11 +1249,11 @@ func BenchmarkDaemonRestart(b *testing.B) {
 			rows[i] = wal.RowDelta{Row: i, Values: append([]float64(nil), m.Row(i)...)}
 		}
 		name := fmt.Sprintf("tenant-%d", tn)
-		if _, _, err := d.AppendEpoch(name, instances, rows); err != nil {
+		if _, _, err := d.AppendEpoch(name, instances, rows, nil); err != nil {
 			b.Fatal(err)
 		}
 		res, err := d.Advise(serve.AdviseRequest{
-			Tenant: name, Graph: g, Objective: solver.LongestLink,
+			Tenant: name, Graph: g, ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink},
 			SolverName: "cp", ClusterK: 20,
 			RoundBudget: solver.Budget{Nodes: 2000}, Seed: int64(tn),
 		})
@@ -1184,7 +1269,7 @@ func BenchmarkDaemonRestart(b *testing.B) {
 				delta[j] *= 1.25
 			}
 		}
-		if _, _, err := d.AppendEpoch(name, instances, []wal.RowDelta{{Row: tn, Values: delta}}); err != nil {
+		if _, _, err := d.AppendEpoch(name, instances, []wal.RowDelta{{Row: tn, Values: delta}}, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"cloudia/internal/advisor"
 	"cloudia/internal/core"
 	"cloudia/internal/measure"
 	"cloudia/internal/serve"
@@ -68,7 +69,7 @@ func retryJob(t *testing.T, block <-chan measure.Epoch) serve.Job {
 		t.Fatal(err)
 	}
 	job := serve.Job{
-		Tenant: "t", Graph: g, Objective: solver.LongestLink,
+		Tenant: "t", Graph: g, ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink},
 		SolverName: "g2", RoundBudget: solver.Budget{Nodes: 100},
 	}
 	if block != nil {

@@ -46,7 +46,7 @@ func main() {
 		graphPath = flag.String("graph", "", "JSON communication graph file (overrides -template)")
 		objective = flag.String("objective", "longest-link", "objective: longest-link or longest-path")
 		overalloc = flag.Float64("overalloc", 0.1, "over-allocation ratio")
-		metric    = flag.String("metric", "mean", "latency metric: mean, mean+sd, p99")
+		metric    = flag.String("metric", "mean", "latency metric: mean, mean+sd, p95, p99 (percentiles optimize the tail, tie-breaking on the mean)")
 		scheme    = flag.String("scheme", "staged", "measurement scheme: token, uncoordinated, staged")
 		solverFlg = flag.String("solver", "", "solver: cp, mip, g1, g2, r1, r2, r2l, sa, portfolio (default: cp for LL, mip for LP)")
 		clusterK  = flag.Int("clusterk", 0, "cost clusters for cp/mip (0 = paper default)")
@@ -108,13 +108,13 @@ type runConfig struct {
 }
 
 // validateFlags rejects flag combinations that can never run, before any
-// simulation work starts. In particular, -stream supports only the mean
-// metric — previously that surfaced deep inside the run, after the graph,
-// datacenter, and provider were already built.
+// simulation work starts. What to optimize — objective, metric, scheme,
+// and their combinations — is advisor.ObjectiveSpec's job, validated once
+// inside the advisor; the flags here are only about *how* the process runs
+// (serve batches, daemons, streaming sources). `-stream -metric p99` is a
+// supported combination now: epochs carry sketch-based percentile
+// matrices.
 func validateFlags(cfg runConfig) error {
-	if cfg.stream && cfg.metric != "" && cfg.metric != "mean" {
-		return fmt.Errorf("-stream supports only -metric mean: per-epoch %q matrices need streaming quantile sketches (see ROADMAP)", cfg.metric)
-	}
 	if cfg.servePath != "" && cfg.stream {
 		return fmt.Errorf("-serve batches cannot be combined with -stream (epoch sources are per-job in a batch)")
 	}
@@ -173,22 +173,17 @@ func run(cfg runConfig) error {
 		return err
 	}
 
-	var obj solver.Objective
-	switch cfg.objective {
-	case "longest-link":
-		obj = solver.LongestLink
-	case "longest-path":
-		obj = solver.LongestPath
-	default:
-		return fmt.Errorf("unknown objective %q", cfg.objective)
-	}
-
+	// The raw flag strings cast straight into the objective spec; its
+	// Validate (run by Advise/StreamingAdvise) is the single authority on
+	// unknown values and unsupported combinations — no CLI-side switch.
 	acfg := advisor.Config{
-		Graph:          g,
-		Objective:      obj,
+		Graph: g,
+		ObjectiveSpec: advisor.ObjectiveSpec{
+			Objective: solver.Objective(cfg.objective),
+			Metric:    advisor.Metric(cfg.metric),
+			Scheme:    measure.Scheme(cfg.scheme),
+		},
 		OverAllocation: cfg.overalloc,
-		Metric:         advisor.Metric(cfg.metric),
-		Scheme:         measure.Scheme(cfg.scheme),
 		SolverName:     cfg.solver,
 		ClusterK:       cfg.clusterK,
 		SolverBudget:   solver.Budget{Time: time.Duration(cfg.budgetMS) * time.Millisecond},

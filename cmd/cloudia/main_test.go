@@ -89,31 +89,32 @@ func TestRunEndToEndStreaming(t *testing.T) {
 	}
 }
 
-func TestStreamRejectsNonMeanMetricAtFlagLevel(t *testing.T) {
-	// -stream -metric p99 must fail in flag validation, before any
-	// topology or provider work, with a message naming the restriction.
-	for _, metric := range []string{"p99", "mean+sd"} {
-		err := run(runConfig{
+func TestStreamMetricSupport(t *testing.T) {
+	// mean+sd has no incremental per-epoch form; the streaming pipeline
+	// rejects it before any instance is allocated.
+	err := run(runConfig{
+		template: "mesh2d", rows: 2, cols: 2,
+		objective: "longest-link", metric: "mean+sd", scheme: "staged",
+		profile: "ec2", occupancy: 0.5,
+		stream: true,
+	})
+	if err == nil {
+		t.Fatal("-stream -metric mean+sd accepted")
+	}
+	if !strings.Contains(err.Error(), "does not support") {
+		t.Fatalf("-stream -metric mean+sd: error %q does not explain the restriction", err)
+	}
+	// Mean and the percentile metrics stream end-to-end: epochs carry
+	// sketch-based tail matrices, so p99 advising is no longer batch-only.
+	for _, metric := range []string{"mean", "p99"} {
+		if err := run(runConfig{
 			template: "mesh2d", rows: 2, cols: 2,
 			objective: "longest-link", metric: metric, scheme: "staged",
-			profile: "azure", // would fail later: proves validation runs first
-			stream:  true,
-		})
-		if err == nil {
-			t.Fatalf("-stream -metric %s accepted", metric)
+			profile: "ec2", occupancy: 0.5, budgetMS: 50, seed: 3,
+			stream: true, epochMS: 20, asJSON: true,
+		}); err != nil {
+			t.Fatalf("-stream -metric %s: %v", metric, err)
 		}
-		if !strings.Contains(err.Error(), "-stream supports only -metric mean") {
-			t.Fatalf("-stream -metric %s: error %q does not explain the restriction", metric, err)
-		}
-	}
-	// The plain mean metric must still reach the pipeline.
-	if err := run(runConfig{
-		template: "mesh2d", rows: 2, cols: 2,
-		objective: "longest-link", metric: "mean", scheme: "staged",
-		profile: "ec2", occupancy: 0.5, budgetMS: 50, seed: 3,
-		stream: true, epochMS: 20, asJSON: true,
-	}); err != nil {
-		t.Fatalf("-stream -metric mean: %v", err)
 	}
 }
 

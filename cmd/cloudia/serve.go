@@ -72,8 +72,14 @@ type serveTenant struct {
 	GraphPath string `json:"graph"`
 
 	Objective string `json:"objective"`
-	Solver    string `json:"solver"`
-	ClusterK  int    `json:"clusterk"`
+	// Metric selects the latency summary searched: mean (default), p95, or
+	// p99 — percentile metrics optimize the group's exact percentile
+	// matrix, tie-breaking on the mean unless no_mean_tie_break is set.
+	// (mean+sd is batch-advise only; served jobs are epoch-shaped.)
+	Metric         string `json:"metric"`
+	NoMeanTieBreak bool   `json:"no_mean_tie_break"`
+	Solver         string `json:"solver"`
+	ClusterK       int    `json:"clusterk"`
 	// OverAlloc defaults to the paper's 0.1 when omitted, matching the
 	// single-tenant -overalloc flag; an explicit 0 disables it.
 	OverAlloc *float64 `json:"overalloc"`
@@ -84,15 +90,19 @@ type serveTenant struct {
 	Seed       int64 `json:"seed"`
 }
 
-// parseObjective maps the CLI objective spelling to the solver constant.
-func parseObjective(s string) (solver.Objective, error) {
-	switch s {
-	case "longest-link", "":
-		return solver.LongestLink, nil
-	case "longest-path":
-		return solver.LongestPath, nil
+// tenantSpec casts a tenant's raw objective/metric strings into the one
+// validated ObjectiveSpec every entry point shares; only the
+// empty-objective default is resolved here.
+func tenantSpec(tn serveTenant) advisor.ObjectiveSpec {
+	spec := advisor.ObjectiveSpec{
+		Objective:      solver.Objective(tn.Objective),
+		Metric:         advisor.Metric(tn.Metric),
+		NoMeanTieBreak: tn.NoMeanTieBreak,
 	}
-	return "", fmt.Errorf("unknown objective %q", s)
+	if spec.Objective == "" {
+		spec.Objective = solver.LongestLink
+	}
+	return spec
 }
 
 // tenantGraph builds one tenant's communication graph through the same
@@ -192,6 +202,9 @@ func runServe(cfg runConfig) error {
 	tenants := make([]*servedTenant, 0, len(batch.Tenants))
 	groupNeed := make(map[string]int)
 	groupOrder := []string{}
+	// groupPcts collects, per group, the tail percentiles its tenants'
+	// metrics search, so the group measurement also yields those matrices.
+	groupPcts := make(map[string]map[float64]bool)
 	for _, tn := range batch.Tenants {
 		if tn.Name == "" {
 			return fmt.Errorf("%s: tenant without a name", cfg.servePath)
@@ -200,8 +213,14 @@ func runServe(cfg runConfig) error {
 			return fmt.Errorf("%s: duplicate tenant %q", cfg.servePath, tn.Name)
 		}
 		seen[tn.Name] = true
-		if _, err := parseObjective(tn.Objective); err != nil {
+		spec := tenantSpec(tn)
+		if err := spec.Validate(); err != nil {
 			return fmt.Errorf("tenant %q: %w", tn.Name, err)
+		}
+		if spec.Metric == advisor.MetricMeanPlusStd {
+			// serve.Submit would reject this too, but only after every
+			// group was allocated and measured.
+			return fmt.Errorf("tenant %q: served jobs do not support the %q metric", tn.Name, spec.Metric)
 		}
 		if tn.Solver != "" {
 			// Probe the solver name now: discovering it at ticket.Wait would
@@ -225,6 +244,12 @@ func runServe(cfg runConfig) error {
 		if st.group == "" {
 			st.group = tn.Name
 		}
+		if pct := spec.TailPercentile(); pct > 0 {
+			if groupPcts[st.group] == nil {
+				groupPcts[st.group] = make(map[float64]bool)
+			}
+			groupPcts[st.group][pct] = true
+		}
 		need := advisor.OverAllocate(g.NumNodes(), overAlloc)
 		if groupNeed[st.group] == 0 {
 			groupOrder = append(groupOrder, st.group)
@@ -236,7 +261,10 @@ func runServe(cfg runConfig) error {
 	}
 
 	// Allocate and measure once per group; every member shares the matrix.
+	// Groups with percentile-metric tenants also publish those exact
+	// percentile matrices from the same samples.
 	groupMatrix := make(map[string]*core.CostMatrix, len(groupNeed))
+	groupTail := make(map[string]map[float64]*core.CostMatrix)
 	for gi, group := range groupOrder {
 		total := groupNeed[group]
 		instances, err := prov.RunInstances(total)
@@ -252,6 +280,12 @@ func runServe(cfg runConfig) error {
 			return fmt.Errorf("group %q: %w", group, err)
 		}
 		groupMatrix[group] = meas.MeanMatrix()
+		for pct := range groupPcts[group] {
+			if groupTail[group] == nil {
+				groupTail[group] = make(map[float64]*core.CostMatrix)
+			}
+			groupTail[group][pct] = meas.PercentileMatrix(pct)
+		}
 	}
 
 	// The batch submits every tenant before waiting on any. When the batch
@@ -275,22 +309,27 @@ func runServe(cfg runConfig) error {
 	defer srv.Close()
 	backoffRNG := rand.New(rand.NewSource(batch.Seed + 2))
 	for _, st := range tenants {
-		obj, _ := parseObjective(st.spec.Objective)
+		spec := tenantSpec(st.spec)
 		budget := st.spec.BudgetMS
 		if budget == 0 {
 			budget = 500
 		}
+		var tail *core.CostMatrix
+		if pct := spec.TailPercentile(); pct > 0 {
+			tail = groupTail[st.group][pct]
+		}
 		st.ticket, err = submitWithRetry(srv, serve.Job{
-			Tenant:      st.spec.Name,
-			Datacenter:  st.group,
-			Graph:       st.graph,
-			Objective:   obj,
-			Matrix:      groupMatrix[st.group],
-			SolverName:  st.spec.Solver,
-			ClusterK:    st.spec.ClusterK,
-			RoundBudget: solver.Budget{Time: time.Duration(budget) * time.Millisecond},
-			Timeout:     time.Duration(st.spec.DeadlineMS) * time.Millisecond,
-			Seed:        st.spec.Seed,
+			Tenant:        st.spec.Name,
+			Datacenter:    st.group,
+			Graph:         st.graph,
+			ObjectiveSpec: spec,
+			Matrix:        groupMatrix[st.group],
+			TailMatrix:    tail,
+			SolverName:    st.spec.Solver,
+			ClusterK:      st.spec.ClusterK,
+			RoundBudget:   solver.Budget{Time: time.Duration(budget) * time.Millisecond},
+			Timeout:       time.Duration(st.spec.DeadlineMS) * time.Millisecond,
+			Seed:          st.spec.Seed,
 		}, backoffRNG, time.Sleep)
 		if err != nil {
 			return fmt.Errorf("tenant %q: %w", st.spec.Name, err)

@@ -37,7 +37,7 @@ func main() {
 	// ClouDiA: allocate 10% extra instances, measure, search, terminate.
 	report, err := advisor.Advise(provider, advisor.Config{
 		Graph:          graph,
-		Objective:      solver.LongestLink,
+		ObjectiveSpec:  advisor.ObjectiveSpec{Objective: solver.LongestLink},
 		OverAllocation: 0.1,
 		Seed:           42,
 	})

@@ -26,10 +26,13 @@ import (
 // communication cost (Sect. 3.2).
 type Metric string
 
-// The three latency metrics the paper evaluates (Fig. 10, Fig. 11).
+// The latency metrics the paper evaluates (Fig. 10, Fig. 11), plus p95.
+// Percentile metrics select the multi-objective mode described on
+// ObjectiveSpec.
 const (
 	MetricMean        Metric = "mean"
 	MetricMeanPlusStd Metric = "mean+sd"
+	MetricP95         Metric = "p95"
 	MetricP99         Metric = "p99"
 )
 
@@ -37,16 +40,13 @@ const (
 type Config struct {
 	// Graph is the application's communication graph; required.
 	Graph *core.Graph
-	// Objective selects longest link or longest path; required.
-	Objective solver.Objective
+	// ObjectiveSpec says what to optimize — objective, metric, measurement
+	// scheme, tie-break policy — and is validated once here for every
+	// entry point (see its doc).
+	ObjectiveSpec
 	// OverAllocation is the fraction of extra instances to allocate beyond
 	// the node count (the paper's default experiments use 0.1).
 	OverAllocation float64
-	// Metric summarizes latency samples; empty selects MetricMean, which
-	// the paper finds robust (Sect. 6.4.2).
-	Metric Metric
-	// Scheme is the measurement scheme; empty selects measure.Staged.
-	Scheme measure.Scheme
 	// MeasureDurationMS is the virtual measurement budget; zero scales the
 	// paper's rule of 5 minutes per 100 instances down to simulator scale:
 	// 20 ms of staged measurement per instance.
@@ -113,20 +113,8 @@ func (cfg *Config) validate() error {
 	if cfg.OverAllocation < 0 {
 		return fmt.Errorf("advisor: negative over-allocation %g", cfg.OverAllocation)
 	}
-	switch cfg.Metric {
-	case "", MetricMean, MetricMeanPlusStd, MetricP99:
-	default:
-		return fmt.Errorf("advisor: unknown metric %q", cfg.Metric)
-	}
-	switch cfg.Scheme {
-	case "", measure.Token, measure.Uncoordinated, measure.Staged:
-	default:
-		return fmt.Errorf("advisor: unknown measurement scheme %q", cfg.Scheme)
-	}
-	switch cfg.Objective {
-	case solver.LongestLink, solver.LongestPath:
-	default:
-		return fmt.Errorf("advisor: unknown objective %q", cfg.Objective)
+	if err := cfg.ObjectiveSpec.Validate(); err != nil {
+		return err
 	}
 	if cfg.SolverName != "" {
 		if _, err := NewSolver(cfg.SolverName, 1, 0); err != nil {
@@ -136,18 +124,17 @@ func (cfg *Config) validate() error {
 	return nil
 }
 
-// validateStreaming extends validate with the streaming-only restrictions,
-// so StreamingAdvise (and the CLI, at flag level) reject an unsupported
-// configuration up front instead of after allocation.
+// validateStreaming extends validate with the one remaining streaming-only
+// restriction: mean+sd has no incremental per-epoch form (the epoch fold
+// maintains means and quantile sketches, not standard deviations).
+// Percentile metrics stream fine — epochs publish sketch-based p95/p99
+// matrices — so the old flag-level `-stream -metric p99` rejection is gone.
 func (cfg *StreamingConfig) validate() error {
 	if err := cfg.Config.validate(); err != nil {
 		return err
 	}
-	if cfg.Metric != "" && cfg.Metric != MetricMean {
-		// Per-epoch percentile matrices would need streaming quantile
-		// sketches; the mean metric is the paper's robust default
-		// (Sect. 6.4.2) and the one the epoch fold maintains.
-		return fmt.Errorf("advisor: streaming advising supports only the %q metric, got %q", MetricMean, cfg.Metric)
+	if cfg.Metric == MetricMeanPlusStd {
+		return fmt.Errorf("advisor: streaming advising does not support the %q metric (epochs carry mean and percentile matrices)", MetricMeanPlusStd)
 	}
 	return nil
 }
@@ -253,20 +240,20 @@ func Advise(prov *cloud.Provider, cfg Config) (rep *Report, err error) {
 	if err != nil {
 		return nil, err
 	}
-	var costs *core.CostMatrix
-	switch cfg.Metric {
-	case "", MetricMean:
-		costs = meas.MeanMatrix()
-	case MetricMeanPlusStd:
-		costs = meas.MeanPlusStdMatrix()
-	case MetricP99:
-		costs = meas.P99Matrix()
-	default:
-		return nil, fmt.Errorf("advisor: unknown metric %q", cfg.Metric)
+	costs, err := cfg.ObjectiveSpec.metricMatrix(meas)
+	if err != nil {
+		return nil, err
+	}
+	// Percentile metrics tie-break equal-cost deployments on the mean
+	// matrix (unless disabled), matching the streaming path's
+	// multi-objective mode.
+	var tie *core.CostMatrix
+	if cfg.TieBreak() {
+		tie = meas.MeanMatrix()
 	}
 
 	// Step 3: search deployment (Fig. 3, "Search Deployment").
-	prob, err := solver.NewProblem(cfg.Graph, costs, cfg.Objective)
+	prob, err := solver.NewProblemTie(cfg.Graph, costs, tie, cfg.Objective)
 	if err != nil {
 		return nil, err
 	}

@@ -38,13 +38,13 @@ func TestAdviseValidation(t *testing.T) {
 		t.Fatal("nil graph accepted")
 	}
 	g := meshGraph(t, 3, 3)
-	if _, err := Advise(p, Config{Graph: g, Objective: solver.LongestLink, OverAllocation: -1}); err == nil {
+	if _, err := Advise(p, Config{Graph: g, ObjectiveSpec: ObjectiveSpec{Objective: solver.LongestLink}, OverAllocation: -1}); err == nil {
 		t.Fatal("negative over-allocation accepted")
 	}
-	if _, err := Advise(p, Config{Graph: g, Objective: solver.LongestLink, Metric: "bogus"}); err == nil {
+	if _, err := Advise(p, Config{Graph: g, ObjectiveSpec: ObjectiveSpec{Objective: solver.LongestLink, Metric: "bogus"}}); err == nil {
 		t.Fatal("bogus metric accepted")
 	}
-	if _, err := Advise(p, Config{Graph: g, Objective: solver.LongestLink, SolverName: "bogus"}); err == nil {
+	if _, err := Advise(p, Config{Graph: g, ObjectiveSpec: ObjectiveSpec{Objective: solver.LongestLink}, SolverName: "bogus"}); err == nil {
 		t.Fatal("bogus solver accepted")
 	}
 }
@@ -69,7 +69,7 @@ func TestAdviseEndToEndLongestLink(t *testing.T) {
 	g := meshGraph(t, 4, 4)
 	rep, err := Advise(p, Config{
 		Graph:          g,
-		Objective:      solver.LongestLink,
+		ObjectiveSpec:  ObjectiveSpec{Objective: solver.LongestLink},
 		OverAllocation: 0.25,
 		Seed:           5,
 		SolverBudget:   solver.Budget{Nodes: 500_000},
@@ -114,7 +114,7 @@ func TestAdviseEndToEndLongestPath(t *testing.T) {
 	}
 	rep, err := Advise(p, Config{
 		Graph:          g,
-		Objective:      solver.LongestPath,
+		ObjectiveSpec:  ObjectiveSpec{Objective: solver.LongestPath},
 		OverAllocation: 0.1,
 		Seed:           9,
 		SolverBudget:   solver.Budget{Nodes: 500_000},
@@ -134,10 +134,10 @@ func TestAdviseDefaultsToCPWithK20(t *testing.T) {
 	p := provider(t, 11)
 	g := meshGraph(t, 3, 3)
 	rep, err := Advise(p, Config{
-		Graph:        g,
-		Objective:    solver.LongestLink,
-		Seed:         13,
-		SolverBudget: solver.Budget{Nodes: 100_000},
+		Graph:         g,
+		ObjectiveSpec: ObjectiveSpec{Objective: solver.LongestLink},
+		Seed:          13,
+		SolverBudget:  solver.Budget{Nodes: 100_000},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -154,10 +154,8 @@ func TestAdviseAlternativeMetricsAndSchemes(t *testing.T) {
 			g := meshGraph(t, 3, 3)
 			rep, err := Advise(p, Config{
 				Graph:          g,
-				Objective:      solver.LongestLink,
+				ObjectiveSpec:  ObjectiveSpec{Objective: solver.LongestLink, Metric: m, Scheme: s},
 				OverAllocation: 0.2,
-				Metric:         m,
-				Scheme:         s,
 				Seed:           19,
 				SolverName:     "g2",
 				SolverBudget:   solver.Budget{Nodes: 50_000},
@@ -179,10 +177,10 @@ func TestAdviseZeroOverAllocation(t *testing.T) {
 	p := provider(t, 23)
 	g := meshGraph(t, 3, 3)
 	rep, err := Advise(p, Config{
-		Graph:        g,
-		Objective:    solver.LongestLink,
-		Seed:         29,
-		SolverBudget: solver.Budget{Nodes: 300_000},
+		Graph:         g,
+		ObjectiveSpec: ObjectiveSpec{Objective: solver.LongestLink},
+		Seed:          29,
+		SolverBudget:  solver.Budget{Nodes: 300_000},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -200,7 +198,7 @@ func TestAssignmentsMatchDeployment(t *testing.T) {
 	g := meshGraph(t, 2, 3)
 	rep, err := Advise(p, Config{
 		Graph:          g,
-		Objective:      solver.LongestLink,
+		ObjectiveSpec:  ObjectiveSpec{Objective: solver.LongestLink},
 		OverAllocation: 0.5,
 		Seed:           37,
 		SolverName:     "r1",

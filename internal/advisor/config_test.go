@@ -73,7 +73,7 @@ func TestConfigValidatedBeforeAllocation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base := Config{Graph: g, Objective: solver.LongestLink}
+	base := Config{Graph: g, ObjectiveSpec: ObjectiveSpec{Objective: solver.LongestLink}}
 	bad := []struct {
 		name string
 		mut  func(*Config)
@@ -105,27 +105,32 @@ func TestConfigValidatedBeforeAllocation(t *testing.T) {
 	}
 }
 
-// The streaming pipeline additionally rejects non-mean metrics up front.
-func TestStreamingRejectsNonMeanMetricEarly(t *testing.T) {
+// The streaming pipeline additionally rejects mean+sd up front — the one
+// metric with no incremental per-epoch form. Percentile metrics, which the
+// old pipeline also refused, now pass validation: epochs carry
+// sketch-based tail matrices.
+func TestStreamingRejectsMeanPlusStdEarly(t *testing.T) {
 	g, err := core.Mesh2D(2, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	prov := validationProvider(t)
-	for _, metric := range []Metric{MetricP99, MetricMeanPlusStd} {
-		_, err := StreamingAdvise(prov, StreamingConfig{Config: Config{
-			Graph: g, Objective: solver.LongestLink, Metric: metric,
-		}})
-		if err == nil || !strings.Contains(err.Error(), "supports only") {
-			t.Fatalf("metric %q: error = %v, want streaming-metric rejection", metric, err)
-		}
-		if prov.LiveInstances() != 0 {
-			t.Fatalf("metric %q: instances allocated before validation", metric)
-		}
+	_, err = StreamingAdvise(prov, StreamingConfig{Config: Config{
+		Graph: g, ObjectiveSpec: ObjectiveSpec{Objective: solver.LongestLink, Metric: MetricMeanPlusStd},
+	}})
+	if err == nil || !strings.Contains(err.Error(), "does not support") {
+		t.Fatalf("mean+sd: error = %v, want streaming-metric rejection", err)
 	}
-	// The mean metric (and the empty default) must still pass validation.
-	cfg := StreamingConfig{Config: Config{Graph: g, Objective: solver.LongestLink, Metric: MetricMean}}
-	if err := cfg.validate(); err != nil {
-		t.Fatalf("mean metric rejected: %v", err)
+	if prov.LiveInstances() != 0 {
+		t.Fatal("mean+sd: instances allocated before validation")
+	}
+	// Mean (and the empty default) and the percentile metrics must pass.
+	for _, metric := range []Metric{MetricMean, MetricP95, MetricP99} {
+		cfg := StreamingConfig{Config: Config{
+			Graph: g, ObjectiveSpec: ObjectiveSpec{Objective: solver.LongestLink, Metric: metric},
+		}}
+		if err := cfg.validate(); err != nil {
+			t.Fatalf("metric %q rejected: %v", metric, err)
+		}
 	}
 }

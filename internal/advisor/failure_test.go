@@ -37,7 +37,7 @@ func TestAdviseCapacityExhausted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = Advise(p, Config{Graph: g, Objective: solver.LongestLink, Seed: 3})
+	_, err = Advise(p, Config{Graph: g, ObjectiveSpec: ObjectiveSpec{Objective: solver.LongestLink}, Seed: 3})
 	if err == nil {
 		t.Fatal("over-capacity advise succeeded")
 	}
@@ -57,7 +57,7 @@ func TestAdviseOverAllocationPushesOverCapacity(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := Advise(p, Config{
-		Graph: g, Objective: solver.LongestLink, OverAllocation: 0.25, Seed: 5,
+		Graph: g, ObjectiveSpec: ObjectiveSpec{Objective: solver.LongestLink}, OverAllocation: 0.25, Seed: 5,
 	}); err == nil {
 		t.Fatal("over-capacity over-allocation succeeded")
 	}
@@ -73,7 +73,7 @@ func TestAdviseExactCapacityWorks(t *testing.T) {
 		t.Fatal(err)
 	}
 	rep, err := Advise(p, Config{
-		Graph: g, Objective: solver.LongestLink, Seed: 7,
+		Graph: g, ObjectiveSpec: ObjectiveSpec{Objective: solver.LongestLink}, Seed: 7,
 		SolverBudget: solver.Budget{Nodes: 50_000},
 	})
 	if err != nil {
@@ -106,7 +106,7 @@ func TestRedeployCapacityExhausted(t *testing.T) {
 func TestAdviseSingleNodeGraphRejected(t *testing.T) {
 	p := tinyProvider(t)
 	g := core.NewGraph(1)
-	if _, err := Advise(p, Config{Graph: g, Objective: solver.LongestLink}); err == nil {
+	if _, err := Advise(p, Config{Graph: g, ObjectiveSpec: ObjectiveSpec{Objective: solver.LongestLink}}); err == nil {
 		t.Fatal("single-node graph accepted")
 	}
 }
@@ -117,7 +117,7 @@ func TestAdviseCyclicGraphForLongestPathRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = Advise(p, Config{Graph: g, Objective: solver.LongestPath, Seed: 9})
+	_, err = Advise(p, Config{Graph: g, ObjectiveSpec: ObjectiveSpec{Objective: solver.LongestPath}, Seed: 9})
 	if err == nil {
 		t.Fatal("cyclic graph accepted for longest-path")
 	}

@@ -86,9 +86,14 @@ type StreamOutcome struct {
 
 // StreamSolveConfig drives SolveStream.
 type StreamSolveConfig struct {
-	// Graph and Objective define the deployment problem; required.
-	Graph     *core.Graph
-	Objective solver.Objective
+	// Graph defines the deployment problem's communication graph; required.
+	Graph *core.Graph
+	// ObjectiveSpec says what to optimize. With a percentile metric each
+	// round searches the epoch's published percentile matrix (ep.Tail) and,
+	// unless NoMeanTieBreak is set, tie-breaks equal-cost candidates on the
+	// epoch's mean matrix. The spec's Scheme is ignored here — SolveStream
+	// consumes epochs, it does not measure.
+	ObjectiveSpec
 	// SolverName picks the per-round search technique (as in Config);
 	// empty selects the racing portfolio.
 	SolverName string
@@ -145,9 +150,16 @@ func SolveStream(epochs <-chan measure.Epoch, cfg StreamSolveConfig) (*StreamOut
 	if cfg.Graph == nil {
 		return nil, fmt.Errorf("advisor: nil communication graph")
 	}
+	if err := cfg.ObjectiveSpec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Metric == MetricMeanPlusStd {
+		return nil, fmt.Errorf("advisor: streaming advising does not support the %q metric (epochs carry mean and percentile matrices)", MetricMeanPlusStd)
+	}
 	if cfg.RoundBudget.Unlimited() {
 		return nil, fmt.Errorf("advisor: streaming rounds require a bounded budget")
 	}
+	pct := cfg.TailPercentile()
 	name := cfg.SolverName
 	if name == "" {
 		name = "portfolio"
@@ -177,7 +189,10 @@ func SolveStream(epochs <-chan measure.Epoch, cfg StreamSolveConfig) (*StreamOut
 			break
 		}
 		skipped := 0
-		changedRows := ep.ChangedRows
+		primary, changedRows, tie, err := epochPrimary(ep, pct, cfg.TieBreak())
+		if err != nil {
+			return nil, err
+		}
 		if cfg.Coalesce {
 			for {
 				next, ok := pendingEpoch(epochs)
@@ -187,20 +202,26 @@ func SolveStream(epochs <-chan measure.Epoch, cfg StreamSolveConfig) (*StreamOut
 				// Each epoch's ChangedRows is relative to its predecessor,
 				// so skipping epochs means the rows they changed must be
 				// carried: the union is the change set between the last
-				// solved epoch and the one this round consumes.
-				changedRows = unionRows(changedRows, next.ChangedRows)
+				// solved epoch and the one this round consumes. For
+				// percentile metrics the union runs over the tail matrices'
+				// own changed-row sets — they drive the Evolve contract.
+				np, nc, nt, err := epochPrimary(next, pct, cfg.TieBreak())
+				if err != nil {
+					return nil, err
+				}
+				changedRows = unionRows(changedRows, nc)
+				primary, tie = np, nt
 				ep = next
 				skipped++
 			}
 		}
 
 		var prob *solver.Problem
-		var err error
 		prev := out.Problem
 		if prev == nil {
-			prob, err = solver.NewProblem(cfg.Graph, ep.Matrix, cfg.Objective)
+			prob, err = solver.NewProblemTie(cfg.Graph, primary, tie, cfg.Objective)
 		} else {
-			prob, err = prev.Evolve(ep.Matrix, changedRows)
+			prob, err = prev.EvolveTie(primary, changedRows, tie)
 		}
 		if err != nil {
 			return nil, err
@@ -252,7 +273,8 @@ func SolveStream(epochs <-chan measure.Epoch, cfg StreamSolveConfig) (*StreamOut
 			Skipped:     skipped,
 			ChangedRows: len(changedRows),
 		}
-		if candCost := prob.Cost(res.Deployment); candCost < incumbentCost {
+		if candCost := prob.Cost(res.Deployment); incumbent == nil ||
+			prob.Better(res.Deployment, incumbent, candCost, incumbentCost) {
 			incumbent, incumbentCost = res.Deployment, candCost
 			r.Improved = true
 			r.Winner = res.Winner
@@ -283,6 +305,26 @@ func SolveStream(epochs <-chan measure.Epoch, cfg StreamSolveConfig) (*StreamOut
 	out.Cost = incumbentCost
 	out.FirstAdvice = out.Rounds[0].Elapsed
 	return out, nil
+}
+
+// epochPrimary selects the matrix a round searches: the epoch's mean matrix
+// for mean metrics, or its published pct-percentile tail matrix (with the
+// mean as tie-break when enabled) for percentile metrics. An epoch without
+// the requested tail is a configuration error — the producer was not built
+// with quantile sketches.
+func epochPrimary(ep measure.Epoch, pct float64, tieBreak bool) (*core.CostMatrix, []int, *core.CostMatrix, error) {
+	if pct == 0 {
+		return ep.Matrix, ep.ChangedRows, nil, nil
+	}
+	tail := ep.Tail(pct)
+	if tail == nil {
+		return nil, nil, nil, fmt.Errorf("advisor: epoch %d carries no p%g matrix — percentile streaming needs a sketch-enabled producer (measure.Options.TailAlpha > 0, or tail rows posted to the daemon)", ep.Index, pct)
+	}
+	var tie *core.CostMatrix
+	if tieBreak {
+		tie = ep.Matrix
+	}
+	return tail.Matrix, tail.ChangedRows, tie, nil
 }
 
 // unionRows merges two ascending row lists into one ascending list without
@@ -412,11 +454,18 @@ func StreamingAdvise(prov *cloud.Provider, cfg StreamingConfig) (rep *StreamingR
 		}
 	}
 
+	// Percentile metrics need the measurement to maintain per-link quantile
+	// sketches so epochs publish tail matrices.
+	var tailAlpha float64
+	if cfg.TailPercentile() > 0 {
+		tailAlpha = measure.DefaultTailAlpha
+	}
 	st, err := measure.Stream(prov.Datacenter(), instances, measure.Options{
 		Scheme:          scheme,
 		DurationMS:      dur,
 		Seed:            cfg.Seed,
 		SnapshotEveryMS: epochMS,
+		TailAlpha:       tailAlpha,
 	})
 	if err != nil {
 		return nil, err
@@ -428,12 +477,12 @@ func StreamingAdvise(prov *cloud.Provider, cfg StreamingConfig) (rep *StreamingR
 	// convergence trajectory a real deployment would see. Epoch sources
 	// that mature in real time should set Coalesce instead.
 	out, err := SolveStream(st.Epochs, StreamSolveConfig{
-		Graph:       cfg.Graph,
-		Objective:   cfg.Objective,
-		SolverName:  cfg.SolverName,
-		ClusterK:    cfg.ClusterK,
-		RoundBudget: roundBudget,
-		Seed:        cfg.Seed,
+		Graph:         cfg.Graph,
+		ObjectiveSpec: cfg.ObjectiveSpec,
+		SolverName:    cfg.SolverName,
+		ClusterK:      cfg.ClusterK,
+		RoundBudget:   roundBudget,
+		Seed:          cfg.Seed,
 	})
 	if err != nil {
 		return nil, err

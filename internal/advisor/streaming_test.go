@@ -17,17 +17,19 @@ func TestStreamingAdviseValidation(t *testing.T) {
 	}
 	g := meshGraph(t, 3, 3)
 	if _, err := StreamingAdvise(p, StreamingConfig{
-		Config: Config{Graph: g, Objective: solver.LongestLink, OverAllocation: -1},
+		Config: Config{Graph: g, ObjectiveSpec: ObjectiveSpec{Objective: solver.LongestLink}, OverAllocation: -1},
 	}); err == nil {
 		t.Fatal("negative over-allocation accepted")
 	}
+	// p95/p99 stream now (epochs carry sketch-based tails); mean+sd is the
+	// one metric with no incremental per-epoch form.
 	if _, err := StreamingAdvise(p, StreamingConfig{
-		Config: Config{Graph: g, Objective: solver.LongestLink, Metric: MetricP99},
+		Config: Config{Graph: g, ObjectiveSpec: ObjectiveSpec{Objective: solver.LongestLink, Metric: MetricMeanPlusStd}},
 	}); err == nil {
-		t.Fatal("non-mean metric accepted")
+		t.Fatal("mean+sd metric accepted by streaming")
 	}
 	if _, err := StreamingAdvise(p, StreamingConfig{
-		Config: Config{Graph: g, Objective: solver.LongestLink, SolverName: "bogus"},
+		Config: Config{Graph: g, ObjectiveSpec: ObjectiveSpec{Objective: solver.LongestLink}, SolverName: "bogus"},
 	}); err == nil {
 		t.Fatal("bogus solver accepted")
 	}
@@ -43,7 +45,7 @@ func TestStreamingAdviseEndToEnd(t *testing.T) {
 	rep, err := StreamingAdvise(p, StreamingConfig{
 		Config: Config{
 			Graph:             g,
-			Objective:         solver.LongestLink,
+			ObjectiveSpec:     ObjectiveSpec{Objective: solver.LongestLink},
 			OverAllocation:    0.25,
 			MeasureDurationMS: 400,
 			SolverBudget:      solver.Budget{Nodes: 90_000},
@@ -100,7 +102,7 @@ func TestStreamingAdviseFinalMatrixMatchesBatch(t *testing.T) {
 	rep, err := StreamingAdvise(p, StreamingConfig{
 		Config: Config{
 			Graph:             g,
-			Objective:         solver.LongestLink,
+			ObjectiveSpec:     ObjectiveSpec{Objective: solver.LongestLink},
 			MeasureDurationMS: 300,
 			SolverBudget:      solver.Budget{Nodes: 40_000},
 			Seed:              11,
@@ -141,10 +143,10 @@ func TestSolveStreamWarmStartMonotone(t *testing.T) {
 	close(ch)
 
 	out, err := SolveStream(ch, StreamSolveConfig{
-		Graph:       g,
-		Objective:   solver.LongestLink,
-		RoundBudget: solver.Budget{Nodes: 15_000},
-		Seed:        13,
+		Graph:         g,
+		ObjectiveSpec: ObjectiveSpec{Objective: solver.LongestLink},
+		RoundBudget:   solver.Budget{Nodes: 15_000},
+		Seed:          13,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -179,11 +181,11 @@ func TestSolveStreamCoalesce(t *testing.T) {
 	close(ch)
 
 	out, err := SolveStream(ch, StreamSolveConfig{
-		Graph:       g,
-		Objective:   solver.LongestLink,
-		SolverName:  "g2",
-		RoundBudget: solver.Budget{Nodes: 5_000},
-		Coalesce:    true,
+		Graph:         g,
+		ObjectiveSpec: ObjectiveSpec{Objective: solver.LongestLink},
+		SolverName:    "g2",
+		RoundBudget:   solver.Budget{Nodes: 5_000},
+		Coalesce:      true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -209,7 +211,7 @@ func TestSolveStreamRejectsBadInput(t *testing.T) {
 
 	empty := make(chan measure.Epoch)
 	close(empty)
-	if _, err := SolveStream(empty, StreamSolveConfig{Graph: g, Objective: solver.LongestLink, RoundBudget: solver.Budget{Nodes: 10}}); err == nil {
+	if _, err := SolveStream(empty, StreamSolveConfig{Graph: g, ObjectiveSpec: ObjectiveSpec{Objective: solver.LongestLink}, RoundBudget: solver.Budget{Nodes: 10}}); err == nil {
 		t.Fatal("empty stream accepted")
 	}
 
@@ -220,7 +222,7 @@ func TestSolveStreamRejectsBadInput(t *testing.T) {
 	ch <- measure.Epoch{Index: 1, Matrix: m4}
 	ch <- measure.Epoch{Index: 2, Matrix: m5, Final: true}
 	close(ch)
-	if _, err := SolveStream(ch, StreamSolveConfig{Graph: g, Objective: solver.LongestLink, SolverName: "g1", RoundBudget: solver.Budget{Nodes: 10}}); err == nil {
+	if _, err := SolveStream(ch, StreamSolveConfig{Graph: g, ObjectiveSpec: ObjectiveSpec{Objective: solver.LongestLink}, SolverName: "g1", RoundBudget: solver.Budget{Nodes: 10}}); err == nil {
 		t.Fatal("mid-stream size change accepted")
 	}
 }
@@ -255,10 +257,10 @@ func TestSolveStreamConcurrentPublication(t *testing.T) {
 	}()
 
 	out, err := SolveStream(ch, StreamSolveConfig{
-		Graph:       g,
-		Objective:   solver.LongestLink,
-		RoundBudget: solver.Budget{Time: 20 * time.Millisecond},
-		Seed:        17,
+		Graph:         g,
+		ObjectiveSpec: ObjectiveSpec{Objective: solver.LongestLink},
+		RoundBudget:   solver.Budget{Time: 20 * time.Millisecond},
+		Seed:          17,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -306,11 +308,11 @@ func TestSolveStreamWarmStart(t *testing.T) {
 	}
 	warm := core.Identity(g.NumNodes())
 	out, err := SolveStream(oneEpoch(), StreamSolveConfig{
-		Graph:       g,
-		Objective:   solver.LongestLink,
-		SolverName:  "g1",
-		RoundBudget: solver.Budget{Nodes: 1},
-		WarmStart:   warm,
+		Graph:         g,
+		ObjectiveSpec: ObjectiveSpec{Objective: solver.LongestLink},
+		SolverName:    "g1",
+		RoundBudget:   solver.Budget{Nodes: 1},
+		WarmStart:     warm,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -324,11 +326,11 @@ func TestSolveStreamWarmStart(t *testing.T) {
 		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 99}, // instance out of range
 	} {
 		if _, err := SolveStream(oneEpoch(), StreamSolveConfig{
-			Graph:       g,
-			Objective:   solver.LongestLink,
-			SolverName:  "g1",
-			RoundBudget: solver.Budget{Nodes: 1},
-			WarmStart:   bad,
+			Graph:         g,
+			ObjectiveSpec: ObjectiveSpec{Objective: solver.LongestLink},
+			SolverName:    "g1",
+			RoundBudget:   solver.Budget{Nodes: 1},
+			WarmStart:     bad,
 		}); err == nil {
 			t.Fatalf("warm start %v accepted", bad)
 		}
@@ -355,11 +357,11 @@ func TestSolveStreamDeadline(t *testing.T) {
 	expired, cancel := context.WithCancel(context.Background())
 	cancel()
 	out, err := SolveStream(fill(3), StreamSolveConfig{
-		Graph:       g,
-		Objective:   solver.LongestLink,
-		RoundBudget: solver.Budget{Nodes: 50_000},
-		Seed:        3,
-		Ctx:         expired,
+		Graph:         g,
+		ObjectiveSpec: ObjectiveSpec{Objective: solver.LongestLink},
+		RoundBudget:   solver.Budget{Nodes: 50_000},
+		Seed:          3,
+		Ctx:           expired,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -377,10 +379,10 @@ func TestSolveStreamDeadline(t *testing.T) {
 	ctx2, cancel2 := context.WithCancel(context.Background())
 	defer cancel2()
 	out2, err := SolveStream(fill(4), StreamSolveConfig{
-		Graph:       g,
-		Objective:   solver.LongestLink,
-		SolverName:  "g2",
-		RoundBudget: solver.Budget{Nodes: 2_000},
+		Graph:         g,
+		ObjectiveSpec: ObjectiveSpec{Objective: solver.LongestLink},
+		SolverName:    "g2",
+		RoundBudget:   solver.Budget{Nodes: 2_000},
 		OnRound: func(r Round) {
 			if r.Epoch == 2 {
 				cancel2()
@@ -397,10 +399,10 @@ func TestSolveStreamDeadline(t *testing.T) {
 
 	starved := make(chan measure.Epoch) // open, never fed
 	if _, err := SolveStream(starved, StreamSolveConfig{
-		Graph:       g,
-		Objective:   solver.LongestLink,
-		RoundBudget: solver.Budget{Nodes: 10},
-		Ctx:         expired,
+		Graph:         g,
+		ObjectiveSpec: ObjectiveSpec{Objective: solver.LongestLink},
+		RoundBudget:   solver.Budget{Nodes: 10},
+		Ctx:           expired,
 	}); err == nil {
 		t.Fatal("interrupt before the first epoch produced advice from nothing")
 	}

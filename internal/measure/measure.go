@@ -25,9 +25,15 @@ import (
 	"cloudia/internal/cloud"
 	"cloudia/internal/core"
 	"cloudia/internal/netsim"
+	"cloudia/internal/sketch"
 	"cloudia/internal/stats"
 	"cloudia/internal/topology"
 )
+
+// DefaultTailAlpha is the conventional relative-error bound for per-link
+// quantile sketches (Options.TailAlpha): what StreamingAdvise configures
+// when a percentile metric is requested.
+const DefaultTailAlpha = sketch.DefaultAlpha
 
 // Scheme selects a measurement strategy.
 type Scheme string
@@ -66,6 +72,12 @@ type Options struct {
 	ContentionScale      float64
 	ContentionSpikeProb  float64
 	ContentionSpikeScale float64
+	// TailAlpha, when positive, maintains a mergeable per-link quantile
+	// sketch (internal/sketch) with that relative-error bound alongside the
+	// mean aggregates, so TailMatrix and streaming epoch Tails can publish
+	// percentile matrices incrementally. Zero disables sketches; negative is
+	// an error. DefaultTailAlpha is the conventional setting.
+	TailAlpha float64
 	// Background, when non-nil, injects application traffic during the
 	// measurement — the overlapped-execution mode of Sect. 2.2.2, where the
 	// tenant starts the application on the initial allocation instead of
@@ -115,6 +127,12 @@ func (o *Options) withDefaults() (Options, error) {
 	if out.ContentionSpikeScale == 0 {
 		out.ContentionSpikeScale = 0.6
 	}
+	if out.TailAlpha < 0 {
+		return out, fmt.Errorf("measure: negative tail sketch alpha %g", out.TailAlpha)
+	}
+	if out.TailAlpha >= 1 {
+		return out, fmt.Errorf("measure: tail sketch alpha %g outside (0, 1)", out.TailAlpha)
+	}
 	return out, nil
 }
 
@@ -135,6 +153,11 @@ type Result struct {
 
 	agg     []stats.Welford // per ordered pair, row-major
 	samples [][]float64     // per ordered pair, for percentile metrics
+
+	// tailAlpha > 0 enables per-link quantile sketches, allocated lazily in
+	// tails on the first sample of each ordered pair.
+	tailAlpha float64
+	tails     []*sketch.Sketch
 }
 
 func newResult(n int, scheme Scheme) *Result {
@@ -146,10 +169,28 @@ func newResult(n int, scheme Scheme) *Result {
 	}
 }
 
+// setTailAlpha enables per-link quantile sketches for subsequent samples.
+func (r *Result) setTailAlpha(alpha float64) {
+	r.tailAlpha = alpha
+	if alpha > 0 {
+		r.tails = make([]*sketch.Sketch, r.N*r.N)
+	}
+}
+
+// TailAlpha reports the relative-error bound of the per-link quantile
+// sketches, or 0 when sketches are disabled.
+func (r *Result) TailAlpha() float64 { return r.tailAlpha }
+
 func (r *Result) record(i, j int, rtt float64) {
 	k := i*r.N + j
 	r.agg[k].Add(rtt)
 	r.samples[k] = append(r.samples[k], rtt)
+	if r.tailAlpha > 0 {
+		if r.tails[k] == nil {
+			r.tails[k] = sketch.New(r.tailAlpha)
+		}
+		r.tails[k].Add(rtt)
+	}
 	r.TotalSamples++
 }
 
@@ -203,14 +244,49 @@ func (r *Result) MeanPlusStdMatrix() *core.CostMatrix {
 
 // P99Matrix returns the 99th-percentile RTT per link, the tail-latency
 // metric of Sect. 3.2.
-func (r *Result) P99Matrix() *core.CostMatrix {
+func (r *Result) P99Matrix() *core.CostMatrix { return r.PercentileMatrix(99) }
+
+// PercentileMatrix returns the exact p-th percentile RTT per link from the
+// retained samples (linear interpolation, stats.Percentile). Unsampled
+// links fall back to the global mean estimate.
+func (r *Result) PercentileMatrix(p float64) *core.CostMatrix {
 	return r.matrix(func(_ *stats.Welford, xs []float64) float64 {
-		p, err := stats.Percentile(xs, 99)
+		v, err := stats.Percentile(xs, p)
 		if err != nil {
 			return 0
 		}
-		return p
+		return v
 	})
+}
+
+// TailMatrix returns the pct-percentile RTT per link estimated from the
+// per-link quantile sketches: each sampled link reports a value within
+// relative error TailAlpha of its exact nearest-rank percentile sample
+// (see internal/sketch for the bound against interpolated percentiles).
+// Unsampled links fall back to the global mean — the same fallback entries
+// PercentileMatrix produces, so the two matrices agree exactly there.
+// Requires Options.TailAlpha > 0 at measurement time.
+func (r *Result) TailMatrix(pct float64) (*core.CostMatrix, error) {
+	if r.tailAlpha <= 0 {
+		return nil, fmt.Errorf("measure: tail sketches disabled (Options.TailAlpha = 0)")
+	}
+	q := pct / 100
+	m := core.NewCostMatrix(r.N)
+	fallback := r.globalMean()
+	for i := 0; i < r.N; i++ {
+		for j := 0; j < r.N; j++ {
+			if i == j {
+				continue
+			}
+			k := i*r.N + j
+			if r.agg[k].N() == 0 {
+				m.Set(i, j, fallback)
+				continue
+			}
+			m.Set(i, j, r.tails[k].Quantile(q))
+		}
+	}
+	return m, nil
 }
 
 func (r *Result) matrix(f func(*stats.Welford, []float64) float64) *core.CostMatrix {
@@ -262,6 +338,7 @@ func prepare(dc *topology.Datacenter, instances []cloud.Instance, opts Options) 
 
 	res := newResult(n, o.Scheme)
 	res.DurationMS = o.DurationMS
+	res.setTailAlpha(o.TailAlpha)
 	m := &runner{sim: sim, res: res, opts: o, n: n,
 		outstanding: make([]int, n),
 		rng:         rand.New(rand.NewSource(o.Seed ^ 0x6d656173)),

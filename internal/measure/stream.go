@@ -43,6 +43,48 @@ type Epoch struct {
 	Fingerprint core.Fingerprint
 	// Samples is the cumulative RTT observation count at the snapshot.
 	Samples int64
+	// Tails holds the percentile matrices published alongside the mean,
+	// in ascending-percentile order (TailPercentiles). Present only when
+	// the producer maintains quantile sketches (Options.TailAlpha > 0, or
+	// a daemon tenant posting tail rows); empty otherwise.
+	Tails []TailMatrix
+}
+
+// TailPercentiles lists the percentile matrices a sketch-enabled streaming
+// measurement publishes with every epoch, ascending.
+var TailPercentiles = []float64{95, 99}
+
+// TailMatrix is one percentile matrix published with an epoch. It carries
+// the same invariants as the epoch's mean matrix: an immutable snapshot,
+// the exact ascending set of rows that changed since the previous epoch's
+// matrix for the same percentile, and an incrementally maintained content
+// fingerprint of its own — percentile matrices are distinct cache keys
+// from the mean matrix they ride along with.
+type TailMatrix struct {
+	// Pct is the percentile, e.g. 95 or 99.
+	Pct float64
+	// Matrix is the immutable percentile estimate snapshot.
+	Matrix *core.CostMatrix
+	// ChangedRows lists, ascending, the rows that differ from the previous
+	// epoch's matrix for this percentile. Rows not listed are bitwise
+	// identical.
+	ChangedRows []int
+	// Fingerprint is Matrix's content hash, maintained incrementally by
+	// the producer. Zero means unset; consumers fall back to
+	// Matrix.Fingerprint().
+	Fingerprint core.Fingerprint
+}
+
+// Tail returns the published percentile matrix for pct, or nil when this
+// epoch carries none (producer without sketches, or an unpublished
+// percentile).
+func (e *Epoch) Tail(pct float64) *TailMatrix {
+	for i := range e.Tails {
+		if e.Tails[i].Pct == pct {
+			return &e.Tails[i]
+		}
+	}
+	return nil
 }
 
 // PublishEpoch folds one snapshot of a mutable estimate into an Epoch
@@ -62,6 +104,21 @@ func PublishEpoch(mm *core.MutableCostMatrix, atMS float64, final bool, samples 
 		ChangedRows: changed,
 		Fingerprint: mm.Fingerprint(),
 		Samples:     samples,
+	}
+}
+
+// PublishTail folds one snapshot of a mutable percentile estimate into a
+// TailMatrix, the tail counterpart of PublishEpoch: immutable snapshot,
+// exact changed rows, incremental fingerprint. Shared by Stream and the
+// durable daemon so tail fingerprints stay bit-compatible across both
+// producers.
+func PublishTail(mm *core.MutableCostMatrix, pct float64) TailMatrix {
+	snap, changed := mm.Snapshot()
+	return TailMatrix{
+		Pct:         pct,
+		Matrix:      snap,
+		ChangedRows: changed,
+		Fingerprint: mm.Fingerprint(),
 	}
 }
 
@@ -126,6 +183,25 @@ func Stream(dc *topology.Datacenter, instances []cloud.Instance, opts Options) (
 		defer close(ch)
 
 		mm := core.NewMutableCostMatrix(m.n)
+		fold := func(dst *core.MutableCostMatrix, src *core.CostMatrix) {
+			for i := 0; i < m.n; i++ {
+				for j := 0; j < m.n; j++ {
+					if i != j {
+						dst.Set(i, j, src.At(i, j))
+					}
+				}
+			}
+		}
+		// With sketches enabled, each published percentile gets its own
+		// mutable matrix so its changed-row sets and fingerprint evolve
+		// independently of the mean's.
+		var tails []*core.MutableCostMatrix
+		if o.TailAlpha > 0 {
+			tails = make([]*core.MutableCostMatrix, len(TailPercentiles))
+			for i := range tails {
+				tails[i] = core.NewMutableCostMatrix(m.n)
+			}
+		}
 		emit := func(at float64, final bool) {
 			// Fold the current estimate — the same MeanMatrix computation
 			// batch consumers see — into the mutable matrix; Set marks a row
@@ -137,14 +213,21 @@ func Stream(dc *topology.Datacenter, instances []cloud.Instance, opts Options) (
 				// the same Fig. 5 analyses: one snapshot per epoch.
 				m.res.Snapshots = append(m.res.Snapshots, Snapshot{AtMS: at, Mean: est})
 			}
-			for i := 0; i < m.n; i++ {
-				for j := 0; j < m.n; j++ {
-					if i != j {
-						mm.Set(i, j, est.At(i, j))
+			fold(mm, est)
+			ep := PublishEpoch(mm, at, final, m.res.TotalSamples)
+			if tails != nil {
+				for x, pct := range TailPercentiles {
+					// TailMatrix cannot fail here: tails is non-nil only
+					// when o.TailAlpha > 0, which enabled the sketches.
+					tm, err := m.res.TailMatrix(pct)
+					if err != nil {
+						break
 					}
+					fold(tails[x], tm)
+					ep.Tails = append(ep.Tails, PublishTail(tails[x], pct))
 				}
 			}
-			ch <- PublishEpoch(mm, at, final, m.res.TotalSamples)
+			ch <- ep
 		}
 
 		// Schedule the intermediate epochs exactly where Run schedules its

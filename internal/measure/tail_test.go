@@ -1,0 +1,235 @@
+package measure
+
+import (
+	"sort"
+	"testing"
+
+	"cloudia/internal/par"
+)
+
+// bracket returns the order statistics lo, hi surrounding the linearly
+// interpolated p-quantile rank of xs — the exact-value envelope the sketch
+// estimate must land in after widening by its relative error bound.
+func bracket(xs []float64, p float64) (lo, hi float64) {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	r := p / 100 * float64(len(sorted)-1)
+	i := int(r)
+	j := i
+	if float64(i) < r {
+		j = i + 1
+	}
+	if j >= len(sorted) {
+		j = len(sorted) - 1
+	}
+	return sorted[i], sorted[j]
+}
+
+// TestTailMatrixWithinBound pins the accuracy side of the tentpole: every
+// sampled link's sketch p99 lands within the sketch's relative-error bound
+// of the exact percentile, where "exact" is bracketed by the order
+// statistics around stats.Percentile's interpolation point.
+func TestTailMatrixWithinBound(t *testing.T) {
+	dc, insts := testFleet(t, 12, 1701)
+	res, err := Run(dc, insts, Options{
+		Scheme: Staged, DurationMS: 4000, Seed: 7, TailAlpha: DefaultTailAlpha,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TailAlpha() != DefaultTailAlpha {
+		t.Fatalf("TailAlpha = %g, want %g", res.TailAlpha(), DefaultTailAlpha)
+	}
+	for _, pct := range []float64{95, 99} {
+		tail, err := res.TailMatrix(pct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := res.PercentileMatrix(pct)
+		alpha := res.TailAlpha()
+		checked := 0
+		for i := 0; i < res.N; i++ {
+			for j := 0; j < res.N; j++ {
+				if i == j {
+					continue
+				}
+				if res.SampleCount(i, j) == 0 {
+					// Fallback entries must agree exactly.
+					if tail.At(i, j) != exact.At(i, j) {
+						t.Fatalf("p%g (%d,%d): fallback mismatch %g vs %g",
+							pct, i, j, tail.At(i, j), exact.At(i, j))
+					}
+					continue
+				}
+				lo, hi := bracket(res.samples[i*res.N+j], pct)
+				got := tail.At(i, j)
+				if got < lo*(1-alpha) || got > hi*(1+alpha) {
+					t.Fatalf("p%g (%d,%d): sketch %g outside [%g, %g] (exact %g)",
+						pct, i, j, got, lo*(1-alpha), hi*(1+alpha), exact.At(i, j))
+				}
+				checked++
+			}
+		}
+		if checked == 0 {
+			t.Fatalf("p%g: no sampled links checked", pct)
+		}
+	}
+}
+
+// TestStreamTailEpochs pins the streaming side: epochs carry p95/p99 tail
+// matrices with exact changed-row sets and fingerprints, the final epoch's
+// tails are bit-identical to the batch Result's TailMatrix, and the whole
+// sequence is invariant under the par worker count.
+func TestStreamTailEpochs(t *testing.T) {
+	dc, insts := testFleet(t, 10, 1701)
+	opts := Options{Scheme: Staged, DurationMS: 3000, Seed: 11, TailAlpha: DefaultTailAlpha}
+
+	type tailState struct {
+		pct     float64
+		fp      uint64
+		changed []int
+		vals    []float64
+	}
+	collect := func(workers int) ([][]tailState, *Result) {
+		defer par.SetWorkers(par.Workers())
+		par.SetWorkers(workers)
+		st, err := Stream(dc, insts, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out [][]tailState
+		var prev [][]float64
+		for ep := range st.Epochs {
+			if len(ep.Tails) != len(TailPercentiles) {
+				t.Fatalf("epoch %d: %d tails, want %d", ep.Index, len(ep.Tails), len(TailPercentiles))
+			}
+			var states []tailState
+			for x, tm := range ep.Tails {
+				if tm.Pct != TailPercentiles[x] {
+					t.Fatalf("epoch %d tail %d: pct %g, want %g", ep.Index, x, tm.Pct, TailPercentiles[x])
+				}
+				if tm.Fingerprint == 0 {
+					t.Fatalf("epoch %d p%g: zero fingerprint", ep.Index, tm.Pct)
+				}
+				if got := tm.Matrix.Fingerprint(); got != tm.Fingerprint {
+					t.Fatalf("epoch %d p%g: incremental fp %x != recomputed %x", ep.Index, tm.Pct, tm.Fingerprint, got)
+				}
+				n := tm.Matrix.Size()
+				flat := make([]float64, 0, n*n)
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						flat = append(flat, tm.Matrix.At(i, j))
+					}
+				}
+				if prev == nil {
+					prev = make([][]float64, len(TailPercentiles))
+				}
+				// Changed-row contract: a row is listed iff it differs from
+				// the previous epoch's matrix for the same percentile.
+				if prev[x] != nil {
+					listed := make(map[int]bool, len(tm.ChangedRows))
+					for _, r := range tm.ChangedRows {
+						listed[r] = true
+					}
+					for i := 0; i < n; i++ {
+						differs := false
+						for j := 0; j < n; j++ {
+							if flat[i*n+j] != prev[x][i*n+j] {
+								differs = true
+								break
+							}
+						}
+						if differs != listed[i] {
+							t.Fatalf("epoch %d p%g row %d: differs=%v listed=%v", ep.Index, tm.Pct, i, differs, listed[i])
+						}
+					}
+				}
+				prev[x] = flat
+				states = append(states, tailState{pct: tm.Pct, fp: uint64(tm.Fingerprint), changed: tm.ChangedRows, vals: flat})
+			}
+			out = append(out, states)
+		}
+		return out, st.Wait()
+	}
+
+	ref, res := collect(1)
+	if len(ref) < 2 {
+		t.Fatalf("only %d epochs", len(ref))
+	}
+
+	// Final epoch tails must be bit-identical to the batch-side sketches.
+	final := ref[len(ref)-1]
+	for _, ts := range final {
+		batch, err := res.TailMatrix(ts.pct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := batch.Size()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if ts.vals[i*n+j] != batch.At(i, j) {
+					t.Fatalf("final epoch p%g (%d,%d): %g != batch %g", ts.pct, i, j, ts.vals[i*n+j], batch.At(i, j))
+				}
+			}
+		}
+	}
+
+	for _, w := range []int{2, 5, 8} {
+		got, _ := collect(w)
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d epochs, want %d", w, len(got), len(ref))
+		}
+		for e := range ref {
+			for x := range ref[e] {
+				a, b := ref[e][x], got[e][x]
+				if a.fp != b.fp {
+					t.Fatalf("workers=%d epoch %d p%g: fp %x != %x", w, e, a.pct, b.fp, a.fp)
+				}
+				if len(a.changed) != len(b.changed) {
+					t.Fatalf("workers=%d epoch %d p%g: changed rows differ", w, e, a.pct)
+				}
+				for i := range a.changed {
+					if a.changed[i] != b.changed[i] {
+						t.Fatalf("workers=%d epoch %d p%g: changed rows differ at %d", w, e, a.pct, i)
+					}
+				}
+				for i := range a.vals {
+					if a.vals[i] != b.vals[i] {
+						t.Fatalf("workers=%d epoch %d p%g: matrix bit-differs at flat index %d", w, e, a.pct, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamNoTailsWhenDisabled: without TailAlpha the epoch surface is
+// unchanged from the mean-only contract.
+func TestStreamNoTailsWhenDisabled(t *testing.T) {
+	dc, insts := testFleet(t, 6, 1701)
+	st, err := Stream(dc, insts, Options{Scheme: Staged, DurationMS: 1000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ep := range st.Epochs {
+		if len(ep.Tails) != 0 {
+			t.Fatalf("epoch %d: unexpected tails", ep.Index)
+		}
+		if ep.Tail(99) != nil {
+			t.Fatal("Tail(99) must be nil without sketches")
+		}
+	}
+	if _, err := st.Wait().TailMatrix(99); err == nil {
+		t.Fatal("TailMatrix must error when sketches are disabled")
+	}
+}
+
+func TestTailAlphaValidation(t *testing.T) {
+	dc, insts := testFleet(t, 4, 1701)
+	if _, err := Run(dc, insts, Options{Scheme: Staged, DurationMS: 100, TailAlpha: -0.1}); err == nil {
+		t.Fatal("negative TailAlpha must be rejected")
+	}
+	if _, err := Run(dc, insts, Options{Scheme: Staged, DurationMS: 100, TailAlpha: 1.5}); err == nil {
+		t.Fatal("TailAlpha >= 1 must be rejected")
+	}
+}

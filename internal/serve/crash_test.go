@@ -9,6 +9,7 @@ import (
 	"reflect"
 	"testing"
 
+	"cloudia/internal/advisor"
 	"cloudia/internal/core"
 	"cloudia/internal/solver"
 	"cloudia/internal/wal"
@@ -81,7 +82,7 @@ func driveCrashWorkload(d *Daemon) (map[int]core.Fingerprint, error) {
 	m := crashBase()
 	fps := map[int]core.Fingerprint{}
 	for e := start + 1; e <= crashEpochs; e++ {
-		epoch, fp, err := d.AppendEpoch(crashTenant, crashN, crashRows(m, e))
+		epoch, fp, err := d.AppendEpoch(crashTenant, crashN, crashRows(m, e), nil)
 		if err != nil {
 			return fps, err
 		}
@@ -96,7 +97,7 @@ func driveCrashWorkload(d *Daemon) (map[int]core.Fingerprint, error) {
 func crashAdvise(t *testing.T, d *Daemon) *Result {
 	t.Helper()
 	return adviseOK(t, d, AdviseRequest{
-		Tenant: crashTenant, Graph: testGraph(t, 2, 3), Objective: solver.LongestLink,
+		Tenant: crashTenant, Graph: testGraph(t, 2, 3), ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink},
 		SolverName: "cp", ClusterK: 4, RoundBudget: solver.Budget{Nodes: 10_000},
 		Seed: crashSeed, NoWarmStart: true,
 	})

@@ -62,9 +62,13 @@ type Daemon struct {
 
 // tenantSession is one tenant's durable state: the mutable matrix its
 // epochs fold into, the immutable snapshot jobs solve over, and the WAL
-// that makes both survive a crash. The session lock serializes epoch
-// appends, advice logging, and compaction, so WAL order always matches
-// state mutation order — the property replay depends on.
+// that makes both survive a crash. Tenants serving percentile advice
+// additionally carry one tail matrix — the percentile estimate their
+// epochs post tail rows into — with its own snapshot and fingerprint
+// chain, since percentile and mean matrices are distinct cache keys. The
+// session lock serializes epoch appends, advice logging, and compaction,
+// so WAL order always matches state mutation order — the property replay
+// depends on.
 type tenantSession struct {
 	name string
 
@@ -73,6 +77,10 @@ type tenantSession struct {
 	mm           *core.MutableCostMatrix
 	snap         *core.CostMatrix
 	fp           core.Fingerprint
+	tailPct      float64
+	tailMM       *core.MutableCostMatrix
+	tailSnap     *core.CostMatrix
+	tailFP       core.Fingerprint
 	epoch        int
 	lastAdvice   *wal.AdviceRecord
 	sinceCompact int
@@ -167,7 +175,7 @@ func OpenDaemon(cfg DaemonConfig) (*Daemon, error) {
 // compared bit-for-bit with the logged one.
 func openSession(dir, tenant string, opts wal.Options) (*tenantSession, error) {
 	sess := &tenantSession{name: tenant}
-	var mm *core.MutableCostMatrix
+	var mm, tailMM *core.MutableCostMatrix
 	apply := func(epoch int, fp core.Fingerprint) error {
 		if got := mm.Fingerprint(); got != fp {
 			return fmt.Errorf("serve: tenant %q epoch %d: recovered fingerprint %016x != logged %016x",
@@ -175,6 +183,21 @@ func openSession(dir, tenant string, opts wal.Options) (*tenantSession, error) {
 		}
 		sess.epoch, sess.fp = epoch, fp
 		return nil
+	}
+	applyTail := func(epoch int, pct float64, fp core.Fingerprint) error {
+		if got := tailMM.Fingerprint(); got != fp {
+			return fmt.Errorf("serve: tenant %q epoch %d: recovered p%g fingerprint %016x != logged %016x",
+				tenant, epoch, pct, uint64(got), uint64(fp))
+		}
+		sess.tailPct, sess.tailFP = pct, fp
+		return nil
+	}
+	fold := func(dst *core.MutableCostMatrix, rows []wal.RowDelta) {
+		for _, delta := range rows {
+			for j, v := range delta.Values {
+				dst.Set(delta.Row, j, v)
+			}
+		}
 	}
 	log, err := wal.Open(dir, opts, func(rec wal.Record) error {
 		switch r := rec.(type) {
@@ -185,9 +208,17 @@ func openSession(dir, tenant string, opts wal.Options) (*tenantSession, error) {
 				return fmt.Errorf("serve: tenant %q: epoch %d resizes the matrix %d -> %d",
 					tenant, r.Epoch, mm.Size(), r.N)
 			}
-			for _, delta := range r.Rows {
-				for j, v := range delta.Values {
-					mm.Set(delta.Row, j, v)
+			fold(mm, r.Rows)
+			if r.TailPct != 0 {
+				if tailMM == nil {
+					tailMM = core.NewMutableCostMatrix(r.N)
+				} else if sess.tailPct != r.TailPct {
+					return fmt.Errorf("serve: tenant %q: epoch %d changes the tail percentile p%g -> p%g",
+						tenant, r.Epoch, sess.tailPct, r.TailPct)
+				}
+				fold(tailMM, r.TailRows)
+				if err := applyTail(r.Epoch, r.TailPct, r.TailFingerprint); err != nil {
+					return err
 				}
 			}
 			return apply(r.Epoch, r.Fingerprint)
@@ -204,6 +235,18 @@ func openSession(dir, tenant string, opts wal.Options) (*tenantSession, error) {
 					mm.Set(i, j, v)
 				}
 			}
+			tailMM, sess.tailPct, sess.tailFP = nil, 0, 0
+			if r.Tail != nil {
+				tailMM = core.NewMutableCostMatrix(n)
+				for i := 0; i < n; i++ {
+					for j, v := range r.Tail.Row(i) {
+						tailMM.Set(i, j, v)
+					}
+				}
+				if err := applyTail(r.Epoch, r.TailPct, r.TailFingerprint); err != nil {
+					return err
+				}
+			}
 			sess.lastAdvice = r.Advice
 			return apply(r.Epoch, r.Fingerprint)
 		}
@@ -216,6 +259,10 @@ func openSession(dir, tenant string, opts wal.Options) (*tenantSession, error) {
 	if mm != nil {
 		snap, _ := mm.Snapshot()
 		sess.mm, sess.snap = mm, snap
+	}
+	if tailMM != nil {
+		snap, _ := tailMM.Snapshot()
+		sess.tailMM, sess.tailSnap = tailMM, snap
 	}
 	return sess, nil
 }
@@ -231,7 +278,18 @@ func (d *Daemon) reseedCache(sess *tenantSession) error {
 	if adv == nil || sess.snap == nil {
 		return nil
 	}
-	prob, err := solver.NewProblem(core.NewGraph(1), sess.snap, solver.LongestLink)
+	// The matrix the next same-configuration advise searches is the one the
+	// last advice recorded: percentile advice runs over the tail matrix, so
+	// its artifacts live under the tail fingerprint, not the mean's.
+	fp, snap := sess.fp, sess.snap
+	spec := advisor.ObjectiveSpec{Metric: advisor.Metric(adv.Metric)}
+	if spec.TailPercentile() > 0 {
+		if sess.tailSnap == nil {
+			return nil
+		}
+		fp, snap = sess.tailFP, sess.tailSnap
+	}
+	prob, err := solver.NewProblem(core.NewGraph(1), snap, solver.LongestLink)
 	if err != nil {
 		return fmt.Errorf("serve: tenant %q: re-seeding cache: %w", sess.name, err)
 	}
@@ -246,18 +304,18 @@ func (d *Daemon) reseedCache(sess *tenantSession) error {
 	}
 	switch name {
 	case "cp", "portfolio":
-		if _, err := d.cache.Rounded(sess.fp, k, prep); err != nil {
+		if _, err := d.cache.Rounded(fp, k, prep); err != nil {
 			return err
 		}
 	case "mip":
 		if k > 0 {
-			if _, err := d.cache.Rounded(sess.fp, k, prep); err != nil {
+			if _, err := d.cache.Rounded(fp, k, prep); err != nil {
 				return err
 			}
 		}
 	}
 	if name == "g1" || name == "portfolio" {
-		d.cache.CheapestRows(sess.fp, prep)
+		d.cache.CheapestRows(fp, prep)
 	}
 	return nil
 }
@@ -282,6 +340,52 @@ func (d *Daemon) session(tenant string, create bool) (*tenantSession, error) {
 	return s, nil
 }
 
+// TailUpdate carries one epoch's percentile-matrix rows, posted alongside
+// the mean rows by producers that maintain quantile sketches (the CLI's
+// streaming fleet, or any client mirroring measure.Epoch.Tails). A tenant
+// keeps exactly one tail matrix; every posted update must carry the same
+// percentile.
+type TailUpdate struct {
+	// Pct is the percentile the rows estimate (e.g. 95 or 99); required
+	// and constant per tenant.
+	Pct float64
+	// Rows are the changed tail rows, full post-change contents, same
+	// contract as the mean rows.
+	Rows []wal.RowDelta
+}
+
+// validateRows checks one row-delta set against the epoch's matrix size.
+func validateRows(what string, n int, rows []wal.RowDelta) error {
+	for _, delta := range rows {
+		if delta.Row < 0 || delta.Row >= n {
+			return fmt.Errorf("serve: %s row %d out of range [0,%d)", what, delta.Row, n)
+		}
+		if len(delta.Values) != n {
+			return fmt.Errorf("serve: %s row %d carries %d values, want %d", what, delta.Row, len(delta.Values), n)
+		}
+		for j, v := range delta.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return fmt.Errorf("serve: %s row %d col %d: invalid cost %g", what, delta.Row, j, v)
+			}
+			if j == delta.Row && v != 0 {
+				return fmt.Errorf("serve: %s row %d: nonzero diagonal %g", what, delta.Row, v)
+			}
+		}
+	}
+	return nil
+}
+
+// logRows converts a published changed-row set into WAL row deltas.
+func logRows(m *core.CostMatrix, changed []int, n int) []wal.RowDelta {
+	rows := make([]wal.RowDelta, 0, len(changed))
+	for _, row := range changed {
+		vals := make([]float64, n)
+		copy(vals, m.Row(row))
+		rows = append(rows, wal.RowDelta{Row: row, Values: vals})
+	}
+	return rows
+}
+
 // AppendEpoch applies one epoch of cost updates to the tenant's matrix:
 // validate, fold into the mutable matrix, log the actually-changed rows
 // (with the new fingerprint) to the WAL, and only then publish the new
@@ -289,27 +393,28 @@ func (d *Daemon) session(tenant string, create bool) (*tenantSession, error) {
 // AppendEpoch returns, the epoch is as durable as the fsync policy
 // promises. Rows beyond the changed set cost nothing: a Set that does not
 // change a bit leaves the row clean and unlogged.
-func (d *Daemon) AppendEpoch(tenant string, n int, rows []wal.RowDelta) (epoch int, fp core.Fingerprint, err error) {
+//
+// tail, when non-nil, posts the epoch's percentile-matrix rows in the same
+// durability unit: both matrices mutate under one WAL record, so replay can
+// never observe a mean without its tail. Percentile advise calls
+// (Metric p95/p99) require the tenant to have posted a tail of the matching
+// percentile.
+func (d *Daemon) AppendEpoch(tenant string, n int, rows []wal.RowDelta, tail *TailUpdate) (epoch int, fp core.Fingerprint, err error) {
 	if tenant == "" {
 		return 0, 0, fmt.Errorf("serve: epoch without a tenant")
 	}
 	if n <= 0 {
 		return 0, 0, fmt.Errorf("serve: epoch with matrix size %d", n)
 	}
-	for _, delta := range rows {
-		if delta.Row < 0 || delta.Row >= n {
-			return 0, 0, fmt.Errorf("serve: epoch row %d out of range [0,%d)", delta.Row, n)
+	if err := validateRows("epoch", n, rows); err != nil {
+		return 0, 0, err
+	}
+	if tail != nil {
+		if tail.Pct <= 0 || tail.Pct >= 100 {
+			return 0, 0, fmt.Errorf("serve: epoch tail percentile %g outside (0,100)", tail.Pct)
 		}
-		if len(delta.Values) != n {
-			return 0, 0, fmt.Errorf("serve: epoch row %d carries %d values, want %d", delta.Row, len(delta.Values), n)
-		}
-		for j, v := range delta.Values {
-			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
-				return 0, 0, fmt.Errorf("serve: epoch row %d col %d: invalid cost %g", delta.Row, j, v)
-			}
-			if j == delta.Row && v != 0 {
-				return 0, 0, fmt.Errorf("serve: epoch row %d: nonzero diagonal %g", delta.Row, v)
-			}
+		if err := validateRows("epoch tail", n, tail.Rows); err != nil {
+			return 0, 0, err
 		}
 	}
 	sess, err := d.session(tenant, true)
@@ -324,6 +429,10 @@ func (d *Daemon) AppendEpoch(tenant string, n int, rows []wal.RowDelta) (epoch i
 	} else if sess.mm.Size() != n {
 		return 0, 0, fmt.Errorf("serve: tenant %q matrix is %d x %d, epoch says %d", tenant, sess.mm.Size(), sess.mm.Size(), n)
 	}
+	if tail != nil && sess.tailMM != nil && sess.tailPct != tail.Pct {
+		return 0, 0, fmt.Errorf("serve: tenant %q tail matrix is p%g, epoch posts p%g (one tail percentile per tenant)",
+			tenant, sess.tailPct, tail.Pct)
+	}
 	for _, delta := range rows {
 		for j, v := range delta.Values {
 			sess.mm.Set(delta.Row, j, v)
@@ -333,12 +442,25 @@ func (d *Daemon) AppendEpoch(tenant string, n int, rows []wal.RowDelta) (epoch i
 	ep := measure.PublishEpoch(sess.mm, 0, true, 0)
 	sess.epoch++
 
-	rec := &wal.EpochRecord{Epoch: sess.epoch, Fingerprint: ep.Fingerprint, N: n}
-	for _, row := range ep.ChangedRows {
-		vals := make([]float64, n)
-		copy(vals, ep.Matrix.Row(row))
-		rec.Rows = append(rec.Rows, wal.RowDelta{Row: row, Values: vals})
+	rec := &wal.EpochRecord{Epoch: sess.epoch, Fingerprint: ep.Fingerprint, N: n,
+		Rows: logRows(ep.Matrix, ep.ChangedRows, n)}
+
+	var tm measure.TailMatrix
+	oldTailFP := sess.tailFP
+	if tail != nil {
+		if sess.tailMM == nil {
+			sess.tailMM, sess.tailPct = core.NewMutableCostMatrix(n), tail.Pct
+		}
+		for _, delta := range tail.Rows {
+			for j, v := range delta.Values {
+				sess.tailMM.Set(delta.Row, j, v)
+			}
+		}
+		tm = measure.PublishTail(sess.tailMM, tail.Pct)
+		rec.TailPct, rec.TailFingerprint = tm.Pct, tm.Fingerprint
+		rec.TailRows = logRows(tm.Matrix, tm.ChangedRows, n)
 	}
+
 	if err := sess.log.Append(rec); err != nil {
 		return 0, 0, err
 	}
@@ -347,10 +469,17 @@ func (d *Daemon) AppendEpoch(tenant string, n int, rows []wal.RowDelta) (epoch i
 		d.cache.Supersede(oldFP, ep.Fingerprint, ep.ChangedRows)
 	}
 	sess.snap, sess.fp = ep.Matrix, ep.Fingerprint
+	if tail != nil {
+		if oldTailFP != 0 && oldTailFP != tm.Fingerprint {
+			d.cache.Supersede(oldTailFP, tm.Fingerprint, tm.ChangedRows)
+		}
+		sess.tailSnap, sess.tailFP = tm.Matrix, tm.Fingerprint
+	}
 
 	sess.sinceCompact++
 	if sess.sinceCompact >= d.cfg.CompactEvery {
-		snap := &wal.SnapshotRecord{Epoch: sess.epoch, Fingerprint: sess.fp, Matrix: sess.snap, Advice: sess.lastAdvice}
+		snap := &wal.SnapshotRecord{Epoch: sess.epoch, Fingerprint: sess.fp, Matrix: sess.snap, Advice: sess.lastAdvice,
+			Tail: sess.tailSnap, TailPct: sess.tailPct, TailFingerprint: sess.tailFP}
 		if err := sess.log.Compact(snap); err != nil {
 			return 0, 0, err
 		}
@@ -364,9 +493,14 @@ type AdviseRequest struct {
 	// Tenant selects whose matrix to solve over; it must have at least one
 	// epoch. Required.
 	Tenant string
-	// Graph and Objective define the deployment problem; required.
-	Graph     *core.Graph
-	Objective solver.Objective
+	// Graph defines the deployment problem's communication graph; required.
+	Graph *core.Graph
+	// ObjectiveSpec says what to optimize. Percentile metrics (p95, p99)
+	// search the tenant's tail matrix — which its epochs must have posted
+	// (TailUpdate) at the matching percentile — tie-breaking equal tail
+	// costs on the mean matrix. The spec's Scheme is ignored: the daemon
+	// serves posted matrices, it does not measure.
+	advisor.ObjectiveSpec
 	// SolverName, ClusterK, RoundBudget, Seed: as in Job.
 	SolverName  string
 	ClusterK    int
@@ -398,6 +532,20 @@ func (d *Daemon) Advise(req AdviseRequest) (*Result, error) {
 		return nil, fmt.Errorf("serve: tenant %q has no epochs", req.Tenant)
 	}
 	snap, fp, epoch := sess.snap, sess.fp, sess.epoch
+	var tailSnap *core.CostMatrix
+	if pct := req.TailPercentile(); pct > 0 {
+		switch {
+		case sess.tailSnap == nil:
+			sess.mu.Unlock()
+			return nil, fmt.Errorf("serve: tenant %q has no percentile matrix — metric %q needs tail rows posted with its epochs",
+				req.Tenant, req.Metric)
+		case sess.tailPct != pct:
+			sess.mu.Unlock()
+			return nil, fmt.Errorf("serve: tenant %q tail matrix is p%g, metric %q wants p%g",
+				req.Tenant, sess.tailPct, req.Metric, pct)
+		}
+		tailSnap = sess.tailSnap
+	}
 	var warm core.Deployment
 	if !req.NoWarmStart && sess.lastAdvice != nil && req.Graph != nil {
 		dep := core.Deployment(sess.lastAdvice.Deployment)
@@ -414,17 +562,18 @@ func (d *Daemon) Advise(req AdviseRequest) (*Result, error) {
 		timeout = d.cfg.DefaultTimeout
 	}
 	tk, err := d.srv.Submit(Job{
-		Tenant:      req.Tenant,
-		Graph:       req.Graph,
-		Objective:   req.Objective,
-		Matrix:      snap,
-		SolverName:  req.SolverName,
-		ClusterK:    req.ClusterK,
-		RoundBudget: req.RoundBudget,
-		Seed:        req.Seed,
-		Timeout:     timeout,
-		WarmStart:   warm,
-		OnRound:     req.OnRound,
+		Tenant:        req.Tenant,
+		Graph:         req.Graph,
+		ObjectiveSpec: req.ObjectiveSpec,
+		Matrix:        snap,
+		TailMatrix:    tailSnap,
+		SolverName:    req.SolverName,
+		ClusterK:      req.ClusterK,
+		RoundBudget:   req.RoundBudget,
+		Seed:          req.Seed,
+		Timeout:       timeout,
+		WarmStart:     warm,
+		OnRound:       req.OnRound,
 	})
 	if err != nil {
 		return nil, err
@@ -437,6 +586,7 @@ func (d *Daemon) Advise(req AdviseRequest) (*Result, error) {
 			SolverName:  req.SolverName,
 			ClusterK:    req.ClusterK,
 			Objective:   string(req.Objective),
+			Metric:      string(req.WithDefaults().Metric),
 			Winner:      outcomeWinner(res.Outcome),
 			Cost:        res.Outcome.Cost,
 			Deployment:  res.Outcome.Deployment,

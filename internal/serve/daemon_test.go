@@ -9,6 +9,7 @@ import (
 	"reflect"
 	"testing"
 
+	"cloudia/internal/advisor"
 	"cloudia/internal/core"
 	"cloudia/internal/solver"
 	"cloudia/internal/wal"
@@ -62,11 +63,11 @@ func TestDaemonRestartBitEqual(t *testing.T) {
 	// one advise, then two partial epochs.
 	drive := func(d *Daemon) (core.Fingerprint, *Result) {
 		t.Helper()
-		if _, _, err := d.AppendEpoch("acme", n, fullRows(m)); err != nil {
+		if _, _, err := d.AppendEpoch("acme", n, fullRows(m), nil); err != nil {
 			t.Fatal(err)
 		}
 		first := adviseOK(t, d, AdviseRequest{
-			Tenant: "acme", Graph: g, Objective: solver.LongestLink,
+			Tenant: "acme", Graph: g, ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink},
 			SolverName: "cp", ClusterK: 4, RoundBudget: budget, Seed: 1,
 		})
 		perturbed := make([]float64, n)
@@ -79,7 +80,7 @@ func TestDaemonRestartBitEqual(t *testing.T) {
 		var fp core.Fingerprint
 		var err error
 		for i := 0; i < 2; i++ {
-			_, fp, err = d.AppendEpoch("acme", n, []wal.RowDelta{{Row: 2, Values: perturbed}})
+			_, fp, err = d.AppendEpoch("acme", n, []wal.RowDelta{{Row: 2, Values: perturbed}}, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -91,7 +92,7 @@ func TestDaemonRestartBitEqual(t *testing.T) {
 	control := openDaemon(t, DaemonConfig{Dir: t.TempDir(), Serve: Config{Shards: 1}})
 	ctrlFP, _ := drive(control)
 	want := adviseOK(t, control, AdviseRequest{
-		Tenant: "acme", Graph: g, Objective: solver.LongestLink,
+		Tenant: "acme", Graph: g, ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink},
 		SolverName: "cp", ClusterK: 4, RoundBudget: budget, Seed: 2,
 	})
 	control.Close()
@@ -118,7 +119,7 @@ func TestDaemonRestartBitEqual(t *testing.T) {
 	}
 
 	got := adviseOK(t, reopened, AdviseRequest{
-		Tenant: "acme", Graph: g, Objective: solver.LongestLink,
+		Tenant: "acme", Graph: g, ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink},
 		SolverName: "cp", ClusterK: 4, RoundBudget: budget, Seed: 2,
 	})
 	if !reflect.DeepEqual(got.Outcome.Deployment, want.Outcome.Deployment) || got.Outcome.Cost != want.Outcome.Cost {
@@ -144,11 +145,11 @@ func TestDaemonCacheReseed(t *testing.T) {
 	dir := t.TempDir()
 
 	d := openDaemon(t, DaemonConfig{Dir: dir, Serve: Config{Shards: 1}})
-	if _, _, err := d.AppendEpoch("acme", n, fullRows(m)); err != nil {
+	if _, _, err := d.AppendEpoch("acme", n, fullRows(m), nil); err != nil {
 		t.Fatal(err)
 	}
 	cold := adviseOK(t, d, AdviseRequest{
-		Tenant: "acme", Graph: g, Objective: solver.LongestLink,
+		Tenant: "acme", Graph: g, ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink},
 		SolverName: "cp", ClusterK: 4, RoundBudget: solver.Budget{Nodes: 5_000},
 	})
 	if cold.CacheMisses == 0 {
@@ -159,7 +160,7 @@ func TestDaemonCacheReseed(t *testing.T) {
 	re := openDaemon(t, DaemonConfig{Dir: dir, Serve: Config{Shards: 1}})
 	defer re.Close()
 	hit := adviseOK(t, re, AdviseRequest{
-		Tenant: "acme", Graph: g, Objective: solver.LongestLink,
+		Tenant: "acme", Graph: g, ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink},
 		SolverName: "cp", ClusterK: 4, RoundBudget: solver.Budget{Nodes: 5_000},
 	})
 	if hit.CacheMisses != 0 || hit.CacheHits == 0 {
@@ -186,7 +187,7 @@ func TestDaemonCompaction(t *testing.T) {
 			}
 		}
 		var err error
-		_, lastFP, err = d.AppendEpoch("acme", n, []wal.RowDelta{{Row: e % n, Values: vals}})
+		_, lastFP, err = d.AppendEpoch("acme", n, []wal.RowDelta{{Row: e % n, Values: vals}}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -248,15 +249,15 @@ func TestDaemonValidation(t *testing.T) {
 		{"nonzero diagonal", "t", 2, []wal.RowDelta{{Row: 0, Values: []float64{1, 1}}}},
 	}
 	for _, tc := range cases {
-		if _, _, err := d.AppendEpoch(tc.tenant, tc.n, tc.rows); err == nil {
+		if _, _, err := d.AppendEpoch(tc.tenant, tc.n, tc.rows, nil); err == nil {
 			t.Errorf("%s accepted", tc.name)
 		}
 	}
 
-	if _, _, err := d.AppendEpoch("t", 2, []wal.RowDelta{{Row: 0, Values: []float64{0, 1}}}); err != nil {
+	if _, _, err := d.AppendEpoch("t", 2, []wal.RowDelta{{Row: 0, Values: []float64{0, 1}}}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := d.AppendEpoch("t", 3, nil); err == nil {
+	if _, _, err := d.AppendEpoch("t", 3, nil, nil); err == nil {
 		t.Error("matrix resize accepted")
 	}
 

@@ -48,6 +48,11 @@ type epochRequest struct {
 	Tenant string         `json:"tenant"`
 	N      int            `json:"n"`
 	Rows   []rowDeltaJSON `json:"rows"`
+	// TailPct and TailRows post the epoch's percentile-matrix rows in the
+	// same durability unit as the mean rows (see Daemon.AppendEpoch);
+	// required before the tenant can be advised with a percentile metric.
+	TailPct  float64        `json:"tail_pct,omitempty"`
+	TailRows []rowDeltaJSON `json:"tail_rows,omitempty"`
 }
 
 type epochResponse struct {
@@ -62,11 +67,18 @@ func (d *Daemon) handleEpoch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, fmt.Errorf("serve: bad epoch request: %w", err))
 		return
 	}
-	rows := make([]wal.RowDelta, len(req.Rows))
-	for i, rd := range req.Rows {
-		rows[i] = wal.RowDelta{Row: rd.Row, Values: rd.Values}
+	toDeltas := func(rows []rowDeltaJSON) []wal.RowDelta {
+		out := make([]wal.RowDelta, len(rows))
+		for i, rd := range rows {
+			out[i] = wal.RowDelta{Row: rd.Row, Values: rd.Values}
+		}
+		return out
 	}
-	epoch, fp, err := d.AppendEpoch(req.Tenant, req.N, rows)
+	var tail *TailUpdate
+	if req.TailPct != 0 || len(req.TailRows) > 0 {
+		tail = &TailUpdate{Pct: req.TailPct, Rows: toDeltas(req.TailRows)}
+	}
+	epoch, fp, err := d.AppendEpoch(req.Tenant, req.N, toDeltas(req.Rows), tail)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -75,17 +87,24 @@ func (d *Daemon) handleEpoch(w http.ResponseWriter, r *http.Request) {
 }
 
 type adviseRequestJSON struct {
-	Tenant      string          `json:"tenant"`
-	Graph       json.RawMessage `json:"graph"`
-	Objective   string          `json:"objective"`
-	Solver      string          `json:"solver"`
-	ClusterK    int             `json:"cluster_k"`
-	BudgetMS    float64         `json:"budget_ms"`
-	BudgetNodes int64           `json:"budget_nodes"`
-	Seed        int64           `json:"seed"`
-	DeadlineMS  float64         `json:"deadline_ms"`
-	NoWarmStart bool            `json:"no_warm_start"`
-	Stream      bool            `json:"stream"`
+	Tenant string          `json:"tenant"`
+	Graph  json.RawMessage `json:"graph"`
+	// Objective, metric, and no_mean_tie_break are the wire form of
+	// advisor.ObjectiveSpec; the strings are cast into the spec and
+	// validated there, not here. Empty objective defaults to longest-link,
+	// empty metric to mean. metric "p95"/"p99" searches the tenant's
+	// posted tail matrix, tie-breaking on the mean.
+	Objective      string  `json:"objective"`
+	Metric         string  `json:"metric"`
+	NoMeanTieBreak bool    `json:"no_mean_tie_break"`
+	Solver         string  `json:"solver"`
+	ClusterK       int     `json:"cluster_k"`
+	BudgetMS       float64 `json:"budget_ms"`
+	BudgetNodes    int64   `json:"budget_nodes"`
+	Seed           int64   `json:"seed"`
+	DeadlineMS     float64 `json:"deadline_ms"`
+	NoWarmStart    bool    `json:"no_warm_start"`
+	Stream         bool    `json:"stream"`
 }
 
 type roundJSON struct {
@@ -123,26 +142,28 @@ func (d *Daemon) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		httpError(w, fmt.Errorf("serve: advise graph: %w", err))
 		return
 	}
-	var obj solver.Objective
-	switch jr.Objective {
-	case "", string(solver.LongestLink):
-		obj = solver.LongestLink
-	case string(solver.LongestPath):
-		obj = solver.LongestPath
-	default:
-		httpError(w, fmt.Errorf("serve: unknown objective %q", jr.Objective))
-		return
+	// Cast the raw strings into the spec and let its Validate (run by
+	// Submit) be the single authority on objective/metric combinations —
+	// no HTTP-side switch duplicating it. Only the empty-objective default
+	// is resolved here.
+	spec := advisor.ObjectiveSpec{
+		Objective:      solver.Objective(jr.Objective),
+		Metric:         advisor.Metric(jr.Metric),
+		NoMeanTieBreak: jr.NoMeanTieBreak,
+	}
+	if spec.Objective == "" {
+		spec.Objective = solver.LongestLink
 	}
 	req := AdviseRequest{
-		Tenant:      jr.Tenant,
-		Graph:       g,
-		Objective:   obj,
-		SolverName:  jr.Solver,
-		ClusterK:    jr.ClusterK,
-		RoundBudget: solver.Budget{Time: msToDuration(jr.BudgetMS), Nodes: jr.BudgetNodes},
-		Seed:        jr.Seed,
-		Timeout:     msToDuration(jr.DeadlineMS),
-		NoWarmStart: jr.NoWarmStart,
+		Tenant:        jr.Tenant,
+		Graph:         g,
+		ObjectiveSpec: spec,
+		SolverName:    jr.Solver,
+		ClusterK:      jr.ClusterK,
+		RoundBudget:   solver.Budget{Time: msToDuration(jr.BudgetMS), Nodes: jr.BudgetNodes},
+		Seed:          jr.Seed,
+		Timeout:       msToDuration(jr.DeadlineMS),
+		NoWarmStart:   jr.NoWarmStart,
 	}
 
 	var flush func()
@@ -237,22 +258,47 @@ func writeJSON(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// errorJSON is the structured error body every non-2xx response carries:
+//
+//	{"error": {"code": "busy", "message": "...", "retry_after_ms": 1000}}
+//
+// The code is a stable machine-readable discriminator (clients previously
+// had to substring-match the message); retry_after_ms is present exactly
+// when retrying the same request later can succeed (429 and 503).
+type errorJSON struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
 // httpError maps daemon errors onto HTTP status codes: transient admission
 // rejections become 429 with a Retry-After hint, unknown tenants 404,
 // everything else a 400 — the daemon never blames itself for a request it
-// validated and refused.
+// validated and refused. The body is always a structured errorJSON.
 func httpError(w http.ResponseWriter, err error) {
 	code := http.StatusBadRequest
+	body := errorBody{Code: "bad_request", Message: err.Error()}
 	switch {
-	case errors.Is(err, ErrBusy), errors.Is(err, ErrOverBudget):
+	case errors.Is(err, ErrBusy):
 		w.Header().Set("Retry-After", "1")
 		code = http.StatusTooManyRequests
+		body.Code, body.RetryAfterMS = "busy", 1000
+	case errors.Is(err, ErrOverBudget):
+		w.Header().Set("Retry-After", "1")
+		code = http.StatusTooManyRequests
+		body.Code, body.RetryAfterMS = "over_budget", 1000
 	case errors.Is(err, ErrUnknownTenant):
 		code = http.StatusNotFound
+		body.Code = "unknown_tenant"
 	case errors.Is(err, ErrClosed):
 		code = http.StatusServiceUnavailable
+		body.Code, body.RetryAfterMS = "closed", 1000
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	json.NewEncoder(w).Encode(errorJSON{Error: body})
 }

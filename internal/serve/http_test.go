@@ -162,44 +162,67 @@ func TestHTTPErrorMapping(t *testing.T) {
 	resp.Body.Close()
 
 	cases := []struct {
-		name string
-		path string
-		body any
-		code int
+		name    string
+		path    string
+		body    any
+		code    int
+		errCode string
 	}{
-		{"malformed epoch", "/v1/epoch", "not json", http.StatusBadRequest},
-		{"invalid epoch", "/v1/epoch", map[string]any{"tenant": "acme", "n": 3}, http.StatusBadRequest},
-		{"malformed advise", "/v1/advise", "not json", http.StatusBadRequest},
-		{"advise without graph", "/v1/advise", map[string]any{"tenant": "acme"}, http.StatusBadRequest},
-		{"advise bad graph", "/v1/advise", map[string]any{"tenant": "acme", "graph": map[string]any{"bogus": 1}}, http.StatusBadRequest},
+		{"malformed epoch", "/v1/epoch", "not json", http.StatusBadRequest, "bad_request"},
+		{"invalid epoch", "/v1/epoch", map[string]any{"tenant": "acme", "n": 3}, http.StatusBadRequest, "bad_request"},
+		{"malformed advise", "/v1/advise", "not json", http.StatusBadRequest, "bad_request"},
+		{"advise without graph", "/v1/advise", map[string]any{"tenant": "acme"}, http.StatusBadRequest, "bad_request"},
+		{"advise bad graph", "/v1/advise", map[string]any{"tenant": "acme", "graph": map[string]any{"bogus": 1}}, http.StatusBadRequest, "bad_request"},
 		{"advise bad objective", "/v1/advise", map[string]any{
 			"tenant": "acme", "graph": graphPayload(t, 2, 2), "objective": "shortest-selfie",
-		}, http.StatusBadRequest},
+		}, http.StatusBadRequest, "bad_request"},
+		{"advise bad metric", "/v1/advise", map[string]any{
+			"tenant": "acme", "graph": graphPayload(t, 2, 2), "metric": "p42",
+		}, http.StatusBadRequest, "bad_request"},
 		{"advise unknown tenant", "/v1/advise", map[string]any{
 			"tenant": "ghost", "graph": graphPayload(t, 2, 2),
-		}, http.StatusNotFound},
+		}, http.StatusNotFound, "unknown_tenant"},
 	}
 	for _, tc := range cases {
 		resp := postJSON(t, ts.Client(), ts.URL+tc.path, tc.body)
 		if resp.StatusCode != tc.code {
 			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.code)
 		}
-		var e map[string]string
+		var e errorJSON
 		decodeBody(t, resp, &e)
-		if e["error"] == "" {
-			t.Errorf("%s: no error body", tc.name)
+		if e.Error.Message == "" {
+			t.Errorf("%s: no error message", tc.name)
+		}
+		if e.Error.Code != tc.errCode {
+			t.Errorf("%s: error code %q, want %q", tc.name, e.Error.Code, tc.errCode)
 		}
 	}
 
-	// Transient admission rejections advertise a retry.
+	// Transient admission rejections advertise a retry — in the Retry-After
+	// header and as retry_after_ms in the structured body.
+	decodeErr := func(rec *httptest.ResponseRecorder) errorBody {
+		var e errorJSON
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+			t.Fatalf("error body %q: %v", rec.Body.String(), err)
+		}
+		return e.Error
+	}
 	rec := httptest.NewRecorder()
 	httpError(rec, fmt.Errorf("wrapped: %w", ErrBusy))
 	if rec.Code != http.StatusTooManyRequests || rec.Header().Get("Retry-After") == "" {
 		t.Fatalf("ErrBusy mapped to %d (Retry-After %q)", rec.Code, rec.Header().Get("Retry-After"))
 	}
+	if e := decodeErr(rec); e.Code != "busy" || e.RetryAfterMS <= 0 {
+		t.Fatalf("ErrBusy body = %+v", e)
+	}
+	rec = httptest.NewRecorder()
+	httpError(rec, fmt.Errorf("wrapped: %w", ErrOverBudget))
+	if e := decodeErr(rec); rec.Code != http.StatusTooManyRequests || e.Code != "over_budget" || e.RetryAfterMS <= 0 {
+		t.Fatalf("ErrOverBudget mapped to %d, body %+v", rec.Code, e)
+	}
 	rec = httptest.NewRecorder()
 	httpError(rec, fmt.Errorf("wrapped: %w", ErrClosed))
-	if rec.Code != http.StatusServiceUnavailable {
-		t.Fatalf("ErrClosed mapped to %d", rec.Code)
+	if e := decodeErr(rec); rec.Code != http.StatusServiceUnavailable || e.Code != "closed" || e.RetryAfterMS <= 0 {
+		t.Fatalf("ErrClosed mapped to %d, body %+v", rec.Code, e)
 	}
 }

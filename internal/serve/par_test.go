@@ -10,6 +10,7 @@ import (
 	"sync"
 	"testing"
 
+	"cloudia/internal/advisor"
 	"cloudia/internal/core"
 	"cloudia/internal/measure"
 	"cloudia/internal/par"
@@ -82,7 +83,7 @@ func TestPrefetchRaceHammer(t *testing.T) {
 				errs <- err
 				return
 			}
-			br := &cacheBridge{cache: cache, solverName: name, clusterK: 3, objective: obj, graph: g}
+			br := &cacheBridge{cache: cache, solverName: name, clusterK: 3, spec: advisor.ObjectiveSpec{Objective: obj}, graph: g}
 			if err := br.onProblem(prob, nil, measure.Epoch{}, nil); err != nil {
 				errs <- fmt.Errorf("prefetch %s: %w", name, err)
 				return
@@ -116,7 +117,7 @@ func TestPrefetchRaceHammer(t *testing.T) {
 				errs <- err
 				return
 			}
-			br2 := &cacheBridge{cache: cache, solverName: "cp", clusterK: 2, objective: solver.LongestLink, graph: g}
+			br2 := &cacheBridge{cache: cache, solverName: "cp", clusterK: 2, spec: advisor.ObjectiveSpec{Objective: solver.LongestLink}, graph: g}
 			if err := br2.onProblem(p2, nil, measure.Epoch{}, nil); err != nil {
 				errs <- err
 			}
@@ -181,11 +182,11 @@ func TestDaemonParallelReplayBitEqual(t *testing.T) {
 	for i := 0; i < tenants; i++ {
 		tn := fmt.Sprintf("tenant-%d", i)
 		m := testMatrix(rand.New(rand.NewSource(int64(60+i))), n)
-		if _, _, err := d.AppendEpoch(tn, n, fullRows(m)); err != nil {
+		if _, _, err := d.AppendEpoch(tn, n, fullRows(m), nil); err != nil {
 			t.Fatal(err)
 		}
 		adviseOK(t, d, AdviseRequest{
-			Tenant: tn, Graph: g, Objective: solver.LongestLink,
+			Tenant: tn, Graph: g, ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink},
 			SolverName: "cp", ClusterK: 3, RoundBudget: budget, Seed: int64(i),
 		})
 		// A partial second epoch, so replay exercises row deltas too.
@@ -195,7 +196,7 @@ func TestDaemonParallelReplayBitEqual(t *testing.T) {
 				perturbed[j] *= 1.5
 			}
 		}
-		if _, _, err := d.AppendEpoch(tn, n, []wal.RowDelta{{Row: i % n, Values: perturbed}}); err != nil {
+		if _, _, err := d.AppendEpoch(tn, n, []wal.RowDelta{{Row: i % n, Values: perturbed}}, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -230,7 +231,7 @@ func TestDaemonParallelReplayBitEqual(t *testing.T) {
 		for i := 0; i < tenants; i++ {
 			tn := fmt.Sprintf("tenant-%d", i)
 			res := adviseOK(t, d, AdviseRequest{
-				Tenant: tn, Graph: g, Objective: solver.LongestLink,
+				Tenant: tn, Graph: g, ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink},
 				SolverName: "cp", ClusterK: 3, RoundBudget: budget, Seed: 99,
 			})
 			r.deps[tn] = res.Outcome.Deployment

@@ -24,13 +24,13 @@ func TestWorkerPanicIsolation(t *testing.T) {
 	defer s.Close()
 
 	poisoned := Job{
-		Tenant:      "acme",
-		Graph:       g,
-		Objective:   solver.LongestLink,
-		Matrix:      m,
-		SolverName:  "g2",
-		RoundBudget: solver.Budget{Nodes: 2_000, Time: time.Second},
-		OnRound:     func(advisor.Round) { panic("poisoned job") },
+		Tenant:        "acme",
+		Graph:         g,
+		ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink},
+		Matrix:        m,
+		SolverName:    "g2",
+		RoundBudget:   solver.Budget{Nodes: 2_000, Time: time.Second},
+		OnRound:       func(advisor.Round) { panic("poisoned job") },
 	}
 	res := mustSubmit(t, s, poisoned).Wait()
 	if !errors.Is(res.Err, ErrJobPanicked) {
@@ -79,12 +79,12 @@ func TestJobTimeoutReturnsBestSoFar(t *testing.T) {
 	defer s.Close()
 
 	res := mustSubmit(t, s, Job{
-		Tenant:      "slow",
-		Graph:       g,
-		Objective:   solver.LongestLink,
-		Matrix:      m,
-		RoundBudget: solver.Budget{Nodes: 500_000},
-		Timeout:     time.Nanosecond, // expires before the first round
+		Tenant:        "slow",
+		Graph:         g,
+		ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink},
+		Matrix:        m,
+		RoundBudget:   solver.Budget{Nodes: 500_000},
+		Timeout:       time.Nanosecond, // expires before the first round
 	}).Wait()
 	if res.Err != nil {
 		t.Fatalf("timed-out job failed: %v", res.Err)
@@ -109,7 +109,7 @@ func TestJobWarmStartCarriesIncumbent(t *testing.T) {
 
 	// First solve properly to obtain a good deployment.
 	first := mustSubmit(t, s, Job{
-		Tenant: "warm", Graph: g, Objective: solver.LongestLink, Matrix: m,
+		Tenant: "warm", Graph: g, ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink}, Matrix: m,
 		RoundBudget: solver.Budget{Nodes: 20_000},
 	}).Wait()
 	if first.Err != nil {
@@ -118,7 +118,7 @@ func TestJobWarmStartCarriesIncumbent(t *testing.T) {
 	warm := first.Outcome.Deployment
 
 	res := mustSubmit(t, s, Job{
-		Tenant: "warm", Graph: g, Objective: solver.LongestLink, Matrix: m,
+		Tenant: "warm", Graph: g, ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink}, Matrix: m,
 		SolverName:  "g2",
 		RoundBudget: solver.Budget{Nodes: 1},
 		WarmStart:   warm,

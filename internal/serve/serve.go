@@ -45,9 +45,14 @@ type Job struct {
 	// in several datacenters.
 	Datacenter string
 
-	// Graph and Objective define the deployment problem; required.
-	Graph     *core.Graph
-	Objective solver.Objective
+	// Graph defines the deployment problem's communication graph; required.
+	Graph *core.Graph
+	// ObjectiveSpec says what to optimize (advisor.ObjectiveSpec): the
+	// objective, the metric — percentile metrics search the epochs'
+	// published tail matrices, tie-breaking on the mean — and the
+	// tie-break policy. The spec's Scheme is ignored here: served jobs
+	// consume epochs or matrices, they do not measure.
+	advisor.ObjectiveSpec
 
 	// Epochs supplies the job's matrix epochs, as measure.Stream (or any
 	// custom producer) publishes them; the job completes when the channel
@@ -59,6 +64,12 @@ type Job struct {
 	// measured matrix, equivalent to a one-epoch stream (shared by
 	// reference; the caller must not mutate it after Submit).
 	Matrix *core.CostMatrix
+	// TailMatrix extends the single-epoch convenience to percentile specs:
+	// the pre-measured percentile matrix the one-shot epoch publishes as
+	// its tail. Required when Matrix is set and the spec's metric is a
+	// percentile; invalid otherwise. (Epoch-fed jobs instead carry tails
+	// inside their epochs.)
+	TailMatrix *core.CostMatrix
 
 	// SolverName, ClusterK, RoundBudget, Seed, and Coalesce have their
 	// advisor.StreamSolveConfig meanings. RoundBudget is required — beyond
@@ -252,8 +263,20 @@ func (s *Server) Submit(job Job) (*Ticket, error) {
 	if job.Graph == nil {
 		return nil, fmt.Errorf("serve: job without a communication graph")
 	}
+	if err := job.ObjectiveSpec.Validate(); err != nil {
+		return nil, err
+	}
+	if job.Metric == advisor.MetricMeanPlusStd {
+		return nil, fmt.Errorf("serve: jobs do not support the %q metric (epochs carry mean and percentile matrices)", advisor.MetricMeanPlusStd)
+	}
 	if (job.Epochs == nil) == (job.Matrix == nil) {
 		return nil, fmt.Errorf("serve: job must set exactly one of Epochs and Matrix")
+	}
+	if job.TailMatrix != nil && job.Matrix == nil {
+		return nil, fmt.Errorf("serve: TailMatrix requires Matrix (epoch-fed jobs carry tails inside their epochs)")
+	}
+	if job.Matrix != nil && job.TailPercentile() > 0 && job.TailMatrix == nil {
+		return nil, fmt.Errorf("serve: metric %q over a single matrix requires TailMatrix (the pre-measured percentile matrix)", job.Metric)
 	}
 	if job.RoundBudget.Unlimited() {
 		return nil, fmt.Errorf("serve: job requires a bounded round budget")
@@ -331,10 +354,14 @@ func (s *Server) runJob(shard int, tk task) (res *Result) {
 
 	epochs := job.Epochs
 	if epochs == nil {
-		// The matrix flows down as-is: the one-epoch channel wraps the
-		// caller's snapshot, it does not clone it.
+		// The matrices flow down as-is: the one-epoch channel wraps the
+		// caller's snapshots, it does not clone them.
+		ep := measure.Epoch{Index: 1, Final: true, Matrix: job.Matrix}
+		if job.TailMatrix != nil {
+			ep.Tails = []measure.TailMatrix{{Pct: job.TailPercentile(), Matrix: job.TailMatrix}}
+		}
 		ch := make(chan measure.Epoch, 1)
-		ch <- measure.Epoch{Index: 1, Final: true, Matrix: job.Matrix}
+		ch <- ep
 		close(ch)
 		epochs = ch
 	}
@@ -343,7 +370,7 @@ func (s *Server) runJob(shard int, tk task) (res *Result) {
 		cache:      s.cache,
 		solverName: job.SolverName,
 		clusterK:   job.ClusterK,
-		objective:  job.Objective,
+		spec:       job.ObjectiveSpec,
 		graph:      job.Graph,
 	}
 	var ctx context.Context
@@ -353,17 +380,17 @@ func (s *Server) runJob(shard int, tk task) (res *Result) {
 		defer cancel()
 	}
 	out, err := advisor.SolveStream(epochs, advisor.StreamSolveConfig{
-		Graph:       job.Graph,
-		Objective:   job.Objective,
-		SolverName:  job.SolverName,
-		ClusterK:    job.ClusterK,
-		RoundBudget: job.RoundBudget,
-		Seed:        job.Seed,
-		Coalesce:    job.Coalesce,
-		OnProblem:   br.onProblem,
-		OnRound:     job.OnRound,
-		Ctx:         ctx,
-		WarmStart:   job.WarmStart,
+		Graph:         job.Graph,
+		ObjectiveSpec: job.ObjectiveSpec,
+		SolverName:    job.SolverName,
+		ClusterK:      job.ClusterK,
+		RoundBudget:   job.RoundBudget,
+		Seed:          job.Seed,
+		Coalesce:      job.Coalesce,
+		OnProblem:     br.onProblem,
+		OnRound:       job.OnRound,
+		Ctx:           ctx,
+		WarmStart:     job.WarmStart,
 	})
 	res.Ran = time.Since(start)
 	res.Outcome, res.Err = out, err
@@ -409,18 +436,35 @@ type cacheBridge struct {
 	cache      *Cache
 	solverName string
 	clusterK   int
-	objective  solver.Objective
+	spec       advisor.ObjectiveSpec
 	graph      *core.Graph
 
 	prevFP       core.Fingerprint
 	hits, misses int
 }
 
-func (b *cacheBridge) onProblem(prob, prev *solver.Problem, ep measure.Epoch, changedRows []int) error {
-	fp := ep.Fingerprint
+// epochFP returns the content fingerprint of the matrix the round actually
+// searches: the epoch's tail fingerprint for percentile specs, the mean
+// fingerprint otherwise. Percentile and mean matrices are distinct cache
+// keys — their Prep artifacts are not interchangeable. The fallback is
+// always correct because prob.Costs IS the searched (primary) matrix.
+func (b *cacheBridge) epochFP(prob *solver.Problem, ep measure.Epoch) core.Fingerprint {
+	var fp core.Fingerprint
+	if pct := b.spec.TailPercentile(); pct > 0 {
+		if tail := ep.Tail(pct); tail != nil {
+			fp = tail.Fingerprint
+		}
+	} else {
+		fp = ep.Fingerprint
+	}
 	if fp == 0 {
 		fp = prob.Costs.Fingerprint()
 	}
+	return fp
+}
+
+func (b *cacheBridge) onProblem(prob, prev *solver.Problem, ep measure.Epoch, changedRows []int) error {
+	fp := b.epochFP(prob, ep)
 	defer func() { b.prevFP = fp }()
 
 	if prev != nil {
@@ -468,7 +512,7 @@ func (b *cacheBridge) onProblem(prob, prev *solver.Problem, ep measure.Epoch, ch
 	// graph-content artifacts shared under the graph's own fingerprint
 	// (the per-family sub-key), so longest-path fleets share more than
 	// matrix-derived entries.
-	doGraph = b.objective == solver.LongestPath && (name == "mip" || name == "portfolio")
+	doGraph = b.spec.Objective == solver.LongestPath && (name == "mip" || name == "portfolio")
 
 	warms := make([]func(), 0, 3)
 	if doRounded {

@@ -103,14 +103,14 @@ func TestServeMatchesUnsharded(t *testing.T) {
 			for tn := 0; tn < tenants; tn++ {
 				var err error
 				tickets[tn], err = srv.Submit(Job{
-					Tenant:      fmt.Sprintf("tenant-%d", tn),
-					Graph:       g,
-					Objective:   solver.LongestLink,
-					Epochs:      epochSeq(shared),
-					SolverName:  solverName,
-					ClusterK:    4,
-					RoundBudget: budget,
-					Seed:        int64(100 + tn),
+					Tenant:        fmt.Sprintf("tenant-%d", tn),
+					Graph:         g,
+					ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink},
+					Epochs:        epochSeq(shared),
+					SolverName:    solverName,
+					ClusterK:      4,
+					RoundBudget:   budget,
+					Seed:          int64(100 + tn),
 				})
 				if err != nil {
 					t.Fatal(err)
@@ -122,12 +122,12 @@ func TestServeMatchesUnsharded(t *testing.T) {
 					t.Fatalf("tenant %d: %v", tn, res.Err)
 				}
 				want, err := advisor.SolveStream(epochSeq(shared), advisor.StreamSolveConfig{
-					Graph:       g,
-					Objective:   solver.LongestLink,
-					SolverName:  solverName,
-					ClusterK:    4,
-					RoundBudget: budget,
-					Seed:        int64(100 + tn),
+					Graph:         g,
+					ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink},
+					SolverName:    solverName,
+					ClusterK:      4,
+					RoundBudget:   budget,
+					Seed:          int64(100 + tn),
 				})
 				if err != nil {
 					t.Fatal(err)
@@ -157,14 +157,14 @@ func TestServeCrossTenantCacheHits(t *testing.T) {
 	for tn := range tickets {
 		var err error
 		tickets[tn], err = srv.Submit(Job{
-			Tenant:      fmt.Sprintf("t%d", tn),
-			Graph:       g,
-			Objective:   solver.LongestLink,
-			Matrix:      m,
-			SolverName:  "cp",
-			ClusterK:    4,
-			RoundBudget: solver.Budget{Nodes: 10_000},
-			Seed:        int64(tn),
+			Tenant:        fmt.Sprintf("t%d", tn),
+			Graph:         g,
+			ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink},
+			Matrix:        m,
+			SolverName:    "cp",
+			ClusterK:      4,
+			RoundBudget:   solver.Budget{Nodes: 10_000},
+			Seed:          int64(tn),
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -220,11 +220,11 @@ func TestServeBackpressureAndBudget(t *testing.T) {
 	gate := make(chan measure.Epoch)
 	srv := New(Config{Shards: 1, QueueDepth: 1, MaxPendingBudget: 250 * time.Millisecond})
 	blocker := Job{
-		Tenant: "blocker", Graph: g, Objective: solver.LongestLink,
+		Tenant: "blocker", Graph: g, ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink},
 		Epochs: gate, SolverName: "g1", RoundBudget: solver.Budget{Time: 100 * time.Millisecond},
 	}
 	quick := Job{
-		Tenant: "quick", Graph: g, Objective: solver.LongestLink,
+		Tenant: "quick", Graph: g, ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink},
 		Matrix: m, SolverName: "g1", RoundBudget: solver.Budget{Time: 100 * time.Millisecond},
 	}
 	bt, err := srv.Submit(blocker)
@@ -286,7 +286,7 @@ func TestServeJobFailureSurfaces(t *testing.T) {
 	srv := New(Config{Shards: 1})
 	defer srv.Close()
 	tk, err := srv.Submit(Job{
-		Tenant: "t", Graph: g, Objective: solver.LongestLink,
+		Tenant: "t", Graph: g, ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink},
 		Epochs: empty, SolverName: "g1", RoundBudget: solver.Budget{Nodes: 1000},
 	})
 	if err != nil {
@@ -358,7 +358,7 @@ func TestServeSubmitValidation(t *testing.T) {
 	m := testMatrix(rng, 8)
 	srv := New(Config{Shards: 1})
 	defer srv.Close()
-	ok := Job{Tenant: "t", Graph: g, Objective: solver.LongestLink, Matrix: m,
+	ok := Job{Tenant: "t", Graph: g, ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink}, Matrix: m,
 		SolverName: "g1", RoundBudget: solver.Budget{Nodes: 1000}}
 	bad := []func(*Job){
 		func(j *Job) { j.Tenant = "" },
@@ -406,7 +406,7 @@ func TestServeHotTenantCannotStarveLights(t *testing.T) {
 		s := &sub{tenant: tenant, gate: make(chan measure.Epoch)}
 		var err error
 		s.tk, err = srv.Submit(Job{
-			Tenant: tenant, Graph: g, Objective: solver.LongestLink,
+			Tenant: tenant, Graph: g, ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink},
 			Epochs: s.gate, SolverName: "g1", RoundBudget: solver.Budget{Nodes: 1000},
 		})
 		if err != nil {
@@ -474,7 +474,7 @@ func TestServeWorkStealingBitEqual(t *testing.T) {
 		for j := 0; j < jobsPer; j++ {
 			for _, tn := range tenants {
 				tk, err := srv.Submit(Job{
-					Tenant: tn, Graph: g, Objective: solver.LongestLink,
+					Tenant: tn, Graph: g, ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink},
 					Epochs: epochSeq(shared), SolverName: "cp", ClusterK: 4,
 					RoundBudget: budget, Seed: int64(j),
 				})
@@ -519,7 +519,7 @@ func TestServeWorkStealingBitEqual(t *testing.T) {
 	for j := 0; j < jobsPer; j++ {
 		for _, tn := range tenants {
 			want, err := advisor.SolveStream(epochSeq(shared), advisor.StreamSolveConfig{
-				Graph: g, Objective: solver.LongestLink, SolverName: "cp",
+				Graph: g, ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink}, SolverName: "cp",
 				ClusterK: 4, RoundBudget: budget, Seed: int64(j),
 			})
 			if err != nil {
@@ -544,7 +544,7 @@ func TestServePerTenantBudget(t *testing.T) {
 	job := func(tenant string) (Job, chan measure.Epoch) {
 		gate := make(chan measure.Epoch, 1)
 		return Job{
-			Tenant: tenant, Graph: g, Objective: solver.LongestLink,
+			Tenant: tenant, Graph: g, ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink},
 			Epochs: gate, SolverName: "g1", RoundBudget: solver.Budget{Time: 100 * time.Millisecond},
 		}, gate
 	}
@@ -642,9 +642,9 @@ func TestServeRaceHammer(t *testing.T) {
 			for j := 0; j < 3; j++ {
 				tk, err := srv.Submit(Job{
 					Tenant: fmt.Sprintf("tenant-%d", w%5), Graph: g,
-					Objective:  solver.LongestLink,
-					Epochs:     epochSeq(evolveEpochs(t, rng, 10, 3)),
-					SolverName: "cp", ClusterK: 3,
+					ObjectiveSpec: advisor.ObjectiveSpec{Objective: solver.LongestLink},
+					Epochs:        epochSeq(evolveEpochs(t, rng, 10, 3)),
+					SolverName:    "cp", ClusterK: 3,
 					RoundBudget: solver.Budget{Nodes: 2000}, Seed: int64(w*10 + j),
 				})
 				if err != nil {

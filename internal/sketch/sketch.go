@@ -1,0 +1,269 @@
+// Package sketch implements a mergeable streaming quantile sketch for
+// per-link latency tails (ROADMAP item 1): a DDSketch-style log-bucketed
+// histogram with a configurable relative-error guarantee. measure.Stream
+// maintains one per ordered instance pair so epochs can publish p95/p99
+// matrices while the measurement is still in flight, the way the PV-storage
+// work in PAPERS.md keeps compact summaries of high-rate streams instead of
+// raw samples.
+//
+// DDSketch was chosen over t-digest deliberately: its state is a vector of
+// integer bucket counts, and integer addition is commutative and
+// associative, so merging sketches produces bit-identical state regardless
+// of merge order or grouping. That makes the sketch safe for the repo's
+// determinism contract — internal/par may chunk a sample stream any way it
+// likes, build per-chunk sketches concurrently, and merge them in index
+// order, and the result is byte-equal to a single sequential pass
+// (FromSamples pins exactly this). A t-digest's centroids depend on
+// insertion and merge order, which would make epoch content a function of
+// the worker count.
+//
+// Accuracy guarantee: for every recorded value v above the indexable
+// minimum, the bucket representative r satisfies |r - v| <= Alpha * v. A
+// quantile query returns the representative of the bucket holding the
+// nearest-rank sample, so Quantile(q) is within relative error Alpha of the
+// exact q-quantile sample. Against a linearly interpolated percentile
+// (stats.Percentile, used by measure.Result.P99Matrix) the estimate lies in
+// [lo*(1-Alpha), hi*(1+Alpha)], where lo and hi are the order statistics
+// bracketing the interpolation point — the bound the batch-vs-streaming
+// acceptance test asserts.
+package sketch
+
+import (
+	"fmt"
+	"math"
+
+	"cloudia/internal/par"
+)
+
+// DefaultAlpha is the relative-error bound used when a caller does not pick
+// one: 1% relative error keeps p99 estimates well inside measurement noise
+// while a 1000-instance fleet's million per-link sketches stay small (RTT
+// spreads of 10^3 span ~350 buckets at this alpha).
+const DefaultAlpha = 0.01
+
+// minIndexable is the smallest value the log-bucket index covers; values in
+// [0, minIndexable] (sub-nanosecond RTTs in this repo's millisecond unit)
+// collapse into a dedicated zero bucket whose representative is 0.
+const minIndexable = 1e-9
+
+// Sketch is a mergeable quantile summary of a stream of non-negative
+// values. The zero value is not usable; construct with New. A Sketch is not
+// safe for concurrent use — the streaming measurement owns each per-link
+// sketch from a single goroutine and publishes immutable matrices, never
+// the sketches themselves.
+type Sketch struct {
+	alpha    float64
+	gamma    float64
+	logGamma float64 // cached log(gamma), the per-Add divisor
+
+	// zero counts values at or below minIndexable. Larger values live in
+	// dense log-buckets: counts[i] counts values v with
+	// index(v) == offset + i, where index(v) = ceil(log_gamma(v)).
+	zero   int64
+	offset int
+	counts []int64
+	total  int64
+}
+
+// New returns an empty sketch with the given relative-error bound alpha in
+// (0, 1); alpha <= 0 selects DefaultAlpha. Two sketches merge only if they
+// share the same alpha.
+func New(alpha float64) *Sketch {
+	if alpha <= 0 {
+		alpha = DefaultAlpha
+	}
+	if alpha >= 1 {
+		panic(fmt.Sprintf("sketch: relative error bound %g outside (0, 1)", alpha))
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return &Sketch{alpha: alpha, gamma: gamma, logGamma: math.Log(gamma)}
+}
+
+// Alpha reports the sketch's relative-error bound.
+func (s *Sketch) Alpha() float64 { return s.alpha }
+
+// Count reports the number of recorded values.
+func (s *Sketch) Count() int64 { return s.total }
+
+// index maps a value above minIndexable to its log-bucket index. The
+// mapping is a pure function of (v, alpha): gamma^(i-1) < v <= gamma^i.
+func (s *Sketch) index(v float64) int {
+	return int(math.Ceil(math.Log(v) / s.logGamma))
+}
+
+// representative returns the value every sample in bucket i reports as:
+// 2*gamma^i/(gamma+1), the point whose relative distance to both bucket
+// edges is exactly alpha.
+func (s *Sketch) representative(i int) float64 {
+	return 2 * math.Pow(s.gamma, float64(i)) / (s.gamma + 1)
+}
+
+// Add records one value. Negative values are clamped into the zero bucket:
+// link latencies cannot be negative, and a conservative 0 beats poisoning
+// the log index with NaN.
+func (s *Sketch) Add(v float64) {
+	s.total++
+	if v <= minIndexable || math.IsNaN(v) {
+		s.zero++
+		return
+	}
+	s.bump(s.index(v), 1)
+}
+
+// bump adds n to the bucket at absolute index i, growing the dense count
+// array as needed. Growth is geometry-free bookkeeping: the resulting
+// logical state (index -> count) never depends on arrival order.
+func (s *Sketch) bump(i int, n int64) {
+	if len(s.counts) == 0 {
+		s.offset = i
+		s.counts = append(s.counts, n)
+		return
+	}
+	if i < s.offset {
+		grown := make([]int64, len(s.counts)+(s.offset-i))
+		copy(grown[s.offset-i:], s.counts)
+		s.counts, s.offset = grown, i
+	} else if i >= s.offset+len(s.counts) {
+		grown := make([]int64, i-s.offset+1)
+		copy(grown, s.counts)
+		s.counts = grown
+	}
+	s.counts[i-s.offset] += n
+}
+
+// Merge folds o into s. Both sketches must share the same alpha — merging
+// summaries with different bucket geometries has no exact answer, so it is
+// a programming error. o is left untouched; merging is pure integer
+// addition of bucket counts, so any merge order or grouping over a set of
+// sketches yields bit-identical state.
+func (s *Sketch) Merge(o *Sketch) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	if o.alpha != s.alpha {
+		panic(fmt.Sprintf("sketch: merging alpha %g into alpha %g", o.alpha, s.alpha))
+	}
+	s.total += o.total
+	s.zero += o.zero
+	for i, c := range o.counts {
+		if c != 0 {
+			s.bump(o.offset+i, c)
+		}
+	}
+}
+
+// Quantile returns an estimate of the q-quantile (q in [0, 1]) of the
+// recorded values: the representative of the bucket holding the sample of
+// rank ceil(q*(Count-1)), which is within relative error Alpha of that
+// sample's exact value. An empty sketch reports 0. Bucket scan order is
+// fixed (ascending index), so the estimate is a pure function of the
+// sketch's logical state.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.total-1)))
+	if rank < s.zero {
+		return 0
+	}
+	cum := s.zero
+	for i, c := range s.counts {
+		cum += c
+		if cum > rank {
+			return s.representative(s.offset + i)
+		}
+	}
+	// Unreachable when counts are consistent with total; fall back to the
+	// highest occupied bucket.
+	for i := len(s.counts) - 1; i >= 0; i-- {
+		if s.counts[i] != 0 {
+			return s.representative(s.offset + i)
+		}
+	}
+	return 0
+}
+
+// Equal reports whether two sketches hold identical logical state: same
+// alpha, same total and zero counts, and the same count in every occupied
+// bucket. Physical layout (array capacity, leading/trailing zero buckets
+// from growth history) is ignored — it is scheduling residue, not content.
+func (s *Sketch) Equal(o *Sketch) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if s.alpha != o.alpha || s.total != o.total || s.zero != o.zero {
+		return false
+	}
+	lo, hi := s.bounds()
+	olo, ohi := o.bounds()
+	if lo != olo || hi != ohi {
+		return false
+	}
+	for i := lo; i < hi; i++ {
+		if s.counts[i-s.offset] != o.counts[i-o.offset] {
+			return false
+		}
+	}
+	return true
+}
+
+// bounds returns the half-open absolute index range of occupied buckets.
+func (s *Sketch) bounds() (lo, hi int) {
+	i := 0
+	for i < len(s.counts) && s.counts[i] == 0 {
+		i++
+	}
+	j := len(s.counts)
+	for j > i && s.counts[j-1] == 0 {
+		j--
+	}
+	return s.offset + i, s.offset + j
+}
+
+// FromSamples builds a sketch over xs with the given alpha, chunking the
+// slice across internal/par workers: each chunk fills its own sketch, and
+// the chunks merge in ascending index order after the barrier. Because
+// bucket assignment is per-value and merging is commutative-associative
+// integer addition, the result is bit-identical to a sequential Add loop
+// for every worker count and chunk geometry — the property the
+// determinism suite pins.
+func FromSamples(xs []float64, alpha float64) *Sketch {
+	n := len(xs)
+	w := par.Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		s := New(alpha)
+		for _, v := range xs {
+			s.Add(v)
+		}
+		return s
+	}
+	parts := make([]*Sketch, w)
+	chunk := (n + w - 1) / w
+	par.For(w, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			from := c * chunk
+			to := from + chunk
+			if to > n {
+				to = n
+			}
+			s := New(alpha)
+			for _, v := range xs[from:to] {
+				s.Add(v)
+			}
+			parts[c] = s
+		}
+	})
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out.Merge(p)
+	}
+	return out
+}

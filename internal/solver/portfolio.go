@@ -73,17 +73,16 @@ func (pf *Portfolio) SolveContext(ctx context.Context, p *Problem, budget Budget
 	}
 	defer cancel()
 
-	var (
-		mu      sync.Mutex
-		best    *Result
-		winner  string
-		nodes   int64
-		optimal bool
-		lastErr error
-	)
+	// Each member writes only its own slot; the winner is selected after the
+	// join, in member-index order, so ties are broken by portfolio position
+	// rather than goroutine completion order. That keeps advice
+	// bit-reproducible across runs and machine speeds — essential for the
+	// percentile mode, whose cluster-rounded matrices tie frequently.
+	results := make([]*Result, len(pf.Members))
+	errs := make([]error, len(pf.Members))
 	var wg sync.WaitGroup
-	for _, member := range pf.Members {
-		member := member
+	for i, member := range pf.Members {
+		i, member := i, member
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -92,9 +91,7 @@ func (pf *Portfolio) SolveContext(ctx context.Context, p *Problem, budget Budget
 			// serving layer's logs) while the other members keep racing.
 			defer func() {
 				if r := recover(); r != nil {
-					mu.Lock()
-					lastErr = fmt.Errorf("solver: portfolio member %s panicked: %v\n%s", member.Name(), r, debug.Stack())
-					mu.Unlock()
+					errs[i] = fmt.Errorf("solver: portfolio member %s panicked: %v\n%s", member.Name(), r, debug.Stack())
 				}
 			}()
 			var res *Result
@@ -104,25 +101,44 @@ func (pf *Portfolio) SolveContext(ctx context.Context, p *Problem, budget Budget
 			} else {
 				res, err = member.Solve(p, budget)
 			}
-			mu.Lock()
-			defer mu.Unlock()
 			if err != nil {
-				lastErr = fmt.Errorf("solver: portfolio member %s: %w", member.Name(), err)
+				errs[i] = fmt.Errorf("solver: portfolio member %s: %w", member.Name(), err)
 				return
 			}
-			nodes += res.Nodes
-			if res.Optimal {
-				optimal = true
-			}
-			if res.Deployment != nil && (best == nil || res.Cost < best.Cost) {
-				best, winner = res, member.Name()
-			}
+			results[i] = res
 			if res.Optimal {
 				cancel() // a proven optimum makes further search pointless
 			}
 		}()
 	}
 	wg.Wait()
+
+	var (
+		best    *Result
+		winner  string
+		nodes   int64
+		optimal bool
+		lastErr error
+	)
+	for i, res := range results {
+		if errs[i] != nil {
+			lastErr = errs[i]
+			continue
+		}
+		if res == nil {
+			continue
+		}
+		nodes += res.Nodes
+		if res.Optimal {
+			optimal = true
+		}
+		if res.Deployment == nil {
+			continue
+		}
+		if best == nil || p.Better(res.Deployment, best.Deployment, res.Cost, best.Cost) {
+			best, winner = res, pf.Members[i].Name()
+		}
+	}
 
 	if best == nil {
 		if lastErr != nil {

@@ -34,6 +34,15 @@ import (
 // completion is observed through atomic flags, and anything the old epoch
 // has not finished building is simply rebuilt lazily by the new one.
 func (p *Problem) Evolve(m *core.CostMatrix, changedRows []int) (*Problem, error) {
+	return p.EvolveTie(m, changedRows, nil)
+}
+
+// EvolveTie is Evolve plus a tie-break matrix for the new epoch (see
+// NewProblemTie). The changed-row contract applies to the primary matrix m
+// only: Prep artifacts all derive from the primary, so the tie matrix may
+// change arbitrarily between epochs without invalidating anything. Passing
+// a nil tie clears any tie matrix the previous epoch had.
+func (p *Problem) EvolveTie(m *core.CostMatrix, changedRows []int, tie *core.CostMatrix) (*Problem, error) {
 	if m == nil {
 		return nil, fmt.Errorf("solver: nil epoch matrix")
 	}
@@ -72,7 +81,12 @@ func (p *Problem) Evolve(m *core.CostMatrix, changedRows []int) (*Problem, error
 		}
 	}
 
-	np := &Problem{Graph: p.Graph, Costs: m, Objective: p.Objective, order: p.order}
+	if tie != nil {
+		if err := validateTie(m, tie); err != nil {
+			return nil, err
+		}
+	}
+	np := &Problem{Graph: p.Graph, Costs: m, Objective: p.Objective, Tie: tie, order: p.order}
 	np.prep = evolvePrep(np, p.Prep(), rows)
 	return np, nil
 }

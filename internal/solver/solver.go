@@ -32,6 +32,15 @@ type Problem struct {
 	Costs     *core.CostMatrix
 	Objective Objective
 
+	// Tie, when non-nil, is a secondary cost matrix for lexicographic
+	// tie-breaking: search optimizes Costs, and candidates of equal primary
+	// cost are ranked by TieCost. The multi-objective streaming mode sets
+	// Costs to a percentile matrix and Tie to the mean matrix ("optimize
+	// p99, tie-break on mean"). Solvers ignore Tie during search — only
+	// winner selection (Portfolio, SolveStream incumbents) consults it, so
+	// all Prep artifacts remain keyed off Costs alone.
+	Tie *core.CostMatrix
+
 	order []core.NodeID // topological order, cached for LongestPath
 
 	prepOnce sync.Once
@@ -73,6 +82,33 @@ func NewProblem(g *core.Graph, m *core.CostMatrix, obj Objective) (*Problem, err
 	return p, nil
 }
 
+// NewProblemTie is NewProblem plus a secondary tie-break matrix: deployment
+// search runs on primary alone, and equal-primary-cost candidates are
+// ranked by their cost under tie. tie must match primary's size.
+func NewProblemTie(g *core.Graph, primary, tie *core.CostMatrix, obj Objective) (*Problem, error) {
+	p, err := NewProblem(g, primary, obj)
+	if err != nil {
+		return nil, err
+	}
+	if tie != nil {
+		if err := validateTie(primary, tie); err != nil {
+			return nil, err
+		}
+		p.Tie = tie
+	}
+	return p, nil
+}
+
+func validateTie(primary, tie *core.CostMatrix) error {
+	if err := tie.Validate(); err != nil {
+		return fmt.Errorf("solver: tie-break matrix: %w", err)
+	}
+	if tie.Size() != primary.Size() {
+		return fmt.Errorf("solver: tie-break matrix size %d != primary %d", tie.Size(), primary.Size())
+	}
+	return nil
+}
+
 // NumNodes reports |N|, the number of application nodes.
 func (p *Problem) NumNodes() int { return p.Graph.NumNodes() }
 
@@ -88,6 +124,37 @@ func (p *Problem) Cost(d core.Deployment) float64 {
 		return core.LongestPathWithOrder(d, p.Graph, p.Costs, p.order)
 	}
 	panic("solver: unreachable objective")
+}
+
+// TieCost evaluates the deployment cost of d under the problem's tie-break
+// matrix; with no tie matrix it reports 0 for every deployment, so a
+// lexicographic (Cost, TieCost) comparison degrades to pure primary cost.
+func (p *Problem) TieCost(d core.Deployment) float64 {
+	if p.Tie == nil {
+		return 0
+	}
+	switch p.Objective {
+	case LongestLink:
+		return core.LongestLink(d, p.Graph, p.Tie)
+	case LongestPath:
+		return core.LongestPathWithOrder(d, p.Graph, p.Tie, p.order)
+	}
+	panic("solver: unreachable objective")
+}
+
+// Better reports whether candidate res strictly improves on incumbent under
+// the lexicographic (Cost, TieCost) order: lower primary cost wins, and on
+// exact primary ties the lower tie-break cost wins. Both deployments are
+// evaluated with the problem's own matrices, so results carried over from a
+// previous epoch compare on current costs.
+func (p *Problem) Better(cand, incumbent core.Deployment, candCost, incumbentCost float64) bool {
+	if candCost != incumbentCost {
+		return candCost < incumbentCost
+	}
+	if p.Tie == nil {
+		return false
+	}
+	return p.TieCost(cand) < p.TieCost(incumbent)
 }
 
 // TopoOrder returns the cached topological order for LongestPath problems,

@@ -57,6 +57,15 @@ type EpochRecord struct {
 	N int
 	// Rows are the changed rows in ascending index order.
 	Rows []RowDelta
+	// TailPct, TailFingerprint, and TailRows carry the epoch's percentile
+	// (tail) matrix delta when the tenant posts one alongside the mean:
+	// the percentile the matrix estimates, the content hash of the full
+	// tail matrix after TailRows are applied, and the changed tail rows in
+	// ascending index order. TailPct == 0 means the epoch carries no tail
+	// section; replay then leaves the tenant's tail matrix untouched.
+	TailPct         float64
+	TailFingerprint core.Fingerprint
+	TailRows        []RowDelta
 }
 
 // AdviceRecord logs one emitted advice: the deployment served to the
@@ -69,10 +78,14 @@ type AdviceRecord struct {
 	Epoch int
 	// Fingerprint identifies the matrix content the advice was priced on.
 	Fingerprint core.Fingerprint
-	// SolverName, ClusterK, and Objective echo the advise request.
+	// SolverName, ClusterK, Objective, and Metric echo the advise request.
+	// Metric records which cost summary the search ran on ("mean", "p95",
+	// "p99", ...); recovery uses it to re-seed the artifact cache under the
+	// matrix the next same-metric advise will actually search.
 	SolverName string
 	ClusterK   int
 	Objective  string
+	Metric     string
 	// Winner names the portfolio member that produced the deployment.
 	Winner string
 	// Cost is the deployment cost under the fingerprinted matrix.
@@ -92,6 +105,12 @@ type SnapshotRecord struct {
 	// Advice is the newest advice at the snapshot, nil when the tenant was
 	// never advised.
 	Advice *AdviceRecord
+	// Tail, TailPct, and TailFingerprint are the tenant's full percentile
+	// matrix at the snapshot epoch, for tenants that post tail rows. Tail
+	// nil (and TailPct 0) means the tenant carries no tail state.
+	Tail            *core.CostMatrix
+	TailPct         float64
+	TailFingerprint core.Fingerprint
 }
 
 func (*EpochRecord) kind() byte    { return kindEpoch }
@@ -125,6 +144,19 @@ func (r *EpochRecord) appendPayload(buf []byte) []byte {
 			buf = appendF64(buf, v)
 		}
 	}
+	if r.TailPct == 0 {
+		return append(buf, 0)
+	}
+	buf = append(buf, 1)
+	buf = appendF64(buf, r.TailPct)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.TailFingerprint))
+	buf = appendUint(buf, len(r.TailRows))
+	for _, row := range r.TailRows {
+		buf = appendUint(buf, row.Row)
+		for _, v := range row.Values {
+			buf = appendF64(buf, v)
+		}
+	}
 	return buf
 }
 
@@ -138,6 +170,7 @@ func (r *AdviceRecord) appendPayload(buf []byte) []byte {
 	}
 	buf = appendUint(buf, k)
 	buf = appendString(buf, r.Objective)
+	buf = appendString(buf, r.Metric)
 	buf = appendString(buf, r.Winner)
 	buf = appendF64(buf, r.Cost)
 	buf = appendUint(buf, len(r.Deployment))
@@ -158,10 +191,23 @@ func (r *SnapshotRecord) appendPayload(buf []byte) []byte {
 		}
 	}
 	if r.Advice == nil {
+		buf = append(buf, 0)
+	} else {
+		buf = append(buf, 1)
+		buf = r.Advice.appendPayload(buf)
+	}
+	if r.Tail == nil {
 		return append(buf, 0)
 	}
 	buf = append(buf, 1)
-	return r.Advice.appendPayload(buf)
+	buf = appendF64(buf, r.TailPct)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.TailFingerprint))
+	for i := 0; i < n; i++ {
+		for _, v := range r.Tail.Row(i) {
+			buf = appendF64(buf, v)
+		}
+	}
+	return buf
 }
 
 // payloadReader decodes a record payload, tracking one sticky error so call
@@ -205,6 +251,54 @@ func (p *payloadReader) u64() uint64 {
 
 func (p *payloadReader) f64() float64 { return math.Float64frombits(p.u64()) }
 
+// marker reads a one-byte 0/1 presence marker.
+func (p *payloadReader) marker(what string) byte {
+	if p.err != nil {
+		return 0
+	}
+	if len(p.b) < 1 {
+		p.fail("wal: truncated %s marker", what)
+		return 0
+	}
+	m := p.b[0]
+	p.b = p.b[1:]
+	if m > 1 {
+		p.fail("wal: %s marker %d", what, m)
+		return 0
+	}
+	return m
+}
+
+// rowDeltas reads count row deltas of n values each, with the same
+// cannot-possibly-fit guard the epoch decoder always applied: each delta is
+// at least one index byte plus n fixed-width values.
+func (p *payloadReader) rowDeltas(count, n int) []RowDelta {
+	if p.err != nil {
+		return nil
+	}
+	if count > n {
+		p.fail("wal: epoch record claims %d changed rows of %d", count, n)
+		return nil
+	}
+	if count*(n*8+1) > len(p.b) {
+		p.fail("wal: epoch record claims %d rows of %d values in %d bytes", count, n, len(p.b))
+		return nil
+	}
+	rows := make([]RowDelta, 0, count)
+	// One flat backing array for all row values: replaying a large epoch
+	// costs two allocations instead of one per row, and the full-capacity
+	// subslices keep rows from ever growing into each other.
+	flat := make([]float64, count*n)
+	for i := 0; i < count && p.err == nil; i++ {
+		d := RowDelta{Row: p.uint(), Values: flat[i*n : (i+1)*n : (i+1)*n]}
+		for j := range d.Values {
+			d.Values[j] = p.f64()
+		}
+		rows = append(rows, d)
+	}
+	return rows
+}
+
 func (p *payloadReader) str() string {
 	n := p.uint()
 	if p.err != nil {
@@ -240,27 +334,14 @@ func decodeRecord(kind byte, payload []byte) (Record, error) {
 		r.Epoch = p.uint()
 		r.Fingerprint = core.Fingerprint(p.u64())
 		r.N = p.uint()
-		rows := p.uint()
-		if p.err == nil && rows > r.N {
-			return nil, fmt.Errorf("wal: epoch record claims %d changed rows of %d", rows, r.N)
-		}
-		if p.err == nil && rows*(r.N*8+1) > len(p.b) {
-			// Each row delta is at least one index byte plus N fixed-width
-			// values; reject before allocating rows*N floats for a payload
-			// that cannot possibly hold them.
-			return nil, fmt.Errorf("wal: epoch record claims %d rows of %d values in %d bytes", rows, r.N, len(p.b))
-		}
-		r.Rows = make([]RowDelta, 0, rows)
-		// One flat backing array for all row values: replaying a large epoch
-		// costs two allocations instead of one per row, and the full-capacity
-		// subslices keep rows from ever growing into each other.
-		flat := make([]float64, rows*r.N)
-		for i := 0; i < rows && p.err == nil; i++ {
-			d := RowDelta{Row: p.uint(), Values: flat[i*r.N : (i+1)*r.N : (i+1)*r.N]}
-			for j := range d.Values {
-				d.Values[j] = p.f64()
+		r.Rows = p.rowDeltas(p.uint(), r.N)
+		if p.marker("epoch tail") == 1 {
+			r.TailPct = p.f64()
+			r.TailFingerprint = core.Fingerprint(p.u64())
+			r.TailRows = p.rowDeltas(p.uint(), r.N)
+			if p.err == nil && r.TailPct == 0 {
+				return nil, fmt.Errorf("wal: epoch tail section with percentile 0")
 			}
-			r.Rows = append(r.Rows, d)
 		}
 		if err := p.done(); err != nil {
 			return nil, err
@@ -292,24 +373,32 @@ func decodeRecord(kind byte, payload []byte) (Record, error) {
 				r.Matrix.Set(i, j, p.f64())
 			}
 		}
-		hasAdvice := p.b[0]
-		p.b = p.b[1:]
-		switch hasAdvice {
-		case 0:
-			if err := p.done(); err != nil {
-				return nil, err
-			}
-		case 1:
+		if p.marker("snapshot advice") == 1 {
 			adv, rest, err := decodeAdvice(p.b)
 			if err != nil {
 				return nil, err
 			}
-			if len(rest) != 0 {
-				return nil, fmt.Errorf("wal: %d trailing payload bytes", len(rest))
-			}
 			r.Advice = adv
-		default:
-			return nil, fmt.Errorf("wal: snapshot advice marker %d", hasAdvice)
+			p.b = rest
+		}
+		if p.marker("snapshot tail") == 1 {
+			r.TailPct = p.f64()
+			r.TailFingerprint = core.Fingerprint(p.u64())
+			if p.err == nil && len(p.b) < n*n*8 {
+				return nil, fmt.Errorf("wal: snapshot tail payload %d bytes short of %d", n*n*8-len(p.b), n*n*8)
+			}
+			r.Tail = core.NewCostMatrix(n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					r.Tail.Set(i, j, p.f64())
+				}
+			}
+			if p.err == nil && r.TailPct == 0 {
+				return nil, fmt.Errorf("wal: snapshot tail section with percentile 0")
+			}
+		}
+		if err := p.done(); err != nil {
+			return nil, err
 		}
 		return r, nil
 	}
@@ -326,6 +415,7 @@ func decodeAdvice(payload []byte) (*AdviceRecord, []byte, error) {
 	r.SolverName = p.str()
 	r.ClusterK = p.uint()
 	r.Objective = p.str()
+	r.Metric = p.str()
 	r.Winner = p.str()
 	r.Cost = p.f64()
 	nodes := p.uint()

@@ -742,3 +742,117 @@ func TestDecodeEdgeCases(t *testing.T) {
 		t.Fatal("trailing snapshot bytes accepted")
 	}
 }
+
+// TestTailRoundTrip: epoch records carrying a tail section, advice records
+// carrying a metric, and snapshot records carrying the tail matrix must all
+// survive the codec byte-for-byte; records without tails must decode with
+// the tail fields untouched.
+func TestTailRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewCostMatrix(3)
+	m.Set(0, 1, 0.5)
+	tail := core.NewCostMatrix(3)
+	tail.Set(0, 1, 0.9)
+	tail.Set(1, 2, 2.25)
+	adv := testAdvice(2)
+	adv.Metric = "p99"
+	want := []Record{
+		// A tail section rides the same record as the mean rows.
+		&EpochRecord{
+			Epoch: 1, Fingerprint: 5, N: 3,
+			Rows:            []RowDelta{{Row: 0, Values: []float64{0, 1, 2}}},
+			TailPct:         99,
+			TailFingerprint: 6,
+			TailRows:        []RowDelta{{Row: 0, Values: []float64{0, 1.5, 3}}, {Row: 2, Values: []float64{4, 5, 0}}},
+		},
+		// A tail-less epoch after a tailed one: the zero marker, not a
+		// stale section.
+		testEpoch(2, 3, 21),
+		adv,
+		&SnapshotRecord{
+			Epoch: 3, Fingerprint: 7, Matrix: m,
+			Tail: tail, TailPct: 99, TailFingerprint: 8,
+			Advice: adv,
+		},
+		&SnapshotRecord{Epoch: 4, Fingerprint: 9, Matrix: m},
+	}
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, l2 := collect(t, dir, Options{})
+	defer l2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Errorf("record %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTailDecodeRejections: a tail section claiming percentile 0 is
+// indistinguishable from "no tail" on the daemon side, so the codec must
+// refuse it, along with tail sections cut short.
+func TestTailDecodeRejections(t *testing.T) {
+	tailEpoch := &EpochRecord{
+		Epoch: 1, Fingerprint: 1, N: 2,
+		TailPct: 95, TailFingerprint: 2,
+		TailRows: []RowDelta{{Row: 1, Values: []float64{3, 0}}},
+	}
+	good := tailEpoch.appendPayload(nil)
+	// The encoder can't emit a marker-1 section with percentile 0 (the
+	// marker is keyed on TailPct), so corrupt the pct bytes by hand: the
+	// tail section is marker(1) + pct(8) + fp(8) + count(1) + row(1+2*8).
+	zeroPct := append([]byte(nil), good...)
+	for i := len(zeroPct) - 34; i < len(zeroPct)-26; i++ {
+		zeroPct[i] = 0
+	}
+	if _, err := decodeRecord(kindEpoch, zeroPct); err == nil {
+		t.Fatal("epoch tail section with percentile 0 accepted")
+	}
+	if _, err := decodeRecord(kindEpoch, good); err != nil {
+		t.Fatalf("valid tailed epoch rejected: %v", err)
+	}
+	if _, err := decodeRecord(kindEpoch, good[:len(good)-4]); err == nil {
+		t.Fatal("truncated epoch tail section accepted")
+	}
+	if _, err := decodeRecord(kindEpoch, append(good, 0xaa)); err == nil {
+		t.Fatal("trailing bytes after a tailed epoch accepted")
+	}
+
+	tail := core.NewCostMatrix(2)
+	tail.Set(0, 1, 1.5)
+	snap := &SnapshotRecord{
+		Epoch: 1, Fingerprint: 1, Matrix: core.NewCostMatrix(2),
+		Tail: tail, TailPct: 99, TailFingerprint: 3,
+	}
+	goodSnap := snap.appendPayload(nil)
+	// Tail section layout: marker(1) + pct(8) + fp(8) + 2*2 f64 cells (32).
+	zeroSnap := append([]byte(nil), goodSnap...)
+	for i := len(zeroSnap) - 48; i < len(zeroSnap)-40; i++ {
+		zeroSnap[i] = 0
+	}
+	if _, err := decodeRecord(kindSnapshot, zeroSnap); err == nil {
+		t.Fatal("snapshot tail section with percentile 0 accepted")
+	}
+	if _, err := decodeRecord(kindSnapshot, goodSnap); err != nil {
+		t.Fatalf("valid tailed snapshot rejected: %v", err)
+	}
+	if _, err := decodeRecord(kindSnapshot, goodSnap[:len(goodSnap)-4]); err == nil {
+		t.Fatal("truncated snapshot tail section accepted")
+	}
+	if _, err := decodeRecord(kindSnapshot, append(goodSnap, 0xaa)); err == nil {
+		t.Fatal("trailing bytes after a tailed snapshot accepted")
+	}
+}
