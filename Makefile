@@ -25,9 +25,14 @@ BENCH_ALLOWLIST ?= BENCH_ALLOWLIST
 
 # Per-package statement-coverage floors enforced by `make cover` (and CI).
 COVER_OUT ?= coverprofile
-COVER_FLOORS ?= cloudia/internal/measure=90 cloudia/internal/solver=90 cloudia/internal/serve=90 cloudia/internal/wal=90 cloudia/internal/sketch=90
+COVER_FLOORS ?= cloudia/internal/measure=90 cloudia/internal/solver=90 cloudia/internal/serve=90 cloudia/internal/wal=90 cloudia/internal/sketch=90 cloudia/internal/lint=90
 
-.PHONY: build vet test bench bench-smoke bench-diff cover fmt-check crash-test
+# The determinism vettool (see internal/lint and README "Determinism
+# lint"). Built locally so `go vet -vettool` gets an absolute path — the
+# go command re-execs the tool from package directories.
+VETTOOL ?= bin/cloudia-vet
+
+.PHONY: build vet test bench bench-smoke bench-diff cover fmt-check crash-test lint lint-fix
 
 build:
 	$(GO) build ./...
@@ -83,6 +88,23 @@ cover:
 	$(GO) test -coverprofile=$(COVER_OUT) -cover ./... > /tmp/cloudia-cover.out || { cat /tmp/cloudia-cover.out; exit 1; }
 	@cat /tmp/cloudia-cover.out
 	scripts/coverfloor.sh /tmp/cloudia-cover.out $(COVER_FLOORS)
+
+# lint builds the determinism vettool and runs the analyzer suite
+# (maprange, baregoroutine, wallclock, walrecord) over the whole repo via
+# the go command's vet-unit protocol. Gating in CI: any unsuppressed
+# finding in a deterministic package fails the build. The build is cheap —
+# the go build cache makes rebuilds near-instant.
+lint:
+	$(GO) build -o $(VETTOOL) ./cmd/cloudia-vet
+	$(GO) vet -vettool=$(abspath $(VETTOOL)) ./...
+
+# lint-fix is the triage convenience: standalone mode prints every finding
+# with its file:line plus a ready-to-paste //cloudia:nondet-ok suppression
+# template, so each site can be deliberately fixed or annotated. Never
+# gating (the leading dash): it is a report, not a check.
+lint-fix:
+	$(GO) build -o $(VETTOOL) ./cmd/cloudia-vet
+	-$(abspath $(VETTOOL)) -hints ./...
 
 # fmt-check fails when any file needs gofmt, listing the offenders.
 fmt-check:

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"cloudia/internal/lint"
+)
+
+// vetConfig mirrors the JSON the go command writes for each vet unit (the
+// same schema x/tools/go/analysis/unitchecker consumes).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one vet unit and returns the process exit code:
+// 0 clean, 1 driver failure, 2 diagnostics reported (matching the
+// unitchecker convention the go command expects).
+func unitcheck(cfgPath string) int {
+	raw, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cloudia-vet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "cloudia-vet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The go command expects a facts file for every unit, including ones
+	// we skip; the suite computes no cross-package facts, so it is empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "cloudia-vet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || !inScope(cfg.ImportPath) {
+		return 0
+	}
+
+	diags, err := lint.Check(lint.Unit{
+		ImportPath: cfg.ImportPath,
+		GoFiles:    cfg.GoFiles,
+		Importer:   exportDataImporter(&cfg),
+		GoVersion:  cfg.GoVersion,
+	}, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "cloudia-vet: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// inScope reports whether any analyzer in the suite would run on the
+// package: everything else (stdlib units, out-of-scope packages, test
+// variants like "pkg [pkg.test]") short-circuits to success.
+func inScope(importPath string) bool {
+	if strings.ContainsAny(importPath, " []") {
+		return false
+	}
+	for _, a := range analyzers {
+		if a.Scope == nil || a.Scope(importPath) {
+			return true
+		}
+	}
+	return false
+}
+
+// exportDataImporter resolves imports from the export-data files the go
+// command listed in the unit config, exactly as the compiler itself would.
+func exportDataImporter(cfg *vetConfig) types.Importer {
+	fset := token.NewFileSet()
+	return importer.ForCompiler(fset, compilerOr(cfg.Compiler), func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+func compilerOr(c string) string {
+	if c == "" {
+		return "gc"
+	}
+	return c
+}

@@ -402,8 +402,10 @@ func (h *hirschberg) split(lo, hi, k int, out []int) float64 {
 		if h.sb == nil {
 			h.sb = newDPScratch(len(h.sf.prev))
 		}
+		//cloudia:nondet-ok the two meet passes touch disjoint scratch and outputs; the join is a plain barrier
 		var wg sync.WaitGroup
 		wg.Add(1)
+		//cloudia:nondet-ok backward pass writes only its own scratch (h.sb) and b
 		go func() {
 			defer wg.Done()
 			b = h.backward(lo, hi, k-half, h.sb)

@@ -178,9 +178,17 @@ func (g *Graph) Clone() *Graph {
 			panic("core: clone of valid graph failed: " + err.Error())
 		}
 	}
-	for e, w := range g.weights {
-		if err := c.SetWeight(e.From, e.To, w); err != nil {
-			panic("core: clone of valid weights failed: " + err.Error())
+	// Weights are attached in edge-list order, not weight-map order, so a
+	// clone's internal layout is reproducible run to run (maprange).
+	if len(g.weights) > 0 {
+		for _, e := range g.edges {
+			w, ok := g.weights[e]
+			if !ok {
+				continue
+			}
+			if err := c.SetWeight(e.From, e.To, w); err != nil {
+				panic("core: clone of valid weights failed: " + err.Error())
+			}
 		}
 	}
 	return c

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+// BareGoroutine flags raw `go` statements and sync.WaitGroup fan-out in
+// the deterministic packages. All data parallelism there is supposed to
+// flow through internal/par's For/Do combinators, whose bit-equality
+// across worker counts is pinned by dedicated test suites — an ad-hoc
+// goroutine with its own reduction is exactly the code that passes review
+// and then breaks fingerprint equality under a different GOMAXPROCS.
+//
+// Structured exceptions that are themselves the tested concurrency
+// plumbing are exempt by file: internal/serve's worker dispatch
+// (serve.go) and internal/measure's stream pump (stream.go).
+// internal/par is outside the deterministic scope entirely. Anything else
+// needs a //cloudia:nondet-ok <reason> explaining how its reduction stays
+// bit-equal (deterministic post-barrier selection, disjoint outputs, ...).
+var BareGoroutine = &Analyzer{
+	Name:  "baregoroutine",
+	Doc:   "flags raw go statements and sync.WaitGroup fan-out outside the par combinators",
+	Scope: IsDeterministic,
+	Run:   runBareGoroutine,
+}
+
+// bareGoroutineExemptFiles lists, per package, the files whose goroutine
+// plumbing is itself the tested concurrency layer.
+var bareGoroutineExemptFiles = map[string]map[string]bool{
+	"cloudia/internal/serve":   {"serve.go": true},
+	"cloudia/internal/measure": {"stream.go": true},
+}
+
+func runBareGoroutine(pass *Pass) {
+	exempt := bareGoroutineExemptFiles[pass.Pkg.Path()]
+	for _, f := range pass.Files {
+		if exempt[filepath.Base(pass.Fset.Position(f.Pos()).Filename)] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Report(n.Go,
+					"raw go statement outside internal/par: route data parallelism through par.For/par.Do (bit-equality tested across worker counts), or annotate with %s <why the reduction is deterministic>",
+					SuppressionMarker)
+			case *ast.Ident:
+				if n.Name == "_" {
+					return true
+				}
+				obj := pass.Info.Defs[n]
+				if obj == nil {
+					return true
+				}
+				if v, ok := obj.(*types.Var); ok && isWaitGroup(v.Type()) {
+					pass.Report(n.Pos(),
+						"sync.WaitGroup fan-out outside internal/par: use par.For/par.Do, or annotate with %s <why the reduction is deterministic>",
+						SuppressionMarker)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup or *sync.WaitGroup.
+func isWaitGroup(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

@@ -1,0 +1,133 @@
+// Package linttest is the golden-fixture harness for the determinism lint
+// suite — the same contract as x/tools' analysistest, rebuilt on the
+// standard library. A fixture directory holds one Go package; expectations
+// are `// want "regexp"` comments on the lines where diagnostics must
+// land (use a `/* want "..." */` block comment when the line already ends
+// in a line comment, e.g. next to a suppression marker). Every expected
+// diagnostic must appear and every reported diagnostic must be expected.
+//
+// Fixtures are type-checked against the standard library from source, so
+// they may import sync/time/math/rand/encoding/binary freely but nothing
+// from this module. The package import path is chosen by the caller —
+// that is how scope behavior (deterministic vs exempt packages) is put
+// under test without the fixture living at the real path.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cloudia/internal/lint"
+)
+
+// wantRe matches the expectation marker and captures the quoted patterns
+// that follow it.
+var wantRe = regexp.MustCompile(`(?://|/\*)\s*want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+
+var quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// expectation is one `want` pattern, tracked until a diagnostic claims it.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run analyzes the fixture package in dir under the given import path and
+// compares the diagnostics against the fixture's want comments.
+func Run(t *testing.T, a *lint.Analyzer, dir, importPath string) {
+	t.Helper()
+	files, err := fixtureFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants, err := parseWants(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Check(lint.Unit{
+		ImportPath: importPath,
+		GoFiles:    files,
+		Importer:   lint.SourceImporter(),
+	}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("checking %s as %s: %v", dir, importPath, err)
+	}
+	for _, d := range diags {
+		if !claim(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line
+// whose pattern matches the message.
+func claim(wants []*expectation, file string, line int, message string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.pattern.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// fixtureFiles lists the package's .go files in sorted order.
+func fixtureFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("linttest: no .go files in %s", dir)
+	}
+	return files, nil
+}
+
+// parseWants scans every fixture line for want markers.
+func parseWants(files []string) ([]*expectation, error) {
+	var wants []*expectation
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		for i, text := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(text)
+			if m == nil {
+				continue
+			}
+			for _, q := range quotedRe.FindAllString(m[1], -1) {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", file, i+1, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", file, i+1, pat, err)
+				}
+				wants = append(wants, &expectation{file: file, line: i + 1, pattern: re})
+			}
+		}
+	}
+	return wants, nil
+}

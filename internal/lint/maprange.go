@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRange flags `for k := range m` over map values in the deterministic
+// packages. Go randomizes map iteration order per run, so any loop whose
+// body can observe the key (append to a slice, fold into a float, pick a
+// "first" match) is a bit-equality hazard: the same inputs produce
+// differently-ordered artifacts on the next run. The fix is to iterate a
+// sorted key slice (or a deterministic index structure); genuinely
+// order-insensitive bodies — pure membership counting, building another
+// map, max over a total order — are annotated with
+// //cloudia:nondet-ok <reason>.
+//
+// A keyless `for range m` only runs the body len(m) times and cannot
+// observe the order, so it is not flagged.
+var MapRange = &Analyzer{
+	Name:  "maprange",
+	Doc:   "flags range over maps in deterministic packages (iteration order is randomized per run)",
+	Scope: IsDeterministic,
+	Run:   runMapRange,
+}
+
+func runMapRange(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || rs.Key == nil {
+				return true
+			}
+			t := pass.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				pass.Report(rs.For,
+					"range over map %s: iteration order is randomized per run; iterate sorted keys, or annotate the loop with %s <why the body is order-insensitive>",
+					types.ExprString(rs.X), SuppressionMarker)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,41 @@
+// Fixture: raw goroutines and WaitGroup fan-out in a deterministic
+// package: every spawn and every WaitGroup declaration must be flagged
+// unless annotated with a reasoned suppression.
+package det
+
+import "sync"
+
+func spawns(n int) {
+	done := make(chan struct{})
+	go func() { // want "raw go statement"
+		close(done)
+	}()
+	<-done
+
+	var wg sync.WaitGroup // want "sync.WaitGroup fan-out"
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want "raw go statement"
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func byPointer(wg *sync.WaitGroup) { // want "sync.WaitGroup fan-out"
+	wg.Wait()
+}
+
+func annotated(out []int) {
+	//cloudia:nondet-ok each goroutine writes a disjoint slot; the join is a plain barrier
+	var wg sync.WaitGroup
+	for i := range out {
+		wg.Add(1)
+		//cloudia:nondet-ok writes only out[i], reduced in index order after the join
+		go func(i int) {
+			defer wg.Done()
+			out[i] = i
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,17 @@
+// Fixture: cross-package guard. Loaded under cloudia/internal/par (or any
+// out-of-scope path): the combinator library itself spawns freely.
+package free
+
+import "sync"
+
+func fanOut(fns []func()) {
+	var wg sync.WaitGroup
+	for _, fn := range fns {
+		wg.Add(1)
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(fn)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,12 @@
+// Fixture: internal/measure's stream pump (stream.go) is exempt — its
+// single publisher goroutine is the tested streaming plumbing.
+package measure
+
+func pump(out chan int, n int) {
+	go func() {
+		defer close(out)
+		for i := 0; i < n; i++ {
+			out <- i
+		}
+	}()
+}

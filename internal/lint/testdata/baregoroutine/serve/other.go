@@ -1,0 +1,10 @@
+// Fixture: the serve exemption is per-file, not per-package — a goroutine
+// in any other file of internal/serve is still flagged.
+package serve
+
+func elsewhere(done chan struct{}) {
+	go func() { // want "raw go statement"
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,14 @@
+// Fixture: the worker-dispatch exemption. This file is named serve.go and
+// the package is loaded as cloudia/internal/serve, so its spawns are the
+// tested dispatch plumbing and must not be flagged.
+package serve
+
+func dispatch(jobs chan func(), workers int) {
+	for i := 0; i < workers; i++ {
+		go func() {
+			for j := range jobs {
+				j()
+			}
+		}()
+	}
+}

@@ -1,0 +1,12 @@
+// Fixture: the stream.go exemption is bound to internal/measure — a file
+// with the same name in any other deterministic package is still flagged.
+package streamfile
+
+func pump(out chan int, n int) {
+	go func() { // want "raw go statement"
+		defer close(out)
+		for i := 0; i < n; i++ {
+			out <- i
+		}
+	}()
+}

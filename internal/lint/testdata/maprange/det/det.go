@@ -1,0 +1,42 @@
+// Fixture: map ranges inside a deterministic package. Loaded under a
+// cloudia/internal import path by the test, so every keyed map range must
+// be flagged.
+package det
+
+type registry map[string]int
+
+func hits(m map[string]int, r registry, byPtr *map[int]bool) {
+	sum := 0
+	for k := range m { // want "range over map m"
+		sum += len(k)
+	}
+	for k, v := range m { // want "range over map m"
+		sum += len(k) + v
+	}
+	for name := range r { // want "range over map r"
+		sum += len(name)
+	}
+	for k := range *byPtr { // want "range over map"
+		sum += k
+	}
+	_ = sum
+}
+
+func nonHits(m map[string]int, s []int, c chan int, str string) {
+	n := 0
+	// A keyless range cannot observe iteration order: the body runs
+	// len(m) indistinguishable times.
+	for range m {
+		n++
+	}
+	for i, v := range s {
+		n += i + v
+	}
+	for i := range str {
+		n += i
+	}
+	for v := range c {
+		n += v
+	}
+	_ = n
+}

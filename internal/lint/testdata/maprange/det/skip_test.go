@@ -1,0 +1,12 @@
+// Fixture: _test.go files are excluded from analysis entirely — this map
+// range must produce no diagnostic even though the file sits in a
+// deterministic package.
+package det
+
+func testOnlyHelper(m map[string]int) int {
+	sum := 0
+	for k := range m {
+		sum += len(k)
+	}
+	return sum
+}

@@ -1,0 +1,12 @@
+// Fixture: the cross-package false-positive guard. Loaded under an
+// import path outside the deterministic set (e.g. internal/workload), so
+// nothing here may be flagged.
+package free
+
+func unflagged(m map[string]int) int {
+	sum := 0
+	for k, v := range m {
+		sum += len(k) + v
+	}
+	return sum
+}

@@ -1,0 +1,34 @@
+// Fixture: suppression forms. A //cloudia:nondet-ok with a reason (same
+// line or the line above) silences the finding; a bare marker does not —
+// it reports once itself and the finding still fires.
+package suppress
+
+func suppressed(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m { //cloudia:nondet-ok map-to-map copy, no order observable
+		out[k] = v
+	}
+	//cloudia:nondet-ok membership count only; the body folds with +, which commutes
+	for k := range m {
+		out[k]++
+	}
+	return out
+}
+
+func bareMarker(m map[string]int) int {
+	sum := 0
+	/* want "needs a reason" */ //cloudia:nondet-ok
+	for k := range m {          // want "range over map m"
+		sum += len(k)
+	}
+	return sum
+}
+
+func markerWithOtherSuffixIsNotOurs(m map[string]int) int {
+	sum := 0
+	//cloudia:nondet-okay this is a different marker and suppresses nothing
+	for k := range m { // want "range over map m"
+		sum += len(k)
+	}
+	return sum
+}

@@ -1,0 +1,47 @@
+// Fixture: wall-clock reads and global randomness in a search-path
+// package (loaded as a cloudia/internal/solver subpackage).
+package det
+
+import (
+	"math/rand"
+	"time"
+
+	clock "time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()     // want "time.Now in a search path"
+	d := time.Since(start)  // want "time.Since in a search path"
+	d += clock.Since(start) // want "time.Since in a search path"
+	return d
+}
+
+func aliasedNow() time.Time {
+	return clock.Now() // want "time.Now in a search path"
+}
+
+func globalRand(n int) int {
+	v := rand.Intn(n)                  // want "global rand.Intn"
+	f := rand.Float64()                // want "global rand.Float64"
+	p := rand.Perm(n)                  // want "global rand.Perm"
+	rand.Shuffle(n, func(i, j int) {}) // want "global rand.Shuffle"
+	w := rand.Intn(1 + rand.Intn(n))   // want "global rand.Intn" "global rand.Intn"
+	return v + int(f) + p[0] + w
+}
+
+func seededRand(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n) + int(rng.Float64())
+}
+
+func notTheClock(t time.Time) (time.Duration, time.Month) {
+	// Methods and non-clock time functions are fine: only Now/Since read
+	// the machine's clock.
+	d := time.Duration(3) * time.Second
+	return d, t.Month()
+}
+
+func annotated() time.Time {
+	//cloudia:nondet-ok this fixture stands in for the Clock implementation
+	return time.Now()
+}

@@ -1,0 +1,16 @@
+// Fixture: cross-package guard. The serving layer (out of wallclock's
+// scope) measures queue latency with real time; none of this is flagged.
+package free
+
+import (
+	"math/rand"
+	"time"
+)
+
+func queueLatency(enqueued time.Time) time.Duration {
+	return time.Since(enqueued)
+}
+
+func jitter(n int) int {
+	return rand.Intn(n)
+}

@@ -1,0 +1,14 @@
+// Fixture: cross-package guard. encoding/binary use outside internal/wal
+// (here: a network frame writer in some other package) is not walrecord's
+// business.
+package free
+
+import "encoding/binary"
+
+const kindPacket byte = 7
+
+func header(v uint32) []byte {
+	buf := make([]byte, 4)
+	binary.BigEndian.PutUint32(buf, v)
+	return buf
+}

@@ -1,0 +1,51 @@
+// Fixture: the WAL codec shape. Payload encoders, append helpers, and the
+// frame writer are the only places encoding/binary writes may live.
+package wal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+)
+
+const (
+	kindEpoch  byte = 1
+	kindAdvice byte = 2
+	kindOrphan byte = 3 // want "kind constant kindOrphan has no decode case"
+)
+
+type record struct {
+	epoch int
+	cost  float64
+}
+
+func appendUint(buf []byte, v int) []byte {
+	return binary.AppendUvarint(buf, uint64(v))
+}
+
+func appendF64(buf []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+}
+
+func (r *record) appendPayload(buf []byte) []byte {
+	buf = appendUint(buf, r.epoch)
+	return appendF64(buf, r.cost)
+}
+
+func frame(rec *record, buf []byte) []byte {
+	buf = append(buf[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	buf = rec.appendPayload(buf)
+	binary.LittleEndian.PutUint32(buf, uint32(len(buf)-8))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(buf[8:]))
+	return buf
+}
+
+func decode(kind byte, payload []byte) *record {
+	switch kind {
+	case kindEpoch, kindAdvice:
+		v, n := binary.Uvarint(payload) // reads are not writes: unflagged
+		cost := binary.LittleEndian.Uint64(payload[n:])
+		return &record{epoch: int(v), cost: math.Float64frombits(cost)}
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+// Fixture: binary writes outside the codec functions are second encoding
+// paths and must be flagged (or carry a reasoned suppression).
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+)
+
+func sidechannel(v uint32) []byte {
+	buf := make([]byte, 4)
+	binary.LittleEndian.PutUint32(buf, v) // want "binary.PutUint32 outside the framed-record codec"
+	return buf
+}
+
+func reflected(v uint64) []byte {
+	var b bytes.Buffer
+	_ = binary.Write(&b, binary.LittleEndian, v) // want "binary.Write outside the framed-record codec"
+	return b.Bytes()
+}
+
+func annotatedScratch(v uint64) []byte {
+	//cloudia:nondet-ok test-only scratch encoding, never reaches a log segment
+	return binary.LittleEndian.AppendUint64(nil, v)
+}
+
+// lowercase "kinds" and non-kind constants are not record kinds.
+const kindly = "adverb"
+
+const notAKind byte = 9
+
+// A package-level write is outside every function, let alone the codec.
+var sentinel = binary.LittleEndian.AppendUint16(nil, 0xCDCD) // want "binary.AppendUint16 outside the framed-record codec"

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallClock flags wall-clock reads (time.Now, time.Since) and the global
+// math/rand source in the solver, cluster, and sketch search paths. Search
+// budgets there must flow through the machine-independent solver.Clock —
+// which meters node counts deterministically and confines wall time to one
+// audited implementation — and randomness through an explicitly seeded
+// *rand.Rand, so the same seed replays the same search on any machine.
+// A time.Now in a pruning heuristic or a global rand.Intn in a tie-break
+// makes advice depend on machine speed and process-global state, which is
+// precisely what the bit-equality suites exist to forbid.
+//
+// Seeded construction (rand.New, rand.NewSource, rand.NewZipf) is allowed;
+// only the package-level convenience functions that consult the global
+// source are flagged. The Clock implementation's own time.Now/time.Since
+// calls carry //cloudia:nondet-ok annotations — they are the single place
+// wall time is allowed to enter.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "flags time.Now/time.Since and global math/rand in solver/cluster/sketch search paths",
+	Scope: scopePaths(
+		"cloudia/internal/cluster",
+		"cloudia/internal/sketch",
+		"cloudia/internal/solver",
+	),
+	Run: runWallClock,
+}
+
+// globalRandFuncs are the math/rand package-level functions backed by the
+// process-global source. Constructors (New, NewSource, NewZipf) are not
+// listed: they are how seeded, replayable randomness is built.
+var globalRandFuncs = map[string]bool{
+	"ExpFloat64": true, "Float32": true, "Float64": true,
+	"Int": true, "Int31": true, "Int31n": true, "Int63": true,
+	"Int63n": true, "IntN": true, "Intn": true, "N": true,
+	"NormFloat64": true, "Perm": true, "Read": true, "Seed": true,
+	"Shuffle": true, "Uint32": true, "Uint64": true,
+}
+
+func runWallClock(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				// Methods — rng.Intn on a seeded *rand.Rand, d.Seconds on a
+				// Duration — are exactly the replayable path; only the
+				// package-level globals are hazards.
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if fn.Name() == "Now" || fn.Name() == "Since" {
+					pass.Report(id.Pos(),
+						"%s.%s in a search path: budgets go through the machine-independent solver.Clock; annotate with %s <reason> only inside the Clock implementation",
+						fn.Pkg().Name(), fn.Name(), SuppressionMarker)
+				}
+			case "math/rand", "math/rand/v2":
+				if globalRandFuncs[fn.Name()] {
+					pass.Report(id.Pos(),
+						"global %s.%s: search randomness must come from an explicitly seeded *rand.Rand so runs replay bit-equal",
+						fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

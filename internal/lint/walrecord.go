@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// WALRecord guards the WAL's on-disk format. Two rules:
+//
+//  1. Every encoding/binary write in internal/wal must live inside the
+//     framed-record codec — the appendPayload methods, the append*
+//     helpers in record.go, or the frame writer in wal.go. A stray
+//     binary.PutUint32 elsewhere is a second, unreviewed encoding path:
+//     it bypasses the CRC framing and the byte-for-byte determinism the
+//     replay fingerprint checks depend on.
+//
+//  2. Every `kind*` record-kind constant must appear as a case in a
+//     switch somewhere in the package (the decodeRecord dispatch). A new
+//     kind with an encoder but no decode case writes records that the
+//     next restart cannot replay — recovery fails on live logs, which is
+//     exactly the kind of skew this catches at compile time.
+var WALRecord = &Analyzer{
+	Name:  "walrecord",
+	Doc:   "confines encoding/binary writes in internal/wal to the framed-record codec and pairs kind constants with decode cases",
+	Scope: scopePaths("cloudia/internal/wal"),
+	Run:   runWALRecord,
+}
+
+// walCodecFuncs are the only functions allowed to call encoding/binary
+// write helpers: the record payload encoders, the low-level append
+// helpers, and the frame writer that seals length+CRC headers.
+var walCodecFuncs = map[string]bool{
+	"appendPayload": true,
+	"appendUint":    true,
+	"appendF64":     true,
+	"appendString":  true,
+	"frame":         true,
+}
+
+func runWALRecord(pass *Pass) {
+	kindConsts := map[string]token.Pos{}
+	caseIdents := map[string]bool{}
+	for _, f := range pass.Files {
+		collectKindDecls(pass, f, kindConsts, caseIdents)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/binary" {
+				return true
+			}
+			if !isBinaryWrite(fn.Name()) {
+				return true
+			}
+			if fd := funcFor(f, sel.Pos()); fd != nil && walCodecFuncs[fd.Name.Name] {
+				return true
+			}
+			pass.Report(sel.Pos(),
+				"binary.%s outside the framed-record codec: route writes through appendPayload/append* helpers or the frame writer so every byte is CRC-framed and replay-deterministic",
+				fn.Name())
+			return true
+		})
+	}
+	// Stable report order: kindConsts is keyed by name, so walk sorted.
+	names := make([]string, 0, len(kindConsts))
+	for name := range kindConsts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !caseIdents[name] {
+			pass.Report(kindConsts[name],
+				"record kind constant %s has no decode case: add it to the decodeRecord switch or restarts cannot replay the records it frames",
+				name)
+		}
+	}
+}
+
+// collectKindDecls gathers package-level `kindX` byte constants and every
+// identifier used in a switch case clause.
+func collectKindDecls(pass *Pass, f *ast.File, kindConsts map[string]token.Pos, caseIdents map[string]bool) {
+	for _, d := range f.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				if isKindName(name.Name) {
+					kindConsts[name.Name] = name.Pos()
+				}
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		for _, e := range cc.List {
+			if id, ok := e.(*ast.Ident); ok {
+				caseIdents[id.Name] = true
+			}
+		}
+		return true
+	})
+}
+
+// isKindName matches the record-kind naming convention: "kind" followed by
+// an exported-style suffix (kindEpoch, kindAdvice, ...).
+func isKindName(name string) bool {
+	return strings.HasPrefix(name, "kind") && len(name) > 4 &&
+		unicode.IsUpper(rune(name[4]))
+}
+
+// isBinaryWrite reports whether the encoding/binary function or ByteOrder
+// method with this name writes bytes (as opposed to the decode helpers the
+// payloadReader uses).
+func isBinaryWrite(name string) bool {
+	return name == "Write" ||
+		strings.HasPrefix(name, "Put") ||
+		strings.HasPrefix(name, "Append") ||
+		strings.HasPrefix(name, "Encode")
+}

@@ -107,8 +107,12 @@ func (c *Cache) entryLocked(fp core.Fingerprint) *matrixEntry {
 		if len(c.matrices) >= c.maxMatrices {
 			var victim core.Fingerprint
 			oldest := int64(1<<63 - 1)
+			// Min over (lastUse, fingerprint): the fingerprint tie-break
+			// makes the victim unique, so scan order cannot pick a
+			// different entry on equal ticks.
+			//cloudia:nondet-ok min over the totally ordered (lastUse, fingerprint) pair is order-insensitive
 			for f, m := range c.matrices {
-				if m.lastUse < oldest {
+				if m.lastUse < oldest || (m.lastUse == oldest && f < victim) {
 					victim, oldest = f, m.lastUse
 				}
 			}
@@ -222,8 +226,11 @@ func (c *Cache) TransposedGraph(gfp core.Fingerprint, prep *solver.Prep) (hit bo
 		if len(c.graphs) >= c.maxMatrices {
 			var victim core.Fingerprint
 			oldest := int64(1<<63 - 1)
+			// Same deterministic (lastUse, fingerprint) victim selection as
+			// the matrix cache above.
+			//cloudia:nondet-ok min over the totally ordered (lastUse, fingerprint) pair is order-insensitive
 			for f, g := range c.graphs {
-				if g.lastUse < oldest {
+				if g.lastUse < oldest || (g.lastUse == oldest && f < victim) {
 					victim, oldest = f, g.lastUse
 				}
 			}

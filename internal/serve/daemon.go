@@ -639,6 +639,7 @@ func (d *Daemon) Stats() DaemonStats {
 	st := DaemonStats{Server: d.srv.Stats()}
 	d.mu.Lock()
 	sessions := make([]*tenantSession, 0, len(d.tenants))
+	//cloudia:nondet-ok collection order is irrelevant: st.Tenants is sorted by tenant name below
 	for _, s := range d.tenants {
 		sessions = append(sessions, s)
 	}
@@ -669,8 +670,17 @@ func (d *Daemon) Close() error {
 	d.srv.Close()
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	// Close in tenant-name order so "first error" means the same tenant on
+	// every run — map order would report a different one each time.
+	names := make([]string, 0, len(d.tenants))
+	//cloudia:nondet-ok key collection only; the close loop below runs in sorted order
+	for name := range d.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var firstErr error
-	for _, s := range d.tenants {
+	for _, name := range names {
+		s := d.tenants[name]
 		s.mu.Lock()
 		if err := s.log.Close(); err != nil && firstErr == nil {
 			firstErr = err

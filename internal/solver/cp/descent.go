@@ -350,6 +350,7 @@ func (d *descent) feasible(c float64, clock *solver.Clock) (ok bool, dep core.De
 	var winner atomic.Int32
 	winner.Store(int32(w))
 	clocks := make([]*solver.Clock, w)
+	//cloudia:nondet-ok engine race with deterministic reduction: winner is the lowest branch index via CAS-min, not completion order
 	var wg sync.WaitGroup
 	for t := 0; t < w; t++ {
 		eng := d.engines[t]
@@ -357,6 +358,7 @@ func (d *descent) feasible(c float64, clock *solver.Clock) (ok bool, dep core.De
 		eng.branch = int32(t)
 		clocks[t] = clock.Fork()
 		wg.Add(1)
+		//cloudia:nondet-ok each engine owns preallocated state; the winner CAS-min join is order-insensitive
 		go func(t int, eng *engine) {
 			defer wg.Done()
 			if eng.run(rootVar, vals, t, w, clocks[t]) {

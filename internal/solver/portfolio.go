@@ -80,10 +80,12 @@ func (pf *Portfolio) SolveContext(ctx context.Context, p *Problem, budget Budget
 	// percentile mode, whose cluster-rounded matrices tie frequently.
 	results := make([]*Result, len(pf.Members))
 	errs := make([]error, len(pf.Members))
+	//cloudia:nondet-ok members write disjoint slots; the winner is chosen post-join in member-index order
 	var wg sync.WaitGroup
 	for i, member := range pf.Members {
 		i, member := i, member
 		wg.Add(1)
+		//cloudia:nondet-ok member i writes only results[i]/errs[i]; selection happens after the join
 		go func() {
 			defer wg.Done()
 			// A panicking member loses only its own lane: the panic is

@@ -134,12 +134,14 @@ func evolvePrep(np *Problem, old *Prep, changedRows []int) *Prep {
 	// to fresh lazy computation.
 	old.mu.Lock()
 	computed := make(map[int]*prepRounded, len(old.rounded))
+	//cloudia:nondet-ok map-to-map filter; entries are independent per key, no order is observable
 	for k, e := range old.rounded {
 		if e.done.Load() {
 			computed[k] = e
 		}
 	}
 	old.mu.Unlock()
+	//cloudia:nondet-ok map-to-map seed; each key writes only its own pp.rounded slot
 	for k, e := range computed {
 		if identical && e.err == nil {
 			pp.rounded[k] = e

@@ -292,10 +292,12 @@ func parallelWorkers(ctx context.Context, p *solver.Problem, budget solver.Budge
 	}
 
 	results := make([]workerBest, workers)
+	//cloudia:nondet-ok per-worker seeded RNGs write disjoint slots; reduction below runs in worker-index order
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		w := w
 		wg.Add(1)
+		//cloudia:nondet-ok worker w writes only results[w]; the post-join reduce is index-ordered
 		go func() {
 			defer wg.Done()
 			results[w] = run(w, perWorker)

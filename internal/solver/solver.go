@@ -298,6 +298,7 @@ type Clock struct {
 
 // NewClock starts tracking a run against budget.
 func NewClock(budget Budget) *Clock {
+	//cloudia:nondet-ok the Clock IS the wall-time authority; every budget read funnels through it
 	return &Clock{start: time.Now(), budget: budget, nextCheck: 1}
 }
 
@@ -305,6 +306,7 @@ func NewClock(budget Budget) *Clock {
 // budget reads as exhausted once ctx is cancelled. A nil ctx behaves like
 // NewClock.
 func NewClockCtx(ctx context.Context, budget Budget) *Clock {
+	//cloudia:nondet-ok the Clock IS the wall-time authority; every budget read funnels through it
 	return &Clock{start: time.Now(), budget: budget, nextCheck: 1, ctx: ctx}
 }
 
@@ -326,6 +328,7 @@ func (c *Clock) Tick() bool {
 		} else {
 			c.nextCheck = c.nodes + 1024
 		}
+		//cloudia:nondet-ok Clock-internal deadline check; node budgets, not wall time, carry determinism
 		if c.budget.Time > 0 && time.Since(c.start) >= c.budget.Time {
 			return true
 		}
@@ -370,6 +373,7 @@ func (c *Clock) Expired() bool {
 	if c.ctx != nil && c.ctx.Err() != nil {
 		return true
 	}
+	//cloudia:nondet-ok Clock-internal deadline check; node budgets, not wall time, carry determinism
 	return c.budget.Time > 0 && time.Since(c.start) >= c.budget.Time
 }
 
@@ -377,4 +381,6 @@ func (c *Clock) Expired() bool {
 func (c *Clock) Nodes() int64 { return c.nodes }
 
 // Elapsed reports wall-clock time since the run started.
+//
+//cloudia:nondet-ok Elapsed is reporting-only; no search decision may read it
 func (c *Clock) Elapsed() time.Duration { return time.Since(c.start) }
